@@ -1,0 +1,23 @@
+//! # cheetah-baselines — comparison detectors
+//!
+//! The detectors the paper positions Cheetah against, for the comparison
+//! and ablation experiments:
+//!
+//! * [`OwnershipDetector`] — Zhao et al.'s per-line ownership *bitmap*
+//!   (one bit per thread), the invalidation-counting approach Cheetah's
+//!   constant-space two-entry table replaces (§2.3). Accurate, but per-line
+//!   state grows with the thread count.
+//! * [`PredatorProfiler`] — a Predator-like full-instrumentation detector:
+//!   every access reaches the analysis (no sampling), so it finds the minor
+//!   instances Cheetah deliberately misses (Fig. 7) at a ~5-6x runtime
+//!   cost (§6.1), and offers no fix-impact prediction.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod ownership;
+pub mod predator;
+
+pub use ownership::{OwnershipDetector, OwnershipState};
+pub use predator::{PredatorConfig, PredatorProfiler};

@@ -1,0 +1,65 @@
+//! Compact criterion versions of the paper's experiments: end-to-end
+//! simulated runs (native and profiled) of the key workloads, small enough
+//! to benchmark the harness itself.
+
+use cheetah_core::{CheetahConfig, CheetahProfiler};
+use cheetah_sim::{Machine, MachineConfig, NullObserver};
+use cheetah_workloads::{find, AppConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_microbench");
+    group.sample_size(10);
+    let machine = Machine::new(MachineConfig::with_cores(8));
+    let app = find("microbench").unwrap();
+    for fixed in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if fixed { "padded" } else { "false_sharing" }),
+            &fixed,
+            |b, &fixed| {
+                let config = AppConfig {
+                    threads: 8,
+                    scale: 0.01,
+                    fixed,
+                    seed: 1,
+                };
+                b.iter(|| {
+                    let instance = app.build(&config);
+                    machine.run(instance.program, &mut NullObserver).total_cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profile_linear_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_linear_regression");
+    group.sample_size(10);
+    let machine = Machine::new(MachineConfig::default());
+    let app = find("linear_regression").unwrap();
+    let config = AppConfig {
+        threads: 16,
+        scale: 0.05,
+        fixed: false,
+        seed: 1,
+    };
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            let instance = app.build(&config);
+            machine.run(instance.program, &mut NullObserver).total_cycles
+        });
+    });
+    group.bench_function("cheetah", |b| {
+        b.iter(|| {
+            let instance = app.build(&config);
+            let mut profiler = CheetahProfiler::new(CheetahConfig::scaled(1024), &instance.space);
+            machine.run(instance.program, &mut profiler);
+            profiler.finish().instances.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_profile_linear_regression);
+criterion_main!(benches);

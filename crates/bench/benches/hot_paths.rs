@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the profiler's hot paths: the operations
+//! executed once per simulated access or once per sample, whose host-side
+//! cost bounds how fast experiments run.
+
+use cheetah_core::{Detector, DetectorConfig, TwoEntryTable};
+use cheetah_heap::{AddressSpace, CallStack, ShadowMap};
+use cheetah_pmu::{Sample, SamplerConfig, SamplingEngine};
+use cheetah_sim::{
+    AccessKind, AccessRecord, Addr, CoreId, Directory, LatencyModel, PhaseKind, ThreadId,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_two_entry_table(c: &mut Criterion) {
+    c.bench_function("two_entry_table_ping_pong", |b| {
+        let mut table = TwoEntryTable::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(table.record_write(ThreadId(i & 1)));
+        });
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    c.bench_function("directory_access_hit", |b| {
+        let mut dir = Directory::new(LatencyModel::default());
+        let line = Addr(0x4000_0000).line(64);
+        dir.access(CoreId(0), line, AccessKind::Write, 0);
+        let mut now = 1_000u64;
+        b.iter(|| {
+            now += 4;
+            black_box(dir.access(CoreId(0), line, AccessKind::Write, now));
+        });
+    });
+    c.bench_function("directory_access_ping_pong", |b| {
+        let mut dir = Directory::new(LatencyModel::default());
+        let line = Addr(0x4000_0000).line(64);
+        let mut now = 0u64;
+        let mut core = 0u32;
+        b.iter(|| {
+            core ^= 1;
+            now += 200;
+            black_box(dir.access(CoreId(core), line, AccessKind::Write, now));
+        });
+    });
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    c.bench_function("shadow_lookup_hot", |b| {
+        let mut shadow: ShadowMap<u64> = ShadowMap::new(64);
+        let line = Addr(0x4000_0000).line(64);
+        shadow.get_mut_or_default(line);
+        b.iter(|| black_box(shadow.get(line)));
+    });
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    c.bench_function("sampling_engine_observe", |b| {
+        let mut engine = SamplingEngine::new(SamplerConfig::paper_default());
+        engine.begin_thread(ThreadId(1));
+        let mut instr = 0u64;
+        b.iter(|| {
+            instr += 7;
+            let record = AccessRecord {
+                thread: ThreadId(1),
+                core: CoreId(1),
+                addr: Addr(0x4000_0000),
+                kind: AccessKind::Read,
+                outcome: cheetah_sim::AccessOutcome::L1Hit,
+                latency: 4,
+                start: instr,
+                instrs_before: instr,
+                phase_index: 1,
+                phase_kind: PhaseKind::Parallel,
+            };
+            black_box(engine.observe(&record));
+        });
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    c.bench_function("detector_ingest", |b| {
+        let mut space = AddressSpace::new();
+        let addr = space
+            .heap_mut()
+            .alloc(ThreadId(0), 64, CallStack::unknown())
+            .unwrap();
+        let mut detector = Detector::new(DetectorConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let sample = Sample {
+                thread: ThreadId((i & 1) as u32 + 1),
+                addr: addr.offset((i & 1) * 4),
+                kind: AccessKind::Write,
+                latency: 150,
+                time: i,
+                phase_index: 1,
+                phase_kind: PhaseKind::Parallel,
+            };
+            detector.ingest(&space, black_box(&sample));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_two_entry_table,
+    bench_directory,
+    bench_shadow,
+    bench_sampler,
+    bench_detector
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation C (§6.1) — Cheetah vs. a Predator-like full-instrumentation
+//! detector: Predator sees every access and so finds the minor instances
+//! Cheetah misses, but at a multi-x runtime cost and with no fix-impact
+//! prediction.
+
+use cheetah_baselines::PredatorProfiler;
+use cheetah_bench::{paper_machine, row, run_cheetah, run_native};
+use cheetah_core::CheetahConfig;
+use cheetah_workloads::{find, AppConfig};
+
+fn main() {
+    let machine = paper_machine();
+    let config = AppConfig::with_threads(16);
+
+    println!("Ablation C: Cheetah vs. Predator-like full instrumentation");
+    println!(
+        "{}",
+        row(&[
+            "app",
+            "cheetah inst",
+            "cheetah ovh",
+            "predator inst",
+            "predator ovh"
+        ]
+        .map(String::from)
+        .to_vec())
+    );
+    for name in [
+        "histogram",
+        "reverse_index",
+        "word_count",
+        "linear_regression",
+    ] {
+        let app = find(name).expect("registered");
+        let native = run_native(&machine, app, &config).total_cycles;
+
+        let (ch_report, profile) = run_cheetah(&machine, app, &config, CheetahConfig::scaled(8192));
+        let cheetah_found = profile.significant_false_sharing(1.1).len();
+        let cheetah_ovh = ch_report.total_cycles as f64 / native as f64;
+
+        let instance = app.build(&config);
+        let mut predator = PredatorProfiler::new(Default::default(), &instance.space);
+        let pr_report = machine.run(instance.program, &mut predator);
+        let predator_found = predator
+            .instances()
+            .iter()
+            .filter(|i| i.kind == cheetah_core::SharingKind::FalseSharing)
+            .count();
+        let predator_ovh = pr_report.total_cycles as f64 / native as f64;
+
+        println!(
+            "{}",
+            row(&[
+                name.to_string(),
+                cheetah_found.to_string(),
+                format!("{cheetah_ovh:.2}x"),
+                predator_found.to_string(),
+                format!("{predator_ovh:.2}x"),
+            ])
+        );
+    }
+    println!("\npaper: Predator finds the most instances at ~6x overhead;");
+    println!("Cheetah reports only the significant ones at ~7%");
+}

@@ -1,0 +1,74 @@
+//! Ablation A (§2.3) — Cheetah's constant-space two-entry table vs. Zhao
+//! et al.'s per-thread ownership bitmap: do they agree on which objects are
+//! significant, and what does per-line state cost as threads grow?
+
+use cheetah_baselines::OwnershipDetector;
+use cheetah_bench::{paper_machine, row};
+use cheetah_core::{Detector, DetectorConfig};
+use cheetah_pmu::{Sample, SamplerConfig, SimPmu};
+use cheetah_workloads::{find, AppConfig};
+
+fn main() {
+    let machine = paper_machine();
+    let app = find("linear_regression").expect("registered");
+
+    println!("Ablation A: two-entry table vs. ownership bitmap");
+    println!(
+        "{}",
+        row(&["threads", "table inval", "bitmap inval", "agree?"]
+            .map(String::from)
+            .to_vec())
+    );
+    for threads in [2u32, 4, 8, 16] {
+        let config = AppConfig {
+            threads,
+            scale: 0.25,
+            fixed: false,
+            seed: 1,
+        };
+        let instance = app.build(&config);
+        let mut samples: Vec<Sample> = Vec::new();
+        let mut pmu = SimPmu::new(SamplerConfig::scaled_to_period(256), |s| samples.push(s));
+        machine.run(instance.program, &mut pmu);
+
+        let mut table = Detector::new(DetectorConfig::default());
+        let mut bitmap = OwnershipDetector::new(64);
+        for sample in &samples {
+            table.ingest(&instance.space, sample);
+            bitmap.ingest(sample);
+        }
+        let table_inval: u64 = table.objects().map(|o| o.invalidations).sum();
+        let bitmap_inval = bitmap.total_invalidations();
+        let ratio = table_inval as f64 / bitmap_inval.max(1) as f64;
+        println!(
+            "{}",
+            row(&[
+                threads.to_string(),
+                table_inval.to_string(),
+                bitmap_inval.to_string(),
+                format!("{}", if (0.5..=1.5).contains(&ratio) { "yes" } else { "no" }),
+            ])
+        );
+    }
+
+    println!("\nPer-line detection state (bytes):");
+    println!(
+        "{}",
+        row(&["threads", "two-entry table", "ownership bitmap"]
+            .map(String::from)
+            .to_vec())
+    );
+    for threads in [2u32, 32, 64, 256, 1024] {
+        let bitmap = OwnershipDetector::new(threads);
+        println!(
+            "{}",
+            row(&[
+                threads.to_string(),
+                // Two entries of (thread id, kind): constant.
+                std::mem::size_of::<cheetah_core::TwoEntryTable>().to_string(),
+                bitmap.per_line_bytes().to_string(),
+            ])
+        );
+    }
+    println!("\npaper: the bitmap 'cannot easily scale to more than 32 threads'");
+}

@@ -1,0 +1,37 @@
+//! Fig. 1 — the false-sharing microbenchmark: linear-speedup expectation
+//! vs. reality on an 8-core machine, plus the padded (fixed) build.
+
+use cheetah_bench::{row, run_native};
+use cheetah_sim::{Machine, MachineConfig};
+use cheetah_workloads::{find, AppConfig};
+
+fn main() {
+    let machine = Machine::new(MachineConfig::with_cores(8));
+    let app = find("microbench").expect("registered");
+    let serial = run_native(&machine, app, &AppConfig::with_threads(1)).total_cycles;
+
+    println!("Fig. 1: false-sharing microbenchmark (8-core machine)");
+    println!(
+        "{}",
+        row(&["threads", "expectation", "reality", "gap", "fixed build"]
+            .map(String::from)
+            .to_vec())
+    );
+    for threads in [1u32, 2, 4, 8] {
+        let reality = run_native(&machine, app, &AppConfig::with_threads(threads)).total_cycles;
+        let fixed =
+            run_native(&machine, app, &AppConfig::with_threads(threads).fixed()).total_cycles;
+        let expectation = serial / u64::from(threads);
+        println!(
+            "{}",
+            row(&[
+                threads.to_string(),
+                expectation.to_string(),
+                reality.to_string(),
+                format!("{:.1}x", reality as f64 / expectation as f64),
+                fixed.to_string(),
+            ])
+        );
+    }
+    println!("\npaper: reality ~13x the expectation at 8 threads");
+}

@@ -1,0 +1,48 @@
+//! Fig. 4 — Cheetah's runtime overhead across the 17 evaluated
+//! applications, measured in simulated time (trap + per-thread PMU setup
+//! costs charged by the sampling engine; period and costs scaled together,
+//! see `SamplerConfig::scaled_to_period`).
+
+use cheetah_bench::{paper_machine, row, run_cheetah, run_native};
+use cheetah_core::CheetahConfig;
+use cheetah_workloads::{evaluated_apps, AppConfig};
+
+fn main() {
+    let machine = paper_machine();
+    let config = AppConfig::with_threads(16);
+    // 64K / 8: the workloads are shrunk ~8x relative to 5-second runs.
+    let cheetah = CheetahConfig::scaled(8192);
+
+    println!("Fig. 4: normalized runtime under Cheetah (pthreads = 1.00)");
+    println!(
+        "{}",
+        row(&["app", "native", "cheetah", "normalized", "samples"]
+            .map(String::from)
+            .to_vec())
+    );
+    let mut ratios = Vec::new();
+    let mut ratios_excl = Vec::new();
+    for app in evaluated_apps() {
+        let native = run_native(&machine, app, &config).total_cycles;
+        let (profiled, profile) = run_cheetah(&machine, app, &config, cheetah.clone());
+        let ratio = profiled.total_cycles as f64 / native as f64;
+        ratios.push(ratio);
+        if app.name() != "kmeans" && app.name() != "x264" {
+            ratios_excl.push(ratio);
+        }
+        println!(
+            "{}",
+            row(&[
+                app.name().to_string(),
+                native.to_string(),
+                profiled.total_cycles.to_string(),
+                format!("{ratio:.3}"),
+                profile.total_samples.to_string(),
+            ])
+        );
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let avg_excl = ratios_excl.iter().sum::<f64>() / ratios_excl.len() as f64;
+    println!("\nAVERAGE: {avg:.3} (paper: ~1.07)");
+    println!("AVERAGE excl. kmeans/x264: {avg_excl:.3} (paper: ~1.04)");
+}

@@ -1,0 +1,39 @@
+//! Fig. 7 — the false-sharing instances Cheetah misses (histogram,
+//! reverse_index, word_count) have negligible performance impact, so
+//! missing them saves programmer effort rather than costing performance.
+
+use cheetah_bench::{paper_machine, row, run_cheetah, run_native};
+use cheetah_core::CheetahConfig;
+use cheetah_workloads::{find, AppConfig};
+
+fn main() {
+    let machine = paper_machine();
+    let config = AppConfig::with_threads(16);
+
+    println!("Fig. 7: impact of the minor instances Cheetah misses");
+    println!(
+        "{}",
+        row(&["app", "with-FS", "no-FS", "improvement", "cheetah reports"]
+            .map(String::from)
+            .to_vec())
+    );
+    for name in ["histogram", "reverse_index", "word_count"] {
+        let app = find(name).expect("registered");
+        let broken = run_native(&machine, app, &config).total_cycles;
+        let fixed = run_native(&machine, app, &config.clone().fixed()).total_cycles;
+        // Cheetah at deployment sampling rate: are the instances reported?
+        let (_, profile) = run_cheetah(&machine, app, &config, CheetahConfig::scaled(8192));
+        let significant = profile.significant_false_sharing(1.1).len();
+        println!(
+            "{}",
+            row(&[
+                name.to_string(),
+                broken.to_string(),
+                fixed.to_string(),
+                format!("{:.4}x", broken as f64 / fixed as f64),
+                significant.to_string(),
+            ])
+        );
+    }
+    println!("\npaper: fixing these yields <0.2%; Cheetah reports none of them");
+}

@@ -1,0 +1,364 @@
+//! Performance-impact assessment (§3 of the paper) — the headline
+//! contribution: predicting the speedup of fixing a false-sharing instance
+//! *without fixing it*.
+//!
+//! The prediction runs in three steps, using only sampled latencies and the
+//! runtime structure:
+//!
+//! 1. **Object** (Eq. 1): after a fix, accesses to the object `O` should
+//!    cost the no-false-sharing average latency, approximated by the mean
+//!    latency of serial-phase samples:
+//!    `PredCycles_O = AverCycles_nofs × Accesses_O`.
+//! 2. **Threads** (Eq. 2–3): each related thread's sampled cycles shrink by
+//!    the object's share, and runtime is assumed proportional to sampled
+//!    access cycles:
+//!    `PredCycles_t = Cycles_t − Cycles_O(t) + PredCycles_O(t)`,
+//!    `PredRT_t = RT_t × PredCycles_t / Cycles_t`.
+//! 3. **Application** (Eq. 4, fork-join model): each parallel phase is
+//!    re-timed as the maximum predicted runtime among its threads (keeping
+//!    each thread's spawn offset within the phase, so an unchanged profile
+//!    predicts exactly the real runtime); serial phases are unchanged:
+//!    `PerfImprove = RT_App / PredRT_App`.
+
+use crate::classify::SharingInstance;
+use cheetah_runtime::{PhaseInterval, ThreadRegistry};
+use cheetah_sim::{Cycles, PhaseKind, ThreadId};
+use std::fmt;
+
+/// Inputs shared by every instance assessment of one profile.
+#[derive(Debug, Clone, Copy)]
+pub struct AssessContext<'a> {
+    /// Reconstructed fork-join phases.
+    pub phases: &'a [PhaseInterval],
+    /// Per-thread runtimes and sampled totals.
+    pub threads: &'a ThreadRegistry,
+    /// `AverCycles_nofs`: expected post-fix access latency.
+    pub aver_cycles_nofs: f64,
+    /// Measured application runtime `RT_App`.
+    pub app_runtime: Cycles,
+}
+
+/// Predicted effect of a fix on one thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadAssessment {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Measured runtime `RT_t`.
+    pub runtime: Cycles,
+    /// Predicted runtime `PredRT_t`.
+    pub predicted_runtime: f64,
+    /// Measured sampled cycles `Cycles_t`.
+    pub cycles: Cycles,
+    /// Predicted sampled cycles `PredCycles_t`.
+    pub predicted_cycles: f64,
+}
+
+/// Predicted effect of fixing one sharing instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assessment {
+    /// `PerfImprove = RT_App / PredRT_App`; 1.0 means no improvement.
+    pub improvement: f64,
+    /// Measured application runtime.
+    pub real_runtime: Cycles,
+    /// Predicted application runtime after the fix.
+    pub predicted_runtime: f64,
+    /// Number of threads related to the object.
+    pub total_threads: usize,
+    /// Sum of `Accesses_t` over related threads (Fig. 5's
+    /// `totalThreadsAccesses`).
+    pub total_thread_accesses: u64,
+    /// Sum of `Cycles_t` over related threads (Fig. 5's
+    /// `totalThreadsCycles`).
+    pub total_thread_cycles: Cycles,
+    /// Per-thread predictions for threads in parallel phases.
+    pub per_thread: Vec<ThreadAssessment>,
+}
+
+impl Assessment {
+    /// The improvement as a percentage, as printed in Fig. 5
+    /// (`totalPossibleImprovementRate 576.172748%`).
+    pub fn improvement_rate_percent(&self) -> f64 {
+        self.improvement * 100.0
+    }
+}
+
+impl fmt::Display for Assessment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "predicted improvement {:.2}x (real {} cycles, predicted {:.0} cycles)",
+            self.improvement, self.real_runtime, self.predicted_runtime
+        )
+    }
+}
+
+/// Assesses the performance impact of fixing `instance`.
+///
+/// Threads without samples are predicted to keep their measured runtime;
+/// phases whose threads are unknown to the registry keep their measured
+/// duration.
+pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment {
+    let mut predicted_app = 0.0f64;
+    let mut per_thread = Vec::new();
+
+    for phase in ctx.phases {
+        match phase.kind {
+            PhaseKind::Serial => predicted_app += phase.duration() as f64,
+            PhaseKind::Parallel => {
+                let mut phase_len = 0.0f64;
+                for &thread in &phase.threads {
+                    let (runtime, start_offset, cycles_t) = match ctx.threads.get(thread) {
+                        Some(stats) => {
+                            let end = stats.end.unwrap_or(phase.end);
+                            (
+                                end.saturating_sub(stats.start),
+                                stats.start.saturating_sub(phase.start),
+                                stats.sampled_cycles,
+                            )
+                        }
+                        None => (phase.duration(), 0, 0),
+                    };
+                    let on_object = instance.thread(thread).unwrap_or_default();
+                    // Eq. 1, applied to this thread's share of the object.
+                    let pred_cycles_o = ctx.aver_cycles_nofs * on_object.accesses as f64;
+                    // Eq. 2.
+                    let pred_cycles_t =
+                        cycles_t as f64 - on_object.cycles as f64 + pred_cycles_o;
+                    // Eq. 3.
+                    let pred_rt = if cycles_t == 0 {
+                        runtime as f64
+                    } else {
+                        runtime as f64 * pred_cycles_t / cycles_t as f64
+                    };
+                    phase_len = phase_len.max(start_offset as f64 + pred_rt);
+                    per_thread.push(ThreadAssessment {
+                        thread,
+                        runtime,
+                        predicted_runtime: pred_rt,
+                        cycles: cycles_t,
+                        predicted_cycles: pred_cycles_t,
+                    });
+                }
+                predicted_app += phase_len;
+            }
+        }
+    }
+
+    // Threads "related" to the object: those that touched it.
+    let related: Vec<ThreadId> = instance.per_thread.iter().map(|(t, _)| *t).collect();
+    let mut total_thread_accesses = 0;
+    let mut total_thread_cycles = 0;
+    for &thread in &related {
+        if let Some(stats) = ctx.threads.get(thread) {
+            total_thread_accesses += stats.sampled_accesses;
+            total_thread_cycles += stats.sampled_cycles;
+        }
+    }
+
+    let improvement = if predicted_app > 0.0 {
+        ctx.app_runtime as f64 / predicted_app
+    } else {
+        1.0
+    };
+    Assessment {
+        improvement,
+        real_runtime: ctx.app_runtime,
+        predicted_runtime: predicted_app,
+        total_threads: related.len(),
+        total_thread_accesses,
+        total_thread_cycles,
+        per_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{ObjectDescriptor, ObjectOrigin, SharingKind};
+    use crate::detect::detector::{ObjectKey, ThreadOnObject};
+    use cheetah_heap::{CallStack, ObjectId};
+    use cheetah_sim::Addr;
+
+    /// Builds a two-phase profile: serial [0,100), parallel [100,1100) with
+    /// two threads, serial [1100,1200).
+    fn phases() -> Vec<PhaseInterval> {
+        vec![
+            PhaseInterval {
+                index: 0,
+                kind: PhaseKind::Serial,
+                start: 0,
+                end: 100,
+                threads: vec![],
+            },
+            PhaseInterval {
+                index: 1,
+                kind: PhaseKind::Parallel,
+                start: 100,
+                end: 1100,
+                threads: vec![ThreadId(1), ThreadId(2)],
+            },
+            PhaseInterval {
+                index: 2,
+                kind: PhaseKind::Serial,
+                start: 1100,
+                end: 1200,
+                threads: vec![],
+            },
+        ]
+    }
+
+    fn registry(cycles: &[(u32, u64, u64)]) -> ThreadRegistry {
+        // (thread, sampled_cycles spread over `n` accesses of equal
+        // latency, accesses)
+        let mut registry = ThreadRegistry::new();
+        for &(t, total_cycles, accesses) in cycles {
+            registry.on_start(ThreadId(t), "w", 100, 1);
+            for _ in 0..accesses {
+                registry.record_sample(ThreadId(t), total_cycles / accesses.max(1));
+            }
+            registry.on_exit(ThreadId(t), 1100);
+        }
+        registry
+    }
+
+    fn instance(per_thread: Vec<(ThreadId, ThreadOnObject)>) -> SharingInstance {
+        SharingInstance {
+            key: ObjectKey::Heap(ObjectId(0)),
+            object: ObjectDescriptor {
+                origin: ObjectOrigin::Heap {
+                    callsite: CallStack::single("a.c", 1),
+                    allocated_by: ThreadId(0),
+                },
+                start: Addr(0x4000_0000),
+                size: 64,
+            },
+            kind: SharingKind::FalseSharing,
+            reads: 0,
+            writes: per_thread.iter().map(|(_, s)| s.accesses).sum(),
+            invalidations: 100,
+            latency: per_thread.iter().map(|(_, s)| s.cycles).sum(),
+            per_thread,
+            truly_shared_accesses: 0,
+            words: vec![],
+        }
+    }
+
+    #[test]
+    fn no_object_traffic_predicts_no_change() {
+        let phases = phases();
+        let registry = registry(&[(1, 10_000, 100), (2, 10_000, 100)]);
+        let inst = instance(vec![]);
+        let ctx = AssessContext {
+            phases: &phases,
+            threads: &registry,
+            aver_cycles_nofs: 10.0,
+            app_runtime: 1200,
+        };
+        let result = assess(&inst, &ctx);
+        assert!(
+            (result.improvement - 1.0).abs() < 1e-9,
+            "got {}",
+            result.improvement
+        );
+        assert_eq!(result.real_runtime, 1200);
+        assert_eq!(result.total_threads, 0);
+    }
+
+    #[test]
+    fn dominant_false_sharing_predicts_large_speedup() {
+        let phases = phases();
+        // All sampled cycles come from the object, at latency 100/access;
+        // post-fix latency is 10: cycles shrink 10x, so the 1000-cycle
+        // parallel phase should shrink to ~100.
+        let registry = registry(&[(1, 10_000, 100), (2, 10_000, 100)]);
+        let on_obj = ThreadOnObject {
+            accesses: 100,
+            cycles: 10_000,
+        };
+        let inst = instance(vec![(ThreadId(1), on_obj), (ThreadId(2), on_obj)]);
+        let ctx = AssessContext {
+            phases: &phases,
+            threads: &registry,
+            aver_cycles_nofs: 10.0,
+            app_runtime: 1200,
+        };
+        let result = assess(&inst, &ctx);
+        // Predicted: serial 100 + parallel 100 + serial 100 = 300.
+        assert!(
+            (result.predicted_runtime - 300.0).abs() < 1.0,
+            "predicted {}",
+            result.predicted_runtime
+        );
+        assert!((result.improvement - 4.0).abs() < 0.05);
+        assert_eq!(result.total_threads, 2);
+        assert_eq!(result.total_thread_accesses, 200);
+        assert_eq!(result.total_thread_cycles, 20_000);
+    }
+
+    #[test]
+    fn phase_length_follows_slowest_thread() {
+        let phases = phases();
+        // Thread 1 is all object traffic (will shrink); thread 2 has none
+        // (stays at 1000): the phase stays ~1000.
+        let registry = registry(&[(1, 10_000, 100), (2, 5_000, 100)]);
+        let on_obj = ThreadOnObject {
+            accesses: 100,
+            cycles: 10_000,
+        };
+        let inst = instance(vec![(ThreadId(1), on_obj)]);
+        let ctx = AssessContext {
+            phases: &phases,
+            threads: &registry,
+            aver_cycles_nofs: 10.0,
+            app_runtime: 1200,
+        };
+        let result = assess(&inst, &ctx);
+        assert!(
+            (result.predicted_runtime - 1200.0).abs() < 1.0,
+            "phase must be limited by the untouched thread: {}",
+            result.predicted_runtime
+        );
+        assert!((result.improvement - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threads_without_samples_keep_their_runtime() {
+        let phases = phases();
+        let mut registry = ThreadRegistry::new();
+        registry.on_start(ThreadId(1), "w", 100, 1);
+        registry.on_exit(ThreadId(1), 1100);
+        registry.on_start(ThreadId(2), "w", 100, 1);
+        registry.on_exit(ThreadId(2), 1100);
+        let inst = instance(vec![]);
+        let ctx = AssessContext {
+            phases: &phases,
+            threads: &registry,
+            aver_cycles_nofs: 10.0,
+            app_runtime: 1200,
+        };
+        let result = assess(&inst, &ctx);
+        assert!((result.improvement - 1.0).abs() < 1e-9);
+        assert_eq!(result.per_thread.len(), 2);
+        assert_eq!(result.per_thread[0].predicted_runtime, 1000.0);
+    }
+
+    #[test]
+    fn improvement_rate_is_percentage() {
+        let phases = phases();
+        let registry = registry(&[(1, 10_000, 100), (2, 10_000, 100)]);
+        let on_obj = ThreadOnObject {
+            accesses: 100,
+            cycles: 10_000,
+        };
+        let inst = instance(vec![(ThreadId(1), on_obj), (ThreadId(2), on_obj)]);
+        let ctx = AssessContext {
+            phases: &phases,
+            threads: &registry,
+            aver_cycles_nofs: 10.0,
+            app_runtime: 1200,
+        };
+        let result = assess(&inst, &ctx);
+        assert!((result.improvement_rate_percent() - result.improvement * 100.0).abs() < 1e-9);
+        assert!(result.to_string().contains("predicted improvement"));
+    }
+}

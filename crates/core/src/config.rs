@@ -1,0 +1,128 @@
+//! Configuration of the detection and reporting pipeline.
+
+use cheetah_pmu::SamplerConfig;
+
+/// Tunables of the [`crate::Detector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Cache line size in bytes (power of two). Must match the machine the
+    /// samples come from.
+    pub line_size: u64,
+    /// Detailed tracking starts once a line has seen *more than* this many
+    /// sampled writes (§2.3: "more than two writes").
+    pub write_threshold: u32,
+    /// Minimum sampled invalidations for an object to appear in reports.
+    pub min_invalidations: u64,
+    /// An object whose truly-shared-word accesses exceed this fraction of
+    /// its total accesses is classified as true sharing.
+    pub true_share_fraction: f64,
+    /// Fallback for `AverCycles_serial` when no serial-phase samples were
+    /// collected ("a default value learned from experience", §3.1).
+    pub default_serial_latency: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            line_size: 64,
+            write_threshold: 2,
+            min_invalidations: 10,
+            true_share_fraction: 0.05,
+            default_serial_latency: 12.0,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two or the fraction is
+    /// outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.true_share_fraction),
+            "true_share_fraction must be in [0, 1]"
+        );
+        assert!(
+            self.default_serial_latency > 0.0,
+            "default serial latency must be positive"
+        );
+    }
+}
+
+/// Configuration of the complete Cheetah profiler.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheetahConfig {
+    /// PMU sampling configuration.
+    pub sampler: SamplerConfig,
+    /// Detection configuration.
+    pub detector: DetectorConfig,
+}
+
+impl CheetahConfig {
+    /// The paper's deployment defaults (64K sampling period, 64-byte
+    /// lines, write threshold 2).
+    pub fn paper_default() -> Self {
+        CheetahConfig::default()
+    }
+
+    /// Same defaults with a custom sampling period — used by scaled-down
+    /// experiments that need denser samples.
+    pub fn with_period(period: u64) -> Self {
+        CheetahConfig {
+            sampler: SamplerConfig::with_period(period),
+            detector: DetectorConfig::default(),
+        }
+    }
+
+    /// Configuration for scaled-down experiments: sampling period and
+    /// perturbation costs shrink together, preserving the paper's
+    /// samples-per-run and overhead fraction (see
+    /// [`SamplerConfig::scaled_to_period`]).
+    pub fn scaled(period: u64) -> Self {
+        CheetahConfig {
+            sampler: SamplerConfig::scaled_to_period(period),
+            detector: DetectorConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let config = CheetahConfig::paper_default();
+        assert_eq!(config.sampler.period, 64 * 1024);
+        assert_eq!(config.detector.line_size, 64);
+        assert_eq!(config.detector.write_threshold, 2);
+        config.detector.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        DetectorConfig {
+            line_size: 60,
+            ..DetectorConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "true_share_fraction")]
+    fn bad_fraction_rejected() {
+        DetectorConfig {
+            true_share_fraction: 1.5,
+            ..DetectorConfig::default()
+        }
+        .validate();
+    }
+}

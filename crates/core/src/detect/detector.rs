@@ -1,0 +1,509 @@
+//! The false-sharing detector: from samples to per-object sharing state.
+//!
+//! This is the "FS detection" box of the paper's Fig. 2. Each incoming
+//! [`Sample`] is resolved through the shadow map to its cache line, runs the
+//! write-count pre-filter, updates the two-entry invalidation table and the
+//! word map, and is attributed to its heap object or global symbol. Detail
+//! is recorded only inside parallel phases, so initialisation writes by the
+//! main thread cannot masquerade as sharing (§2.4); serial-phase samples
+//! instead feed the `AverCycles_serial` estimate the assessment needs.
+
+use crate::config::DetectorConfig;
+use crate::detect::line_state::LineState;
+use cheetah_heap::{AddressSpace, Location, ShadowMap};
+use cheetah_pmu::Sample;
+use cheetah_sim::util::{FastMap, FastSet};
+use cheetah_sim::{AccessKind, CacheLineId, Cycles, ThreadId};
+
+/// Identity of a monitored data object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjectKey {
+    /// A heap allocation.
+    Heap(cheetah_heap::ObjectId),
+    /// A registered global (index into the registry).
+    Global(usize),
+}
+
+/// Per-thread counters on one object (`Accesses_O` / `Cycles_O` split by
+/// thread, as Eq. 2 of the paper requires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreadOnObject {
+    /// Sampled accesses by the thread on the object.
+    pub accesses: u64,
+    /// Their total latency in cycles.
+    pub cycles: Cycles,
+}
+
+/// Accumulated sharing state of one object.
+#[derive(Debug, Clone)]
+pub struct ObjectAccum {
+    /// Which object this is.
+    pub key: ObjectKey,
+    /// Sampled reads recorded in detail.
+    pub reads: u64,
+    /// Sampled writes recorded in detail.
+    pub writes: u64,
+    /// Sampled invalidations attributed to writes on this object.
+    pub invalidations: u64,
+    /// Total sampled latency on the object.
+    pub latency: Cycles,
+    /// Per-thread breakdown.
+    per_thread: FastMap<ThreadId, ThreadOnObject>,
+    thread_order: Vec<ThreadId>,
+    /// Cache lines of this object that reached detailed tracking.
+    lines: FastSet<CacheLineId>,
+    line_order: Vec<CacheLineId>,
+}
+
+impl ObjectAccum {
+    fn new(key: ObjectKey) -> Self {
+        ObjectAccum {
+            key,
+            reads: 0,
+            writes: 0,
+            invalidations: 0,
+            latency: 0,
+            per_thread: FastMap::default(),
+            thread_order: Vec::new(),
+            lines: FastSet::default(),
+            line_order: Vec::new(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        thread: ThreadId,
+        kind: AccessKind,
+        latency: Cycles,
+        invalidation: bool,
+        line: CacheLineId,
+    ) {
+        match kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+        if invalidation {
+            self.invalidations += 1;
+        }
+        self.latency += latency;
+        if !self.per_thread.contains_key(&thread) {
+            self.thread_order.push(thread);
+        }
+        let entry = self.per_thread.entry(thread).or_default();
+        entry.accesses += 1;
+        entry.cycles += latency;
+        if self.lines.insert(line) {
+            self.line_order.push(line);
+        }
+    }
+
+    /// Total sampled accesses on the object.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Per-thread counters in first-touch order.
+    pub fn threads(&self) -> impl Iterator<Item = (ThreadId, ThreadOnObject)> + '_ {
+        self.thread_order
+            .iter()
+            .map(move |t| (*t, self.per_thread[t]))
+    }
+
+    /// Counters of a single thread.
+    pub fn thread(&self, thread: ThreadId) -> Option<ThreadOnObject> {
+        self.per_thread.get(&thread).copied()
+    }
+
+    /// Cache lines of the object that reached detailed tracking, in
+    /// first-touch order.
+    pub fn lines(&self) -> &[CacheLineId] {
+        &self.line_order
+    }
+}
+
+/// The sample-driven detector.
+///
+/// ```
+/// use cheetah_core::{Detector, DetectorConfig};
+/// use cheetah_heap::{AddressSpace, CallStack};
+/// use cheetah_pmu::Sample;
+/// use cheetah_sim::{AccessKind, PhaseKind, ThreadId};
+///
+/// let mut space = AddressSpace::new();
+/// let addr = space.heap_mut().alloc(ThreadId(0), 64, CallStack::unknown())?;
+/// let mut detector = Detector::new(DetectorConfig::default());
+/// // Two threads write adjacent words of the allocation, repeatedly.
+/// for i in 0..100u64 {
+///     for (t, off) in [(1u32, 0u64), (2, 4)] {
+///         detector.ingest(&space, &Sample {
+///             thread: ThreadId(t),
+///             addr: addr.offset(off),
+///             kind: AccessKind::Write,
+///             latency: 150,
+///             time: i,
+///             phase_index: 1,
+///             phase_kind: PhaseKind::Parallel,
+///         });
+///     }
+/// }
+/// let accum = detector.objects().next().unwrap();
+/// assert!(accum.invalidations > 100);
+/// # Ok::<(), cheetah_heap::HeapError>(())
+/// ```
+#[derive(Debug)]
+pub struct Detector {
+    config: DetectorConfig,
+    shadow: ShadowMap<LineState>,
+    objects: FastMap<ObjectKey, ObjectAccum>,
+    object_order: Vec<ObjectKey>,
+    total_samples: u64,
+    filtered_samples: u64,
+    unattributed_samples: u64,
+    serial_samples: u64,
+    serial_cycles: Cycles,
+}
+
+impl Detector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`DetectorConfig::validate`]).
+    pub fn new(config: DetectorConfig) -> Self {
+        config.validate();
+        let line_size = config.line_size;
+        Detector {
+            config,
+            shadow: ShadowMap::new(line_size),
+            objects: FastMap::default(),
+            object_order: Vec::new(),
+            total_samples: 0,
+            filtered_samples: 0,
+            unattributed_samples: 0,
+            serial_samples: 0,
+            serial_cycles: 0,
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Feeds one sample, resolving object attribution against `space`.
+    pub fn ingest(&mut self, space: &AddressSpace, sample: &Sample) {
+        self.total_samples += 1;
+        let line = sample.addr.line(self.config.line_size);
+        let Some(state) = self.shadow.get_mut_or_default(line) else {
+            // Stack / kernel / library address: the driver filters these.
+            self.filtered_samples += 1;
+            return;
+        };
+        if sample.kind.is_write() {
+            state.writes += 1;
+        }
+        if !sample.in_parallel_phase() {
+            // Serial-phase samples only contribute the no-false-sharing
+            // latency baseline.
+            self.serial_samples += 1;
+            self.serial_cycles += sample.latency;
+            return;
+        }
+        let threshold = self.config.write_threshold;
+        let line_size = self.config.line_size;
+        let Some(detail) = state.detail_if_hot(threshold, line_size) else {
+            return;
+        };
+        match sample.kind {
+            AccessKind::Read => detail.reads += 1,
+            AccessKind::Write => detail.writes += 1,
+        }
+        detail.latency += sample.latency;
+        let word = sample.addr.word_in_line(line_size);
+        detail.words.record(
+            word,
+            sample.thread,
+            sample.phase_index,
+            sample.kind,
+            sample.latency,
+        );
+        let invalidation = match sample.kind {
+            AccessKind::Read => {
+                detail.table.record_read(sample.thread);
+                false
+            }
+            AccessKind::Write => {
+                detail.table.record_write(sample.thread)
+                    == crate::detect::table::WriteOutcome::Invalidation
+            }
+        };
+        if invalidation {
+            detail.invalidations += 1;
+        }
+        let key = match space.resolve(sample.addr) {
+            Location::HeapObject(id) => ObjectKey::Heap(id),
+            Location::Global(index) => ObjectKey::Global(index),
+            Location::Unattributed(_) | Location::Unmonitored => {
+                self.unattributed_samples += 1;
+                return;
+            }
+        };
+        if !self.objects.contains_key(&key) {
+            self.object_order.push(key);
+        }
+        self.objects
+            .entry(key)
+            .or_insert_with(|| ObjectAccum::new(key))
+            .record(
+                sample.thread,
+                sample.kind,
+                sample.latency,
+                invalidation,
+                line,
+            );
+    }
+
+    /// Mean latency of serial-phase samples: the paper's
+    /// `AverCycles_serial` estimate of post-fix access cost, falling back
+    /// to the configured default when no serial samples exist.
+    pub fn aver_cycles_serial(&self) -> f64 {
+        if self.serial_samples == 0 {
+            self.config.default_serial_latency
+        } else {
+            self.serial_cycles as f64 / self.serial_samples as f64
+        }
+    }
+
+    /// Per-object accumulators in first-touch order.
+    pub fn objects(&self) -> impl Iterator<Item = &ObjectAccum> {
+        self.object_order.iter().map(move |k| &self.objects[k])
+    }
+
+    /// Accumulator of one object.
+    pub fn object(&self, key: ObjectKey) -> Option<&ObjectAccum> {
+        self.objects.get(&key)
+    }
+
+    /// The shadow map (line-level state), for classification passes.
+    pub fn shadow(&self) -> &ShadowMap<LineState> {
+        &self.shadow
+    }
+
+    /// Samples ingested in total.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// Samples dropped because they fell outside monitored segments.
+    pub fn filtered_samples(&self) -> u64 {
+        self.filtered_samples
+    }
+
+    /// Parallel-phase samples on hot lines that no tracked object claimed.
+    pub fn unattributed_samples(&self) -> u64 {
+        self.unattributed_samples
+    }
+
+    /// Serial-phase samples (baseline latency contributors).
+    pub fn serial_samples(&self) -> u64 {
+        self.serial_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_heap::CallStack;
+    use cheetah_sim::{Addr, PhaseKind};
+
+    fn sample(thread: u32, addr: Addr, kind: AccessKind, phase: PhaseKind) -> Sample {
+        Sample {
+            thread: ThreadId(thread),
+            addr,
+            kind,
+            latency: if kind.is_write() { 150 } else { 90 },
+            time: 0,
+            phase_index: 1,
+            phase_kind: phase,
+        }
+    }
+
+    fn space_with_object(size: u64) -> (AddressSpace, Addr) {
+        let mut space = AddressSpace::new();
+        let addr = space
+            .heap_mut()
+            .alloc(ThreadId(0), size, CallStack::single("app.c", 42))
+            .unwrap();
+        (space, addr)
+    }
+
+    #[test]
+    fn false_sharing_accumulates_invalidations() {
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        for _ in 0..50 {
+            detector.ingest(
+                &space,
+                &sample(1, base, AccessKind::Write, PhaseKind::Parallel),
+            );
+            detector.ingest(
+                &space,
+                &sample(2, base.offset(4), AccessKind::Write, PhaseKind::Parallel),
+            );
+        }
+        let accum = detector.objects().next().unwrap();
+        // First 3 writes feed the pre-filter; the rest ping-pong.
+        assert!(accum.invalidations >= 90, "got {}", accum.invalidations);
+        assert_eq!(accum.reads, 0);
+        assert!(accum.writes >= 97);
+        assert_eq!(accum.threads().count(), 2);
+        assert_eq!(accum.lines().len(), 1);
+    }
+
+    #[test]
+    fn write_threshold_suppresses_write_once_lines() {
+        let (space, base) = space_with_object(256);
+        let mut detector = Detector::new(DetectorConfig::default());
+        // Two writes per line: below the "more than two writes" threshold.
+        for line in 0..4u64 {
+            for t in [1, 2] {
+                detector.ingest(
+                    &space,
+                    &sample(t, base.offset(line * 64), AccessKind::Write, PhaseKind::Parallel),
+                );
+            }
+        }
+        assert_eq!(detector.objects().count(), 0);
+        // Plenty of reads never start detail either.
+        for _ in 0..100 {
+            detector.ingest(
+                &space,
+                &sample(1, base, AccessKind::Read, PhaseKind::Parallel),
+            );
+        }
+        assert_eq!(detector.objects().count(), 0);
+    }
+
+    #[test]
+    fn serial_samples_only_feed_latency_baseline() {
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        for _ in 0..10 {
+            detector.ingest(
+                &space,
+                &sample(0, base, AccessKind::Write, PhaseKind::Serial),
+            );
+        }
+        assert_eq!(detector.objects().count(), 0);
+        assert_eq!(detector.serial_samples(), 10);
+        assert!((detector.aver_cycles_serial() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_latency_default_when_no_serial_samples() {
+        let detector = Detector::new(DetectorConfig::default());
+        assert!(
+            (detector.aver_cycles_serial() - DetectorConfig::default().default_serial_latency)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn unmonitored_addresses_filtered() {
+        let space = AddressSpace::new();
+        let mut detector = Detector::new(DetectorConfig::default());
+        detector.ingest(
+            &space,
+            &sample(1, Addr(0x10), AccessKind::Write, PhaseKind::Parallel),
+        );
+        assert_eq!(detector.filtered_samples(), 1);
+        assert_eq!(detector.objects().count(), 0);
+    }
+
+    #[test]
+    fn globals_attributed_by_symbol() {
+        let mut space = AddressSpace::new();
+        let g = space.globals_mut().register("hot_global", 64, 64).unwrap();
+        let mut detector = Detector::new(DetectorConfig::default());
+        for _ in 0..20 {
+            detector.ingest(&space, &sample(1, g, AccessKind::Write, PhaseKind::Parallel));
+            detector.ingest(
+                &space,
+                &sample(2, g.offset(8), AccessKind::Write, PhaseKind::Parallel),
+            );
+        }
+        let accum = detector.objects().next().unwrap();
+        assert_eq!(accum.key, ObjectKey::Global(0));
+        assert!(accum.invalidations > 10);
+    }
+
+    #[test]
+    fn same_thread_traffic_no_invalidations() {
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        for i in 0..100u64 {
+            detector.ingest(
+                &space,
+                &sample(1, base.offset((i % 16) * 4), AccessKind::Write, PhaseKind::Parallel),
+            );
+        }
+        let accum = detector.objects().next().unwrap();
+        assert_eq!(accum.invalidations, 0);
+    }
+
+    #[test]
+    fn per_thread_breakdown_matches_traffic() {
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        for _ in 0..10 {
+            detector.ingest(
+                &space,
+                &sample(1, base, AccessKind::Write, PhaseKind::Parallel),
+            );
+        }
+        for _ in 0..5 {
+            detector.ingest(
+                &space,
+                &sample(2, base.offset(4), AccessKind::Read, PhaseKind::Parallel),
+            );
+        }
+        let accum = detector.objects().next().unwrap();
+        let t1 = accum.thread(ThreadId(1)).unwrap();
+        let t2 = accum.thread(ThreadId(2)).unwrap();
+        // Thread 1's first two writes warm the pre-filter (threshold 2);
+        // its third write trips it and is recorded.
+        assert_eq!(t1.accesses, 8);
+        assert_eq!(t2.accesses, 5);
+        assert_eq!(t2.cycles, 5 * 90);
+        assert!(accum.thread(ThreadId(3)).is_none());
+    }
+
+    #[test]
+    fn multi_line_objects_tracked_per_line() {
+        let (space, base) = space_with_object(4000);
+        let mut detector = Detector::new(DetectorConfig::default());
+        // Threads 1 and 2 fight over two separate lines of one object.
+        for line in [0u64, 8] {
+            for _ in 0..20 {
+                detector.ingest(
+                    &space,
+                    &sample(1, base.offset(line * 64), AccessKind::Write, PhaseKind::Parallel),
+                );
+                detector.ingest(
+                    &space,
+                    &sample(
+                        2,
+                        base.offset(line * 64 + 4),
+                        AccessKind::Write,
+                        PhaseKind::Parallel,
+                    ),
+                );
+            }
+        }
+        let accum = detector.objects().next().unwrap();
+        assert_eq!(accum.lines().len(), 2);
+        assert!(accum.invalidations >= 70);
+    }
+}

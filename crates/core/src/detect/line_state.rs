@@ -1,0 +1,106 @@
+//! Per-cache-line detection state with the write-count pre-filter.
+//!
+//! Tracking full detail (two-entry table + word map) for every line would
+//! waste memory on write-once data, so Cheetah "first tracks the number of
+//! writes on a cache line, and only tracks detailed information for cache
+//! lines with more than two writes" (§2.3). [`LineState`] is the shadow
+//! slot implementing that staging.
+
+use crate::detect::table::TwoEntryTable;
+use crate::detect::words::WordMap;
+use cheetah_sim::Cycles;
+
+/// Detailed state for a susceptible line (allocated lazily).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineDetail {
+    /// The two-entry invalidation history table.
+    pub table: TwoEntryTable,
+    /// Word-granularity access profile.
+    pub words: WordMap,
+    /// Sampled invalidations detected on this line.
+    pub invalidations: u64,
+    /// Sampled reads recorded in detail.
+    pub reads: u64,
+    /// Sampled writes recorded in detail.
+    pub writes: u64,
+    /// Total sampled latency recorded in detail.
+    pub latency: Cycles,
+}
+
+impl LineDetail {
+    /// Fresh detail state for a line of `line_size` bytes.
+    pub fn new(line_size: u64) -> Self {
+        LineDetail {
+            table: TwoEntryTable::new(),
+            words: WordMap::new(line_size),
+            invalidations: 0,
+            reads: 0,
+            writes: 0,
+            latency: 0,
+        }
+    }
+}
+
+/// Shadow slot for one cache line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LineState {
+    /// Total sampled writes (the pre-filter counter; counted in every
+    /// phase).
+    pub writes: u32,
+    /// Detailed state, present once `writes` exceeds the threshold.
+    pub detail: Option<Box<LineDetail>>,
+}
+
+impl LineState {
+    /// Whether detailed tracking has started.
+    pub fn is_detailed(&self) -> bool {
+        self.detail.is_some()
+    }
+
+    /// Ensures detail exists if `writes` exceeded `threshold`; returns the
+    /// detail if tracking is active.
+    pub fn detail_if_hot(&mut self, threshold: u32, line_size: u64) -> Option<&mut LineDetail> {
+        if self.detail.is_none() && self.writes > threshold {
+            self.detail = Some(Box::new(LineDetail::new(line_size)));
+        }
+        self.detail.as_deref_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detail_allocated_only_above_threshold() {
+        let mut state = LineState::default();
+        state.writes = 2;
+        assert!(state.detail_if_hot(2, 64).is_none());
+        assert!(!state.is_detailed());
+        state.writes = 3;
+        assert!(state.detail_if_hot(2, 64).is_some());
+        assert!(state.is_detailed());
+    }
+
+    #[test]
+    fn detail_persists_once_allocated() {
+        let mut state = LineState::default();
+        state.writes = 10;
+        state.detail_if_hot(2, 64).unwrap().invalidations = 5;
+        assert_eq!(state.detail_if_hot(2, 64).unwrap().invalidations, 5);
+    }
+
+    #[test]
+    fn default_state_is_cold() {
+        let state = LineState::default();
+        assert_eq!(state.writes, 0);
+        assert!(!state.is_detailed());
+    }
+
+    #[test]
+    fn zero_threshold_allows_read_heavy_lines_after_first_write() {
+        let mut state = LineState::default();
+        state.writes = 1;
+        assert!(state.detail_if_hot(0, 64).is_some());
+    }
+}

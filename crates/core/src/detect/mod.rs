@@ -1,0 +1,13 @@
+//! False-sharing detection (§2 of the paper): two-entry invalidation
+//! tables, the write-count pre-filter, word-granularity tracking and the
+//! sample-driven [`Detector`].
+
+pub mod detector;
+pub mod line_state;
+pub mod table;
+pub mod words;
+
+pub use detector::{Detector, ObjectAccum, ObjectKey, ThreadOnObject};
+pub use line_state::{LineDetail, LineState};
+pub use table::{TableEntry, TwoEntryTable, WriteOutcome};
+pub use words::{WordMap, WordStats, WordThreadStats};

@@ -1,0 +1,249 @@
+//! The two-entry invalidation table (§2.3 of the paper).
+//!
+//! Zhao et al.'s ownership approach needs one bit per thread per cache line
+//! and stops scaling past 32 threads. Cheetah replaces it with a constant
+//! two-entry table per line, each entry holding a thread id and access
+//! type, and counts an invalidation whenever a write lands on a line that
+//! another thread has touched "recently" (under the paper's Assumptions
+//! 1–2). The update rules implemented here follow §2.3 verbatim:
+//!
+//! * **Read** — recorded only if the table is not full and the existing
+//!   entry (if any) belongs to a different thread; otherwise ignored.
+//! * **Write** — if the table is full, it is an invalidation (at least one
+//!   entry is foreign). If the table holds exactly one entry from the same
+//!   thread, the write is skipped. In all other non-empty cases it is an
+//!   invalidation. On an invalidation the table is flushed and the write is
+//!   recorded, keeping the table non-empty. A write into an empty table is
+//!   recorded without an invalidation.
+
+use cheetah_sim::{AccessKind, ThreadId};
+
+/// One table entry: who touched the line and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Thread that performed the access.
+    pub thread: ThreadId,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// Outcome of feeding a write into the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write invalidated copies held by other threads; the table was
+    /// flushed and now holds only this write.
+    Invalidation,
+    /// The write was recorded into an empty table.
+    Recorded,
+    /// The write required no table change (sole entry, same thread).
+    Skipped,
+}
+
+/// The constant-space per-line history table.
+///
+/// ```
+/// use cheetah_core::detect::{TwoEntryTable, WriteOutcome};
+/// use cheetah_sim::ThreadId;
+///
+/// let mut table = TwoEntryTable::new();
+/// table.record_read(ThreadId(1));
+/// assert_eq!(table.record_write(ThreadId(2)), WriteOutcome::Invalidation);
+/// // After the invalidation the table holds only thread 2's write.
+/// assert_eq!(table.record_write(ThreadId(2)), WriteOutcome::Skipped);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TwoEntryTable {
+    entries: [Option<TableEntry>; 2],
+}
+
+impl TwoEntryTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        TwoEntryTable::default()
+    }
+
+    /// Number of occupied entries (0..=2).
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries[0].is_none() && self.entries[1].is_none()
+    }
+
+    /// Whether both entries are occupied.
+    pub fn is_full(&self) -> bool {
+        self.entries[0].is_some() && self.entries[1].is_some()
+    }
+
+    /// The occupied entries.
+    pub fn entries(&self) -> impl Iterator<Item = TableEntry> + '_ {
+        self.entries.iter().flatten().copied()
+    }
+
+    /// Whether any entry belongs to `thread`.
+    pub fn contains(&self, thread: ThreadId) -> bool {
+        self.entries().any(|e| e.thread == thread)
+    }
+
+    /// Feeds a read access; returns `true` if it was recorded.
+    pub fn record_read(&mut self, thread: ThreadId) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        // "the existing entry is coming from a different thread": with an
+        // empty table this is vacuously satisfied and the read seeds the
+        // table.
+        if self.contains(thread) {
+            return false;
+        }
+        let slot = if self.entries[0].is_none() { 0 } else { 1 };
+        self.entries[slot] = Some(TableEntry {
+            thread,
+            kind: AccessKind::Read,
+        });
+        true
+    }
+
+    /// Feeds a write access, applying the §2.3 rules.
+    pub fn record_write(&mut self, thread: ThreadId) -> WriteOutcome {
+        let outcome = if self.is_full() {
+            // At most one entry can be ours, so at least one is foreign.
+            WriteOutcome::Invalidation
+        } else if self.is_empty() {
+            WriteOutcome::Recorded
+        } else {
+            // Exactly one entry.
+            let existing = self.entries().next().expect("non-empty");
+            if existing.thread == thread {
+                WriteOutcome::Skipped
+            } else {
+                WriteOutcome::Invalidation
+            }
+        };
+        match outcome {
+            WriteOutcome::Invalidation | WriteOutcome::Recorded => {
+                // Flush and keep the current write so the table is never
+                // empty after a write.
+                self.entries = [
+                    Some(TableEntry {
+                        thread,
+                        kind: AccessKind::Write,
+                    }),
+                    None,
+                ];
+            }
+            WriteOutcome::Skipped => {}
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+    const T3: ThreadId = ThreadId(3);
+
+    #[test]
+    fn read_seeds_empty_table() {
+        let mut table = TwoEntryTable::new();
+        assert!(table.record_read(T1));
+        assert_eq!(table.len(), 1);
+        assert!(table.contains(T1));
+    }
+
+    #[test]
+    fn duplicate_read_not_recorded() {
+        let mut table = TwoEntryTable::new();
+        assert!(table.record_read(T1));
+        assert!(!table.record_read(T1));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn second_thread_read_fills_table() {
+        let mut table = TwoEntryTable::new();
+        table.record_read(T1);
+        assert!(table.record_read(T2));
+        assert!(table.is_full());
+        // Third thread's read is dropped: table full.
+        assert!(!table.record_read(T3));
+    }
+
+    #[test]
+    fn write_to_empty_table_recorded_without_invalidation() {
+        let mut table = TwoEntryTable::new();
+        assert_eq!(table.record_write(T1), WriteOutcome::Recorded);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn same_thread_write_skipped() {
+        let mut table = TwoEntryTable::new();
+        table.record_write(T1);
+        assert_eq!(table.record_write(T1), WriteOutcome::Skipped);
+        // Also when the sole entry is a read by the same thread.
+        let mut table = TwoEntryTable::new();
+        table.record_read(T1);
+        assert_eq!(table.record_write(T1), WriteOutcome::Skipped);
+    }
+
+    #[test]
+    fn foreign_write_invalidates_single_entry() {
+        let mut table = TwoEntryTable::new();
+        table.record_read(T1);
+        assert_eq!(table.record_write(T2), WriteOutcome::Invalidation);
+        // Flushed: only T2's write remains.
+        assert_eq!(table.len(), 1);
+        assert!(table.contains(T2));
+        assert!(!table.contains(T1));
+    }
+
+    #[test]
+    fn write_to_full_table_always_invalidates() {
+        let mut table = TwoEntryTable::new();
+        table.record_read(T1);
+        table.record_read(T2);
+        // Even the writer being one of the sharers invalidates: the other
+        // entry is foreign.
+        assert_eq!(table.record_write(T1), WriteOutcome::Invalidation);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn table_never_empty_after_any_write() {
+        let mut table = TwoEntryTable::new();
+        let threads = [T1, T2, T3, T1, T1, T2];
+        for &t in &threads {
+            table.record_write(t);
+            assert!(!table.is_empty());
+        }
+    }
+
+    #[test]
+    fn ping_pong_counts_every_foreign_write() {
+        let mut table = TwoEntryTable::new();
+        table.record_write(T1);
+        let mut invalidations = 0;
+        for i in 0..10 {
+            let t = if i % 2 == 0 { T2 } else { T1 };
+            if table.record_write(t) == WriteOutcome::Invalidation {
+                invalidations += 1;
+            }
+        }
+        assert_eq!(invalidations, 10);
+    }
+
+    #[test]
+    fn single_thread_traffic_never_invalidates() {
+        let mut table = TwoEntryTable::new();
+        for _ in 0..10 {
+            table.record_read(T1);
+            assert_ne!(table.record_write(T1), WriteOutcome::Invalidation);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Word-granularity access tracking (§2.4 of the paper).
+//!
+//! To tell false sharing from true sharing, Cheetah records, for each
+//! 4-byte word of a susceptible cache line, how many reads and writes each
+//! thread issued. A word touched by more than one thread (with at least one
+//! write) is *truly shared*; a line with many invalidations but no truly
+//! shared words is *falsely* shared. The same data doubles as the padding
+//! guide shown to programmers.
+
+use cheetah_sim::{AccessKind, Cycles, ThreadId, WORD_BYTES};
+
+/// Per-thread counters on one word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordThreadStats {
+    /// The accessing thread.
+    pub thread: ThreadId,
+    /// Parallel phase the thread accessed the word in. Sharing only counts
+    /// within one phase: threads of different fork-join phases reusing a
+    /// word are temporally separated by a join and cannot contend.
+    pub phase: u32,
+    /// Sampled reads by this thread.
+    pub reads: u32,
+    /// Sampled writes by this thread.
+    pub writes: u32,
+    /// Total sampled latency by this thread on this word.
+    pub cycles: Cycles,
+}
+
+/// Access profile of one 4-byte word.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WordStats {
+    threads: Vec<WordThreadStats>,
+}
+
+impl WordStats {
+    /// Records one sampled access made in parallel phase `phase`.
+    pub fn record(&mut self, thread: ThreadId, phase: u32, kind: AccessKind, latency: Cycles) {
+        let entry = match self.threads.iter_mut().find(|t| t.thread == thread) {
+            Some(entry) => entry,
+            None => {
+                self.threads.push(WordThreadStats {
+                    thread,
+                    phase,
+                    reads: 0,
+                    writes: 0,
+                    cycles: 0,
+                });
+                self.threads.last_mut().expect("just pushed")
+            }
+        };
+        match kind {
+            AccessKind::Read => entry.reads += 1,
+            AccessKind::Write => entry.writes += 1,
+        }
+        entry.cycles += latency;
+    }
+
+    /// Per-thread counters, in first-touch order.
+    pub fn threads(&self) -> &[WordThreadStats] {
+        &self.threads
+    }
+
+    /// Whether any access was recorded.
+    pub fn is_touched(&self) -> bool {
+        !self.threads.is_empty()
+    }
+
+    /// Total sampled accesses on this word.
+    pub fn accesses(&self) -> u64 {
+        self.threads
+            .iter()
+            .map(|t| u64::from(t.reads) + u64::from(t.writes))
+            .sum()
+    }
+
+    /// Total sampled writes on this word.
+    pub fn writes(&self) -> u64 {
+        self.threads.iter().map(|t| u64::from(t.writes)).sum()
+    }
+
+    /// True sharing test: more than one thread touched the word *within
+    /// the same parallel phase* and at least one of them wrote it.
+    pub fn is_truly_shared(&self) -> bool {
+        self.threads.iter().enumerate().any(|(i, a)| {
+            self.threads.iter().skip(i + 1).any(|b| {
+                b.thread != a.thread && b.phase == a.phase && (a.writes > 0 || b.writes > 0)
+            })
+        })
+    }
+}
+
+/// Word-level profile of one cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordMap {
+    words: Vec<WordStats>,
+}
+
+impl WordMap {
+    /// A map for a line of `line_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a multiple of the 4-byte word size.
+    pub fn new(line_size: u64) -> Self {
+        assert_eq!(line_size % WORD_BYTES, 0, "line size must be word-aligned");
+        WordMap {
+            words: vec![WordStats::default(); (line_size / WORD_BYTES) as usize],
+        }
+    }
+
+    /// Records an access to the word at `word_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index` is out of range for the line.
+    pub fn record(
+        &mut self,
+        word_index: usize,
+        thread: ThreadId,
+        phase: u32,
+        kind: AccessKind,
+        latency: Cycles,
+    ) {
+        self.words[word_index].record(thread, phase, kind, latency);
+    }
+
+    /// Stats of each word, in line order.
+    pub fn words(&self) -> &[WordStats] {
+        &self.words
+    }
+
+    /// Indices of truly shared words.
+    pub fn truly_shared_words(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_truly_shared())
+            .map(|(i, _)| i)
+    }
+
+    /// Number of distinct threads that touched any word of the line.
+    pub fn distinct_threads(&self) -> usize {
+        let mut seen: Vec<ThreadId> = Vec::new();
+        for word in &self.words {
+            for t in word.threads() {
+                if !seen.contains(&t.thread) {
+                    seen.push(t.thread);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Sampled accesses over the whole line.
+    pub fn total_accesses(&self) -> u64 {
+        self.words.iter().map(WordStats::accesses).sum()
+    }
+
+    /// Sampled accesses that landed on truly shared words.
+    pub fn truly_shared_accesses(&self) -> u64 {
+        self.words
+            .iter()
+            .filter(|w| w.is_truly_shared())
+            .map(WordStats::accesses)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    #[test]
+    fn word_records_per_thread() {
+        let mut word = WordStats::default();
+        word.record(T1, 1, AccessKind::Read, 10);
+        word.record(T1, 1, AccessKind::Write, 150);
+        word.record(T2, 1, AccessKind::Read, 90);
+        assert_eq!(word.threads().len(), 2);
+        assert_eq!(word.accesses(), 3);
+        assert_eq!(word.writes(), 1);
+        let t1 = &word.threads()[0];
+        assert_eq!((t1.reads, t1.writes, t1.cycles), (1, 1, 160));
+    }
+
+    #[test]
+    fn true_sharing_requires_multiple_threads_and_a_write() {
+        let mut read_only = WordStats::default();
+        read_only.record(T1, 1, AccessKind::Read, 1);
+        read_only.record(T2, 1, AccessKind::Read, 1);
+        assert!(!read_only.is_truly_shared(), "read-only sharing is benign");
+
+        let mut single_writer = WordStats::default();
+        single_writer.record(T1, 1, AccessKind::Write, 1);
+        single_writer.record(T1, 1, AccessKind::Write, 1);
+        assert!(!single_writer.is_truly_shared(), "single thread");
+
+        let mut shared = WordStats::default();
+        shared.record(T1, 1, AccessKind::Write, 1);
+        shared.record(T2, 1, AccessKind::Read, 1);
+        assert!(shared.is_truly_shared());
+    }
+
+    #[test]
+    fn word_map_sizes_to_line() {
+        let map = WordMap::new(64);
+        assert_eq!(map.words().len(), 16);
+        let map = WordMap::new(32);
+        assert_eq!(map.words().len(), 8);
+    }
+
+    #[test]
+    fn false_sharing_pattern_has_no_truly_shared_words() {
+        // Threads write disjoint words of the same line: classic FS.
+        let mut map = WordMap::new(64);
+        for i in 0..100 {
+            map.record(0, T1, 1, AccessKind::Write, 150);
+            map.record(4, T2, 1, AccessKind::Write, 150);
+            let _ = i;
+        }
+        assert_eq!(map.truly_shared_words().count(), 0);
+        assert_eq!(map.distinct_threads(), 2);
+        assert_eq!(map.truly_shared_accesses(), 0);
+        assert_eq!(map.total_accesses(), 200);
+    }
+
+    #[test]
+    fn true_sharing_pattern_flagged() {
+        let mut map = WordMap::new(64);
+        map.record(3, T1, 1, AccessKind::Write, 150);
+        map.record(3, T2, 1, AccessKind::Read, 90);
+        let shared: Vec<_> = map.truly_shared_words().collect();
+        assert_eq!(shared, vec![3]);
+        assert_eq!(map.truly_shared_accesses(), 2);
+    }
+
+    #[test]
+    fn cross_phase_reuse_is_not_true_sharing() {
+        // Two threads from different fork-join phases writing the same
+        // word are separated by a join: no concurrent sharing.
+        let mut word = WordStats::default();
+        word.record(T1, 1, AccessKind::Write, 150);
+        word.record(T2, 3, AccessKind::Write, 150);
+        assert!(!word.is_truly_shared());
+        // Same phase: concurrent, truly shared.
+        let mut word = WordStats::default();
+        word.record(T1, 1, AccessKind::Write, 150);
+        word.record(T2, 1, AccessKind::Read, 90);
+        assert!(word.is_truly_shared());
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_line_size_panics() {
+        let _ = WordMap::new(62);
+    }
+}

@@ -1,0 +1,429 @@
+//! The complete Cheetah profiler: sampling + tracking + detection +
+//! assessment, composed as one [`ExecObserver`].
+//!
+//! This is the whole of the paper's Fig. 2 wired together: the PMU
+//! ("data collection") samples accesses, the driver filter and shadow map
+//! route them into "FS detection", thread/phase tracking feeds
+//! "FS assessment", and [`CheetahProfiler::finish`] produces the
+//! "FS report". Deploying it on a simulated program is two lines:
+//! construct, pass to [`cheetah_sim::Machine::run`] — mirroring the paper's
+//! claim that deployment needs fewer than five lines of change.
+
+use crate::assess::{assess, AssessContext};
+use crate::classify::collect_instances;
+use crate::config::CheetahConfig;
+use crate::detect::detector::Detector;
+use crate::report::AssessedInstance;
+use cheetah_heap::AddressSpace;
+use cheetah_pmu::SamplingEngine;
+use cheetah_runtime::{PhaseInterval, PhaseTracker, ThreadRegistry, ThreadStats};
+use cheetah_sim::{AccessRecord, Cycles, ExecObserver, ThreadId};
+
+/// The Cheetah profiler, attached to one program run.
+///
+/// ```
+/// use cheetah_core::{CheetahConfig, CheetahProfiler};
+/// use cheetah_heap::{AddressSpace, CallStack};
+/// use cheetah_sim::{Machine, MachineConfig, Op, LoopStream, ProgramBuilder,
+///                   ThreadSpec, ThreadId};
+///
+/// // An application whose two threads write adjacent words of one heap
+/// // object 20K times each: classic false sharing.
+/// let mut space = AddressSpace::new();
+/// let obj = space.heap_mut().alloc(ThreadId(0), 64, CallStack::single("app.c", 7))?;
+/// let program = ProgramBuilder::new("demo")
+///     .parallel((0..2u64).map(|t| ThreadSpec::new(
+///         format!("worker-{t}"),
+///         LoopStream::new(vec![Op::Write(obj.offset(t * 4)), Op::Work(3)], 200_000),
+///     )).collect())
+///     .build();
+///
+/// let machine = Machine::new(MachineConfig::with_cores(8));
+/// let mut profiler = CheetahProfiler::new(CheetahConfig::with_period(512), &space);
+/// machine.run(program, &mut profiler);
+/// let profile = profiler.finish();
+/// let fs = profile.false_sharing();
+/// assert_eq!(fs.len(), 1);
+/// assert!(fs[0].improvement() > 1.5);
+/// # Ok::<(), cheetah_heap::HeapError>(())
+/// ```
+pub struct CheetahProfiler<'a> {
+    space: &'a AddressSpace,
+    engine: SamplingEngine,
+    phases: PhaseTracker,
+    threads: ThreadRegistry,
+    detector: Detector,
+    end_time: Cycles,
+}
+
+impl<'a> CheetahProfiler<'a> {
+    /// Creates a profiler resolving addresses against `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (zero sampling period, bad line size).
+    pub fn new(config: CheetahConfig, space: &'a AddressSpace) -> Self {
+        CheetahProfiler {
+            space,
+            engine: SamplingEngine::new(config.sampler),
+            phases: PhaseTracker::new(),
+            threads: ThreadRegistry::new(),
+            detector: Detector::new(config.detector),
+            end_time: 0,
+        }
+    }
+
+    /// Finalises the profile: closes the phase timeline, classifies every
+    /// susceptible object, and assesses each instance's fix impact.
+    pub fn finish(mut self) -> Profile {
+        let phase_list: Vec<PhaseInterval> = self.phases.finish(self.end_time).to_vec();
+        let aver_cycles_serial = self.detector.aver_cycles_serial();
+        let instances = collect_instances(&self.detector, self.space);
+        let ctx = AssessContext {
+            phases: &phase_list,
+            threads: &self.threads,
+            aver_cycles_nofs: aver_cycles_serial,
+            app_runtime: self.end_time,
+        };
+        let mut assessed: Vec<AssessedInstance> = instances
+            .into_iter()
+            .map(|instance| {
+                let assessment = assess(&instance, &ctx);
+                AssessedInstance {
+                    instance,
+                    assessment,
+                }
+            })
+            .collect();
+        assessed.sort_by(|a, b| {
+            b.assessment
+                .improvement
+                .total_cmp(&a.assessment.improvement)
+        });
+        Profile {
+            total_cycles: self.end_time,
+            aver_cycles_serial,
+            total_samples: self.engine.total_samples(),
+            filtered_samples: self.detector.filtered_samples(),
+            fork_join: self.phases.is_fork_join(),
+            phases: phase_list,
+            threads: self.threads.iter().cloned().collect(),
+            instances: assessed,
+        }
+    }
+
+    /// The embedded sampling engine (for inspecting sample counts).
+    pub fn engine(&self) -> &SamplingEngine {
+        &self.engine
+    }
+
+    /// The embedded detector (line/object state).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+}
+
+impl std::fmt::Debug for CheetahProfiler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheetahProfiler")
+            .field("samples", &self.engine.total_samples())
+            .field("end_time", &self.end_time)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecObserver for CheetahProfiler<'_> {
+    fn on_thread_start(&mut self, thread: ThreadId, name: &str, now: Cycles) -> Cycles {
+        if !thread.is_main() {
+            self.phases.on_thread_created(thread, now);
+        }
+        self.threads
+            .on_start(thread, name, now, self.phases.current_index());
+        self.engine.begin_thread(thread)
+    }
+
+    fn on_thread_exit(&mut self, thread: ThreadId, now: Cycles) {
+        if thread.is_main() {
+            self.end_time = now;
+        } else {
+            self.phases.on_thread_exited(thread, now);
+        }
+        self.threads.on_exit(thread, now);
+    }
+
+    fn on_access(&mut self, record: &AccessRecord) -> Cycles {
+        let (sample, cost) = self.engine.observe(record);
+        if let Some(sample) = sample {
+            self.threads.record_sample(sample.thread, sample.latency);
+            self.detector.ingest(self.space, &sample);
+        }
+        cost
+    }
+}
+
+/// The completed profile: Cheetah's output for one run.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Application runtime in cycles.
+    pub total_cycles: Cycles,
+    /// `AverCycles_serial`, the post-fix latency estimate used by the
+    /// assessment.
+    pub aver_cycles_serial: f64,
+    /// Samples collected.
+    pub total_samples: u64,
+    /// Samples outside monitored segments.
+    pub filtered_samples: u64,
+    /// Whether the run matched the fork-join model (required for the
+    /// application-level prediction to be meaningful, §3.3).
+    pub fork_join: bool,
+    /// Reconstructed phase timeline.
+    pub phases: Vec<PhaseInterval>,
+    /// Per-thread runtimes and sampled totals.
+    pub threads: Vec<ThreadStats>,
+    /// All reported instances, sorted by predicted improvement descending.
+    pub instances: Vec<AssessedInstance>,
+}
+
+impl Profile {
+    /// The false-sharing instances (padding-fixable), best first.
+    pub fn false_sharing(&self) -> Vec<&AssessedInstance> {
+        self.instances
+            .iter()
+            .filter(|i| i.is_false_sharing())
+            .collect()
+    }
+
+    /// False-sharing instances whose predicted improvement exceeds
+    /// `min_improvement` — the ones worth a programmer's time.
+    pub fn significant_false_sharing(&self, min_improvement: f64) -> Vec<&AssessedInstance> {
+        self.instances
+            .iter()
+            .filter(|i| i.is_false_sharing() && i.improvement() >= min_improvement)
+            .collect()
+    }
+
+    /// Renders the full report (every instance in Fig. 5 format).
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Cheetah profile: {} cycles, {} samples ({} filtered), {} phases, {} threads{}",
+            self.total_cycles,
+            self.total_samples,
+            self.filtered_samples,
+            self.phases.len(),
+            self.threads.len(),
+            if self.fork_join {
+                ""
+            } else {
+                " [not fork-join: application-level prediction unreliable]"
+            }
+        );
+        if self.instances.is_empty() {
+            let _ = writeln!(out, "No significant sharing instances detected.");
+        }
+        for assessed in &self.instances {
+            let _ = writeln!(out);
+            let _ = write!(out, "{assessed}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::SharingKind;
+    use cheetah_heap::CallStack;
+    use cheetah_sim::{
+        Addr, LoopStream, Machine, MachineConfig, Op, OpsStream, ProgramBuilder, ThreadSpec,
+    };
+
+    /// Two threads hammering adjacent words of one 64-byte object.
+    fn fs_setup(iterations: u64) -> (AddressSpace, cheetah_sim::Program) {
+        let mut space = AddressSpace::new();
+        let obj = space
+            .heap_mut()
+            .alloc(ThreadId(0), 64, CallStack::single("fs_app.c", 21))
+            .unwrap();
+        let program = ProgramBuilder::new("fs")
+            .serial(ThreadSpec::new(
+                "init",
+                OpsStream::new(vec![Op::Write(obj), Op::Work(500)]),
+            ))
+            .parallel(
+                (0..2u64)
+                    .map(|t| {
+                        ThreadSpec::new(
+                            format!("w{t}"),
+                            LoopStream::new(
+                                vec![
+                                    Op::Read(obj.offset(t * 4)),
+                                    Op::Write(obj.offset(t * 4)),
+                                    Op::Work(2),
+                                ],
+                                iterations,
+                            ),
+                        )
+                    })
+                    .collect(),
+            )
+            .build();
+        (space, program)
+    }
+
+    #[test]
+    fn end_to_end_detects_false_sharing_with_callsite() {
+        let (space, program) = fs_setup(100_000);
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let mut profiler = CheetahProfiler::new(CheetahConfig::with_period(512), &space);
+        machine.run(program, &mut profiler);
+        let profile = profiler.finish();
+
+        assert!(profile.fork_join);
+        assert!(profile.total_samples > 100);
+        let fs = profile.false_sharing();
+        assert_eq!(fs.len(), 1);
+        let inst = &fs[0].instance;
+        assert_eq!(inst.kind, SharingKind::FalseSharing);
+        assert!(inst.invalidations > 50);
+        let report = profile.render_report();
+        assert!(report.contains("fs_app.c: 21"));
+        assert!(report.contains("Detecting false sharing"));
+    }
+
+    #[test]
+    fn predicted_improvement_is_substantial_for_heavy_fs() {
+        let (space, program) = fs_setup(200_000);
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let mut profiler = CheetahProfiler::new(CheetahConfig::with_period(512), &space);
+        machine.run(program, &mut profiler);
+        let profile = profiler.finish();
+        let fs = profile.false_sharing();
+        // Nearly every access ping-pongs at ~150 cycles vs ~a few cycles
+        // fixed: improvement must be far above 1.
+        assert!(
+            fs[0].improvement() > 2.0,
+            "improvement {}",
+            fs[0].improvement()
+        );
+        assert!(!profile.significant_false_sharing(1.5).is_empty());
+    }
+
+    #[test]
+    fn clean_program_reports_nothing() {
+        let mut space = AddressSpace::new();
+        let a = space
+            .heap_mut()
+            .alloc(ThreadId(0), 4096, CallStack::unknown())
+            .unwrap();
+        let program = ProgramBuilder::new("clean")
+            .parallel(
+                (0..4u64)
+                    .map(|t| {
+                        ThreadSpec::new(
+                            format!("w{t}"),
+                            LoopStream::new(
+                                vec![Op::Write(a.offset(t * 1024)), Op::Work(3)],
+                                50_000,
+                            ),
+                        )
+                    })
+                    .collect(),
+            )
+            .build();
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let mut profiler = CheetahProfiler::new(CheetahConfig::with_period(512), &space);
+        machine.run(program, &mut profiler);
+        let profile = profiler.finish();
+        assert!(profile.instances.is_empty());
+        assert!(profile.render_report().contains("No significant sharing"));
+    }
+
+    #[test]
+    fn true_sharing_not_reported_as_false_sharing() {
+        let mut space = AddressSpace::new();
+        let counter = space
+            .heap_mut()
+            .alloc(ThreadId(0), 64, CallStack::single("ts.c", 9))
+            .unwrap();
+        let program = ProgramBuilder::new("ts")
+            .parallel(
+                (0..2u64)
+                    .map(|t| {
+                        let _ = t;
+                        ThreadSpec::new(
+                            "w",
+                            LoopStream::new(
+                                vec![Op::Read(counter), Op::Write(counter), Op::Work(2)],
+                                100_000,
+                            ),
+                        )
+                    })
+                    .collect(),
+            )
+            .build();
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let mut profiler = CheetahProfiler::new(CheetahConfig::with_period(512), &space);
+        machine.run(program, &mut profiler);
+        let profile = profiler.finish();
+        assert!(profile.false_sharing().is_empty());
+        // The instance exists but is classified as true sharing.
+        assert_eq!(profile.instances.len(), 1);
+        assert_eq!(profile.instances[0].instance.kind, SharingKind::TrueSharing);
+    }
+
+    #[test]
+    fn serial_init_does_not_create_instances() {
+        // Main writes the object heavily in the serial phase; children only
+        // read disjoint lines afterwards. Nothing to report.
+        let mut space = AddressSpace::new();
+        let a = space
+            .heap_mut()
+            .alloc(ThreadId(0), 4096, CallStack::unknown())
+            .unwrap();
+        let mut init = Vec::new();
+        for i in 0..4096 / 8 {
+            init.push(Op::Write(a.offset(i * 8)));
+        }
+        let program = ProgramBuilder::new("init-heavy")
+            .serial(ThreadSpec::new("init", LoopStream::new(init, 100)))
+            .parallel(
+                (0..4u64)
+                    .map(|t| {
+                        ThreadSpec::new(
+                            format!("r{t}"),
+                            LoopStream::new(vec![Op::Read(a.offset(t * 1024)), Op::Work(1)], 50_000),
+                        )
+                    })
+                    .collect(),
+            )
+            .build();
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let mut profiler = CheetahProfiler::new(CheetahConfig::with_period(256), &space);
+        machine.run(program, &mut profiler);
+        let profile = profiler.finish();
+        assert!(
+            profile.instances.is_empty(),
+            "init writes must not look like sharing: {:?}",
+            profile.instances.len()
+        );
+        // Serial samples were still useful for the latency baseline.
+        assert!(profile.aver_cycles_serial > 0.0);
+    }
+
+    #[test]
+    fn phase_timeline_matches_program_structure() {
+        let (space, program) = fs_setup(50_000);
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let mut profiler = CheetahProfiler::new(CheetahConfig::with_period(1024), &space);
+        let report = machine.run(program, &mut profiler);
+        let profile = profiler.finish();
+        assert_eq!(profile.total_cycles, report.total_cycles);
+        // serial (init), parallel (workers); possibly a trailing serial of
+        // zero length that gets dropped.
+        assert!(profile.phases.len() >= 2);
+        assert_eq!(profile.phases[1].threads.len(), 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! The Hoard-style heap model.
+//!
+//! Cheetah builds its own allocator (on Heap Layers) so that (a) the heap
+//! occupies one pre-reserved address range, enabling O(1) shadow-memory
+//! lookup, and (b) per-thread arenas guarantee that two threads never share
+//! a cache line through the allocator itself, removing allocator-induced
+//! false sharing from the picture. [`HeapModel`] reproduces both properties
+//! over the simulated address space:
+//!
+//! * all allocations come from [`cheetah_sim::layout::HEAP_BASE`]..[`HEAP_END`],
+//! * objects are rounded to power-of-two size classes,
+//! * each `(thread, size class)` pair carves from its own superblocks, so a
+//!   cache line is only ever handed to one thread,
+//! * every allocation records its requested size and call stack.
+//!
+//! [`HEAP_END`]: cheetah_sim::layout::HEAP_END
+
+use crate::callsite::CallStack;
+use crate::object::{ObjectId, ObjectInfo};
+use cheetah_sim::layout::{HEAP_BASE, HEAP_END};
+use cheetah_sim::util::FastMap;
+use cheetah_sim::{Addr, ThreadId};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Smallest size class in bytes.
+pub const MIN_CLASS: u64 = 16;
+/// Superblock granularity for per-thread arenas.
+pub const SUPERBLOCK: u64 = 64 * 1024;
+/// Allocations of at least this size bypass superblocks and get dedicated,
+/// line-aligned regions.
+pub const LARGE_THRESHOLD: u64 = SUPERBLOCK / 2;
+
+/// Errors returned by [`HeapModel::alloc`] and [`HeapModel::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// Zero-sized allocation requested.
+    ZeroSize,
+    /// The modelled heap segment is exhausted.
+    OutOfMemory,
+    /// `free` of an address that is not the start of a live object.
+    InvalidFree(Addr),
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::ZeroSize => f.write_str("zero-sized allocation"),
+            HeapError::OutOfMemory => f.write_str("modelled heap exhausted"),
+            HeapError::InvalidFree(addr) => {
+                write!(f, "free of {addr} which is not a live object start")
+            }
+        }
+    }
+}
+
+impl Error for HeapError {}
+
+/// Rounds a request up to its size class.
+fn size_class(size: u64) -> u64 {
+    size.max(MIN_CLASS).next_power_of_two()
+}
+
+#[derive(Debug, Default)]
+struct ClassArena {
+    /// Next free byte in the current superblock.
+    cursor: u64,
+    /// One past the end of the current superblock (0 = none).
+    limit: u64,
+    /// Recycled blocks of this class.
+    free_list: Vec<u64>,
+}
+
+/// The Hoard-style per-thread heap model.
+///
+/// ```
+/// use cheetah_heap::{CallStack, HeapModel};
+/// use cheetah_sim::ThreadId;
+///
+/// let mut heap = HeapModel::new();
+/// let a = heap.alloc(ThreadId(1), 4000, CallStack::single("app.c", 139))?;
+/// let b = heap.alloc(ThreadId(2), 4000, CallStack::single("app.c", 140))?;
+/// // Different threads never share a cache line through the allocator.
+/// assert_ne!(a.line(64), b.line(64));
+/// let object = heap.object_at(a).unwrap();
+/// assert_eq!(object.size, 4000);
+/// # Ok::<(), cheetah_heap::HeapError>(())
+/// ```
+#[derive(Debug)]
+pub struct HeapModel {
+    /// Global bump pointer for new superblocks / large regions.
+    wilderness: u64,
+    arenas: FastMap<(ThreadId, u64), ClassArena>,
+    objects: Vec<ObjectInfo>,
+    /// Live objects ordered by start address (range queries for lookup).
+    live_by_addr: BTreeMap<u64, ObjectId>,
+    /// Most recent object (live or dead) by start address, for attributing
+    /// samples that race with frees.
+    last_by_addr: BTreeMap<u64, ObjectId>,
+    live_bytes: u64,
+    peak_live_bytes: u64,
+}
+
+impl Default for HeapModel {
+    fn default() -> Self {
+        HeapModel::new()
+    }
+}
+
+impl HeapModel {
+    /// An empty heap model over the conventional heap segment.
+    pub fn new() -> Self {
+        HeapModel {
+            wilderness: HEAP_BASE.0,
+            arenas: FastMap::default(),
+            objects: Vec::new(),
+            live_by_addr: BTreeMap::new(),
+            last_by_addr: BTreeMap::new(),
+            live_bytes: 0,
+            peak_live_bytes: 0,
+        }
+    }
+
+    /// Allocates `size` bytes on behalf of `thread`, recording `callsite`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::ZeroSize`] for `size == 0`;
+    /// [`HeapError::OutOfMemory`] if the modelled 1 GiB segment is full.
+    pub fn alloc(
+        &mut self,
+        thread: ThreadId,
+        size: u64,
+        callsite: CallStack,
+    ) -> Result<Addr, HeapError> {
+        if size == 0 {
+            return Err(HeapError::ZeroSize);
+        }
+        let class = size_class(size);
+        let start = if class >= LARGE_THRESHOLD {
+            self.bump(class)?
+        } else {
+            let arena = self.arenas.entry((thread, class)).or_default();
+            if let Some(addr) = arena.free_list.pop() {
+                addr
+            } else {
+                if arena.cursor + class > arena.limit {
+                    // Need a fresh superblock for this (thread, class).
+                    let block = {
+                        // Inline bump to appease the borrow checker.
+                        let aligned = align_up(self.wilderness, SUPERBLOCK);
+                        if aligned + SUPERBLOCK > HEAP_END.0 {
+                            return Err(HeapError::OutOfMemory);
+                        }
+                        self.wilderness = aligned + SUPERBLOCK;
+                        aligned
+                    };
+                    let arena = self.arenas.get_mut(&(thread, class)).expect("just inserted");
+                    arena.cursor = block;
+                    arena.limit = block + SUPERBLOCK;
+                }
+                let arena = self.arenas.get_mut(&(thread, class)).expect("just inserted");
+                let addr = arena.cursor;
+                arena.cursor += class;
+                addr
+            }
+        };
+        let id = ObjectId(self.objects.len() as u64);
+        self.objects.push(ObjectInfo {
+            id,
+            start: Addr(start),
+            size,
+            class_size: class,
+            owner: thread,
+            callsite,
+            live: true,
+        });
+        self.live_by_addr.insert(start, id);
+        self.last_by_addr.insert(start, id);
+        self.live_bytes += class;
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+        Ok(Addr(start))
+    }
+
+    fn bump(&mut self, bytes: u64) -> Result<u64, HeapError> {
+        let aligned = align_up(self.wilderness, SUPERBLOCK.min(bytes.next_power_of_two()));
+        if aligned + bytes > HEAP_END.0 {
+            return Err(HeapError::OutOfMemory);
+        }
+        self.wilderness = aligned + bytes;
+        Ok(aligned)
+    }
+
+    /// Frees the object starting at `addr`, recycling its block to the
+    /// owning thread's arena.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::InvalidFree`] if `addr` is not the start of a live
+    /// object.
+    pub fn free(&mut self, addr: Addr) -> Result<(), HeapError> {
+        let id = self
+            .live_by_addr
+            .remove(&addr.0)
+            .ok_or(HeapError::InvalidFree(addr))?;
+        let (owner, class) = {
+            let object = &mut self.objects[id.0 as usize];
+            object.live = false;
+            (object.owner, object.class_size)
+        };
+        self.live_bytes -= class;
+        if class < LARGE_THRESHOLD {
+            self.arenas
+                .entry((owner, class))
+                .or_default()
+                .free_list
+                .push(addr.0);
+        }
+        Ok(())
+    }
+
+    /// The object whose reserved extent contains `addr`, preferring live
+    /// objects and falling back to the most recent dead one (samples can
+    /// arrive just after a free).
+    pub fn object_at(&self, addr: Addr) -> Option<&ObjectInfo> {
+        self.lookup(&self.live_by_addr, addr)
+            .or_else(|| self.lookup(&self.last_by_addr, addr))
+    }
+
+    fn lookup(&self, map: &BTreeMap<u64, ObjectId>, addr: Addr) -> Option<&ObjectInfo> {
+        let (_, id) = map.range(..=addr.0).next_back()?;
+        let object = &self.objects[id.0 as usize];
+        object.contains(addr).then_some(object)
+    }
+
+    /// Object metadata by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this heap.
+    pub fn object(&self, id: ObjectId) -> &ObjectInfo {
+        &self.objects[id.0 as usize]
+    }
+
+    /// All allocations ever made, in allocation order.
+    pub fn objects(&self) -> &[ObjectInfo] {
+        &self.objects
+    }
+
+    /// Currently reserved bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of reserved bytes.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes
+    }
+}
+
+fn align_up(value: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (value + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> CallStack {
+        CallStack::single("test.c", 1)
+    }
+
+    #[test]
+    fn size_classes_are_powers_of_two() {
+        assert_eq!(size_class(1), MIN_CLASS);
+        assert_eq!(size_class(16), 16);
+        assert_eq!(size_class(17), 32);
+        assert_eq!(size_class(4000), 4096);
+        assert_eq!(size_class(4096), 4096);
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        let mut heap = HeapModel::new();
+        assert_eq!(heap.alloc(ThreadId(0), 0, site()), Err(HeapError::ZeroSize));
+    }
+
+    #[test]
+    fn allocations_stay_in_heap_segment() {
+        let mut heap = HeapModel::new();
+        for i in 0..100 {
+            let addr = heap.alloc(ThreadId(i % 4), 100, site()).unwrap();
+            assert!(addr >= HEAP_BASE && addr < HEAP_END);
+        }
+    }
+
+    #[test]
+    fn same_thread_small_objects_can_share_a_line() {
+        let mut heap = HeapModel::new();
+        let a = heap.alloc(ThreadId(1), 16, site()).unwrap();
+        let b = heap.alloc(ThreadId(1), 16, site()).unwrap();
+        assert_eq!(a.line(64), b.line(64));
+        assert_eq!(b.0 - a.0, 16);
+    }
+
+    #[test]
+    fn different_threads_never_share_a_line() {
+        let mut heap = HeapModel::new();
+        let mut allocations = Vec::new();
+        for round in 0..50u64 {
+            for t in 0..8u32 {
+                let size = 16 + (round % 5) * 24;
+                let addr = heap.alloc(ThreadId(t), size, site()).unwrap();
+                allocations.push((ThreadId(t), addr, size_class(size)));
+            }
+        }
+        for (i, &(t1, a1, c1)) in allocations.iter().enumerate() {
+            for &(t2, a2, c2) in &allocations[i + 1..] {
+                if t1 == t2 {
+                    continue;
+                }
+                let lines1: std::collections::HashSet<u64> =
+                    (a1.0..a1.0 + c1).map(|b| b / 64).collect();
+                let any_shared = (a2.0..a2.0 + c2).any(|b| lines1.contains(&(b / 64)));
+                assert!(!any_shared, "threads {t1} and {t2} share a line");
+            }
+        }
+    }
+
+    #[test]
+    fn object_lookup_by_interior_pointer() {
+        let mut heap = HeapModel::new();
+        let addr = heap.alloc(ThreadId(0), 4000, site()).unwrap();
+        let object = heap.object_at(Addr(addr.0 + 1234)).unwrap();
+        assert_eq!(object.start, addr);
+        assert_eq!(object.size, 4000);
+        assert!(heap.object_at(Addr(addr.0 + 4096)).is_none());
+    }
+
+    #[test]
+    fn free_recycles_to_owner_arena() {
+        let mut heap = HeapModel::new();
+        let a = heap.alloc(ThreadId(1), 64, site()).unwrap();
+        heap.free(a).unwrap();
+        let b = heap.alloc(ThreadId(1), 64, site()).unwrap();
+        assert_eq!(a, b, "freed block should be recycled");
+        // The dead object is still attributable.
+        assert_eq!(heap.objects().len(), 2);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut heap = HeapModel::new();
+        let a = heap.alloc(ThreadId(1), 64, site()).unwrap();
+        heap.free(a).unwrap();
+        assert_eq!(heap.free(a), Err(HeapError::InvalidFree(a)));
+        assert_eq!(
+            heap.free(Addr(0x4f00_0000)),
+            Err(HeapError::InvalidFree(Addr(0x4f00_0000)))
+        );
+    }
+
+    #[test]
+    fn dead_object_still_found_for_attribution() {
+        let mut heap = HeapModel::new();
+        let a = heap.alloc(ThreadId(1), 128, site()).unwrap();
+        heap.free(a).unwrap();
+        let object = heap.object_at(Addr(a.0 + 4)).unwrap();
+        assert!(!object.live);
+        assert_eq!(object.start, a);
+    }
+
+    #[test]
+    fn large_allocations_line_aligned_and_tracked() {
+        let mut heap = HeapModel::new();
+        let addr = heap.alloc(ThreadId(0), 1 << 20, site()).unwrap();
+        assert_eq!(addr.0 % 64, 0);
+        let object = heap.object_at(addr).unwrap();
+        assert_eq!(object.class_size, 1 << 20);
+        assert!(heap.live_bytes() >= 1 << 20);
+    }
+
+    #[test]
+    fn live_bytes_track_alloc_and_free() {
+        let mut heap = HeapModel::new();
+        let a = heap.alloc(ThreadId(0), 100, site()).unwrap();
+        assert_eq!(heap.live_bytes(), 128);
+        heap.free(a).unwrap();
+        assert_eq!(heap.live_bytes(), 0);
+        assert_eq!(heap.peak_live_bytes(), 128);
+    }
+
+    #[test]
+    fn callsites_preserved() {
+        let mut heap = HeapModel::new();
+        let addr = heap
+            .alloc(ThreadId(0), 4000, CallStack::single("linear_regression-pthread.c", 139))
+            .unwrap();
+        let object = heap.object_at(addr).unwrap();
+        assert_eq!(
+            object.callsite.to_string(),
+            "linear_regression-pthread.c: 139"
+        );
+    }
+}

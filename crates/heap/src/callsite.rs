@@ -1,0 +1,146 @@
+//! Allocation callsites and call stacks.
+//!
+//! Cheetah reports the source line of the allocation site of every
+//! falsely-shared heap object (e.g. `linear_regression-pthread.c: 139` in
+//! Fig. 5 of the paper) and records up to five stack frames per allocation,
+//! fetched via frame pointers for speed. Workloads in this reproduction
+//! declare their callsites explicitly with [`CallStack::capture`].
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Maximum frames recorded per allocation (the paper collects five function
+/// entries "for performance reasons").
+pub const MAX_FRAMES: usize = 5;
+
+/// One source location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    file: Cow<'static, str>,
+    line: u32,
+}
+
+impl Frame {
+    /// Creates a frame from a file name and line number.
+    pub fn new(file: impl Into<Cow<'static, str>>, line: u32) -> Self {
+        Frame {
+            file: file.into(),
+            line,
+        }
+    }
+
+    /// The file name.
+    pub fn file(&self) -> &str {
+        &self.file
+    }
+
+    /// The line number.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.file, self.line)
+    }
+}
+
+/// A bounded allocation call stack, innermost frame first.
+///
+/// ```
+/// use cheetah_heap::{CallStack, Frame};
+/// let stack = CallStack::capture([
+///     Frame::new("linear_regression-pthread.c", 139),
+///     Frame::new("main.c", 88),
+/// ]);
+/// assert_eq!(stack.innermost().unwrap().line(), 139);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CallStack {
+    frames: Vec<Frame>,
+}
+
+impl CallStack {
+    /// An empty stack (allocation site unknown).
+    pub fn unknown() -> Self {
+        CallStack::default()
+    }
+
+    /// Builds a stack from at most [`MAX_FRAMES`] frames; extra frames are
+    /// dropped from the outer end, like a frame-pointer walk that stops
+    /// after five entries.
+    pub fn capture(frames: impl IntoIterator<Item = Frame>) -> Self {
+        CallStack {
+            frames: frames.into_iter().take(MAX_FRAMES).collect(),
+        }
+    }
+
+    /// Convenience constructor for a single-frame stack.
+    pub fn single(file: impl Into<Cow<'static, str>>, line: u32) -> Self {
+        CallStack {
+            frames: vec![Frame::new(file, line)],
+        }
+    }
+
+    /// The innermost (allocating) frame, if known.
+    pub fn innermost(&self) -> Option<&Frame> {
+        self.frames.first()
+    }
+
+    /// All recorded frames, innermost first.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Whether no frames were recorded.
+    pub fn is_unknown(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+impl fmt::Display for CallStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.frames.is_empty() {
+            return f.write_str("<unknown callsite>");
+        }
+        for (i, frame) in self.frames.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{frame}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_truncates_to_five_frames() {
+        let stack = CallStack::capture((0..10).map(|i| Frame::new("f.c", i)));
+        assert_eq!(stack.frames().len(), MAX_FRAMES);
+        assert_eq!(stack.innermost().unwrap().line(), 0);
+    }
+
+    #[test]
+    fn unknown_stack_displays_placeholder() {
+        let stack = CallStack::unknown();
+        assert!(stack.is_unknown());
+        assert_eq!(stack.to_string(), "<unknown callsite>");
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let stack = CallStack::single("linear_regression-pthread.c", 139);
+        assert_eq!(stack.to_string(), "linear_regression-pthread.c: 139");
+    }
+
+    #[test]
+    fn multi_frame_display_one_per_line() {
+        let stack = CallStack::capture([Frame::new("a.c", 1), Frame::new("b.c", 2)]);
+        assert_eq!(stack.to_string(), "a.c: 1\nb.c: 2");
+    }
+}

@@ -1,0 +1,188 @@
+//! Global-variable symbol registry.
+//!
+//! For falsely-shared globals, Cheetah reports names and addresses "by
+//! searching through the symbol table in the binary executable". Simulated
+//! programs have no ELF symtab, so workloads register their globals here;
+//! the registry then plays the symbol table's role for the report module.
+
+use cheetah_sim::layout::{GLOBALS_BASE, GLOBALS_END};
+use cheetah_sim::Addr;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A registered global variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSymbol {
+    /// Symbol name as it would appear in the binary's symbol table.
+    pub name: String,
+    /// First byte.
+    pub start: Addr,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl GlobalSymbol {
+    /// One past the last byte.
+    pub fn end(&self) -> Addr {
+        Addr(self.start.0 + self.size)
+    }
+
+    /// Whether `addr` falls inside the symbol.
+    pub fn contains(&self, addr: Addr) -> bool {
+        (self.start..self.end()).contains(&addr)
+    }
+}
+
+impl fmt::Display for GlobalSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {} (size {})", self.name, self.start, self.size)
+    }
+}
+
+/// Error returned by [`GlobalRegistry::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalsError {
+    /// Zero-sized symbol.
+    ZeroSize,
+    /// The globals segment is exhausted.
+    SegmentFull,
+}
+
+impl fmt::Display for GlobalsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalsError::ZeroSize => f.write_str("zero-sized global"),
+            GlobalsError::SegmentFull => f.write_str("globals segment exhausted"),
+        }
+    }
+}
+
+impl Error for GlobalsError {}
+
+/// The simulated binary's symbol table for globals.
+///
+/// ```
+/// use cheetah_heap::GlobalRegistry;
+/// let mut globals = GlobalRegistry::new();
+/// let array = globals.register("array", 4096, 64)?;
+/// let symbol = globals.symbol_at(array.offset(100)).unwrap();
+/// assert_eq!(symbol.name, "array");
+/// # Ok::<(), cheetah_heap::GlobalsError>(())
+/// ```
+#[derive(Debug)]
+pub struct GlobalRegistry {
+    cursor: u64,
+    by_addr: BTreeMap<u64, usize>,
+    symbols: Vec<GlobalSymbol>,
+}
+
+impl Default for GlobalRegistry {
+    fn default() -> Self {
+        GlobalRegistry::new()
+    }
+}
+
+impl GlobalRegistry {
+    /// An empty registry over the conventional globals segment.
+    pub fn new() -> Self {
+        GlobalRegistry {
+            cursor: GLOBALS_BASE.0,
+            by_addr: BTreeMap::new(),
+            symbols: Vec::new(),
+        }
+    }
+
+    /// Registers a global of `size` bytes with the given alignment and
+    /// returns its address.
+    ///
+    /// # Errors
+    ///
+    /// [`GlobalsError::ZeroSize`] for empty symbols,
+    /// [`GlobalsError::SegmentFull`] when the segment is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        align: u64,
+    ) -> Result<Addr, GlobalsError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        if size == 0 {
+            return Err(GlobalsError::ZeroSize);
+        }
+        let start = (self.cursor + align - 1) & !(align - 1);
+        if start + size > GLOBALS_END.0 {
+            return Err(GlobalsError::SegmentFull);
+        }
+        self.cursor = start + size;
+        self.by_addr.insert(start, self.symbols.len());
+        self.symbols.push(GlobalSymbol {
+            name: name.into(),
+            start: Addr(start),
+            size,
+        });
+        Ok(Addr(start))
+    }
+
+    /// The symbol containing `addr`, if any.
+    pub fn symbol_at(&self, addr: Addr) -> Option<&GlobalSymbol> {
+        let (_, &index) = self.by_addr.range(..=addr.0).next_back()?;
+        let symbol = &self.symbols[index];
+        symbol.contains(addr).then_some(symbol)
+    }
+
+    /// All registered symbols in registration order.
+    pub fn symbols(&self) -> &[GlobalSymbol] {
+        &self.symbols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_resolve() {
+        let mut globals = GlobalRegistry::new();
+        let a = globals.register("counter", 8, 8).unwrap();
+        let b = globals.register("buffer", 256, 64).unwrap();
+        assert_eq!(globals.symbol_at(a).unwrap().name, "counter");
+        assert_eq!(globals.symbol_at(b.offset(255)).unwrap().name, "buffer");
+        assert!(globals.symbol_at(b.offset(256)).is_none());
+        assert!(globals.symbol_at(Addr(GLOBALS_BASE.0 - 1)).is_none());
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut globals = GlobalRegistry::new();
+        globals.register("pad", 3, 1).unwrap();
+        let aligned = globals.register("aligned", 64, 64).unwrap();
+        assert_eq!(aligned.0 % 64, 0);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut globals = GlobalRegistry::new();
+        assert_eq!(globals.register("x", 0, 1), Err(GlobalsError::ZeroSize));
+    }
+
+    #[test]
+    fn gap_between_symbols_unattributed() {
+        let mut globals = GlobalRegistry::new();
+        globals.register("a", 10, 1).unwrap();
+        let b = globals.register("b", 10, 64).unwrap();
+        // The alignment gap between a's end and b's start belongs to nobody.
+        assert!(globals.symbol_at(Addr(b.0 - 1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut globals = GlobalRegistry::new();
+        let _ = globals.register("x", 8, 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! # cheetah-heap — Hoard-style heap model, callsites, shadow memory
+//!
+//! The allocator substrate of the Cheetah reproduction. The paper's profiler
+//! replaces the system allocator with a custom heap (built on Heap Layers)
+//! for three reasons, all reproduced here:
+//!
+//! 1. **Known address range** — every allocation comes from one pre-reserved
+//!    segment, so shadow-memory lookups ([`ShadowMap`]) are one shift and one
+//!    index, never a search.
+//! 2. **Per-thread arenas** (Hoard) — two threads never share a cache line
+//!    through the allocator ([`HeapModel`]), eliminating allocator-induced
+//!    false sharing so that whatever remains is the application's.
+//! 3. **Callsite attribution** — each allocation records up to five stack
+//!    frames ([`CallStack`]) so reports can say
+//!    `linear_regression-pthread.c: 139` like Fig. 5 of the paper.
+//!
+//! Global variables get the same treatment through [`GlobalRegistry`], which
+//! stands in for the binary's symbol table. [`AddressSpace`] combines both
+//! for one-call address resolution.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arena;
+pub mod callsite;
+pub mod globals;
+pub mod object;
+pub mod shadow;
+pub mod space;
+
+pub use arena::{HeapError, HeapModel, LARGE_THRESHOLD, MIN_CLASS, SUPERBLOCK};
+pub use callsite::{CallStack, Frame, MAX_FRAMES};
+pub use globals::{GlobalRegistry, GlobalSymbol, GlobalsError};
+pub use object::{ObjectId, ObjectInfo};
+pub use shadow::ShadowMap;
+pub use space::{AddressSpace, Location};

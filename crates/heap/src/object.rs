@@ -1,0 +1,102 @@
+//! Heap object metadata.
+
+use crate::callsite::CallStack;
+use cheetah_sim::{Addr, ThreadId};
+use std::fmt;
+
+/// Stable identifier of an allocated object (index into the allocation
+/// history; never reused, even after `free`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// Metadata recorded for every heap allocation, kept for the lifetime of
+/// the profile (the detector reports callsites even for freed objects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// Identifier (allocation order).
+    pub id: ObjectId,
+    /// First byte of the object.
+    pub start: Addr,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Bytes actually reserved (the power-of-two size class).
+    pub class_size: u64,
+    /// Thread that performed the allocation.
+    pub owner: ThreadId,
+    /// Allocation call stack.
+    pub callsite: CallStack,
+    /// Whether the object is still allocated.
+    pub live: bool,
+}
+
+impl ObjectInfo {
+    /// One past the last *requested* byte of the object.
+    pub fn end(&self) -> Addr {
+        Addr(self.start.0 + self.size)
+    }
+
+    /// One past the last *reserved* byte (class-size extent).
+    pub fn reserved_end(&self) -> Addr {
+        Addr(self.start.0 + self.class_size)
+    }
+
+    /// Whether `addr` falls inside the reserved extent.
+    pub fn contains(&self, addr: Addr) -> bool {
+        (self.start..self.reserved_end()).contains(&addr)
+    }
+}
+
+impl fmt::Display for ObjectInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "object {} start {} end {} (with size {})",
+            self.id,
+            self.start,
+            self.end(),
+            self.size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> ObjectInfo {
+        ObjectInfo {
+            id: ObjectId(3),
+            start: Addr(0x4000_0000),
+            size: 4000,
+            class_size: 4096,
+            owner: ThreadId(0),
+            callsite: CallStack::single("a.c", 10),
+            live: true,
+        }
+    }
+
+    #[test]
+    fn extents() {
+        let obj = info();
+        assert_eq!(obj.end(), Addr(0x4000_0fa0));
+        assert_eq!(obj.reserved_end(), Addr(0x4000_1000));
+        assert!(obj.contains(Addr(0x4000_0000)));
+        assert!(obj.contains(Addr(0x4000_0fff)));
+        assert!(!obj.contains(Addr(0x4000_1000)));
+        assert!(!obj.contains(Addr(0x3fff_ffff)));
+    }
+
+    #[test]
+    fn display_includes_bounds() {
+        let text = info().to_string();
+        assert!(text.contains("O3"));
+        assert!(text.contains("0x40000000"));
+        assert!(text.contains("size 4000"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Shadow memory: O(1) per-cache-line metadata.
+//!
+//! Cheetah mmaps "two large arrays" covering the heap and computes a line's
+//! metadata slot by bit-shifting the address (§2.2). [`ShadowMap`] is the
+//! same idea over the simulated segments, with lazily allocated pages so an
+//! almost-empty 1 GiB heap costs almost nothing.
+
+use cheetah_sim::layout::{GLOBALS_BASE, GLOBALS_END, HEAP_BASE, HEAP_END};
+use cheetah_sim::CacheLineId;
+
+/// Cache lines per lazily-allocated page.
+const PAGE_LINES: u64 = 4096;
+
+#[derive(Debug)]
+struct PageTable<T> {
+    first_line: u64,
+    pages: Vec<Option<Box<[T]>>>,
+}
+
+impl<T: Default + Clone> PageTable<T> {
+    fn new(first_byte: u64, last_byte: u64, line_size: u64) -> Self {
+        let first_line = first_byte / line_size;
+        let lines = (last_byte - first_byte) / line_size;
+        let pages = lines.div_ceil(PAGE_LINES) as usize;
+        PageTable {
+            first_line,
+            pages: std::iter::repeat_with(|| None).take(pages).collect(),
+        }
+    }
+
+    fn index(&self, line: CacheLineId) -> Option<(usize, usize)> {
+        let offset = line.0.checked_sub(self.first_line)?;
+        let page = (offset / PAGE_LINES) as usize;
+        if page >= self.pages.len() {
+            return None;
+        }
+        Some((page, (offset % PAGE_LINES) as usize))
+    }
+
+    fn get(&self, line: CacheLineId) -> Option<&T> {
+        let (page, slot) = self.index(line)?;
+        self.pages[page].as_ref().map(|p| &p[slot])
+    }
+
+    fn get_mut_or_default(&mut self, line: CacheLineId) -> Option<&mut T> {
+        let (page, slot) = self.index(line)?;
+        let page = self.pages[page]
+            .get_or_insert_with(|| vec![T::default(); PAGE_LINES as usize].into_boxed_slice());
+        Some(&mut page[slot])
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (CacheLineId, &T)> {
+        let first_line = self.first_line;
+        self.pages.iter().enumerate().flat_map(move |(pi, page)| {
+            page.iter().flat_map(move |p| {
+                p.iter().enumerate().map(move |(si, value)| {
+                    (
+                        CacheLineId(first_line + pi as u64 * PAGE_LINES + si as u64),
+                        value,
+                    )
+                })
+            })
+        })
+    }
+}
+
+/// Per-cache-line shadow state covering the heap and globals segments.
+///
+/// Lines outside both segments (stack, kernel, libraries) have no slot:
+/// lookups return `None`, which is precisely the "driver filters these out"
+/// behaviour of the paper.
+///
+/// ```
+/// use cheetah_heap::ShadowMap;
+/// use cheetah_sim::{Addr, layout::HEAP_BASE};
+///
+/// let mut shadow: ShadowMap<u32> = ShadowMap::new(64);
+/// let line = HEAP_BASE.line(64);
+/// *shadow.get_mut_or_default(line).unwrap() += 1;
+/// assert_eq!(shadow.get(line), Some(&1));
+/// assert!(shadow.get(Addr(0x10).line(64)).is_none()); // unmapped segment
+/// ```
+#[derive(Debug)]
+pub struct ShadowMap<T> {
+    line_size: u64,
+    heap: PageTable<T>,
+    globals: PageTable<T>,
+}
+
+impl<T: Default + Clone> ShadowMap<T> {
+    /// Creates an empty shadow map for a machine with the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    pub fn new(line_size: u64) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        ShadowMap {
+            line_size,
+            heap: PageTable::new(HEAP_BASE.0, HEAP_END.0, line_size),
+            globals: PageTable::new(GLOBALS_BASE.0, GLOBALS_END.0, line_size),
+        }
+    }
+
+    /// The line size this map was built for.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    fn table_for(&self, line: CacheLineId) -> &PageTable<T> {
+        if line.0 >= HEAP_BASE.0 / self.line_size {
+            &self.heap
+        } else {
+            &self.globals
+        }
+    }
+
+    /// Shared access to a line's slot; `None` if the line is outside the
+    /// tracked segments or its page was never touched.
+    pub fn get(&self, line: CacheLineId) -> Option<&T> {
+        self.table_for(line).get(line)
+    }
+
+    /// Mutable access to a line's slot, allocating its page on first touch;
+    /// `None` if the line is outside the tracked segments.
+    pub fn get_mut_or_default(&mut self, line: CacheLineId) -> Option<&mut T> {
+        if line.0 >= HEAP_BASE.0 / self.line_size {
+            self.heap.get_mut_or_default(line)
+        } else {
+            self.globals.get_mut_or_default(line)
+        }
+    }
+
+    /// Iterates over every slot in touched pages (heap then globals).
+    pub fn iter_touched(&self) -> impl Iterator<Item = (CacheLineId, &T)> {
+        self.globals.iter().chain(self.heap.iter())
+    }
+
+    /// Approximate bytes of shadow state currently allocated.
+    pub fn shadow_bytes(&self) -> usize {
+        let per_page = PAGE_LINES as usize * std::mem::size_of::<T>();
+        let pages = self.heap.pages.iter().filter(|p| p.is_some()).count()
+            + self.globals.pages.iter().filter(|p| p.is_some()).count();
+        pages * per_page
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::Addr;
+
+    #[test]
+    fn heap_and_globals_lines_tracked() {
+        let mut shadow: ShadowMap<u64> = ShadowMap::new(64);
+        let heap_line = HEAP_BASE.line(64);
+        let global_line = GLOBALS_BASE.line(64);
+        *shadow.get_mut_or_default(heap_line).unwrap() = 7;
+        *shadow.get_mut_or_default(global_line).unwrap() = 9;
+        assert_eq!(shadow.get(heap_line), Some(&7));
+        assert_eq!(shadow.get(global_line), Some(&9));
+    }
+
+    #[test]
+    fn unmapped_lines_rejected() {
+        let mut shadow: ShadowMap<u64> = ShadowMap::new(64);
+        assert!(shadow.get_mut_or_default(Addr(0).line(64)).is_none());
+        assert!(shadow
+            .get_mut_or_default(Addr(HEAP_END.0).line(64))
+            .is_none());
+        assert!(shadow.get(Addr(0x2100_0000).line(64)).is_none());
+    }
+
+    #[test]
+    fn untouched_page_reads_none_without_allocating() {
+        let shadow: ShadowMap<u32> = ShadowMap::new(64);
+        assert!(shadow.get(HEAP_BASE.line(64)).is_none());
+        assert_eq!(shadow.shadow_bytes(), 0);
+    }
+
+    #[test]
+    fn lazy_pages_grow_on_touch() {
+        let mut shadow: ShadowMap<u32> = ShadowMap::new(64);
+        shadow.get_mut_or_default(HEAP_BASE.line(64)).unwrap();
+        let one_page = shadow.shadow_bytes();
+        assert!(one_page > 0);
+        // A nearby line lands in the same page.
+        shadow
+            .get_mut_or_default(Addr(HEAP_BASE.0 + 64).line(64))
+            .unwrap();
+        assert_eq!(shadow.shadow_bytes(), one_page);
+        // A distant line allocates another page.
+        shadow
+            .get_mut_or_default(Addr(HEAP_BASE.0 + 64 * PAGE_LINES * 3).line(64))
+            .unwrap();
+        assert_eq!(shadow.shadow_bytes(), 2 * one_page);
+    }
+
+    #[test]
+    fn iter_touched_yields_written_slots() {
+        let mut shadow: ShadowMap<u32> = ShadowMap::new(64);
+        let line = Addr(HEAP_BASE.0 + 640).line(64);
+        *shadow.get_mut_or_default(line).unwrap() = 42;
+        let found: Vec<_> = shadow
+            .iter_touched()
+            .filter(|(_, v)| **v == 42)
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(found, vec![line]);
+    }
+
+    #[test]
+    fn works_with_other_line_sizes() {
+        let mut shadow: ShadowMap<u8> = ShadowMap::new(32);
+        let line = HEAP_BASE.line(32);
+        *shadow.get_mut_or_default(line).unwrap() = 1;
+        assert_eq!(shadow.get(line), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _: ShadowMap<u8> = ShadowMap::new(48);
+    }
+}

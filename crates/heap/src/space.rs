@@ -1,0 +1,140 @@
+//! Unified address resolution: heap objects + global symbols.
+
+use crate::arena::HeapModel;
+use crate::globals::GlobalRegistry;
+use crate::object::{ObjectId, ObjectInfo};
+use cheetah_sim::layout::{classify, Segment};
+use cheetah_sim::Addr;
+
+/// What an address resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// Inside a tracked heap object.
+    HeapObject(ObjectId),
+    /// Inside a registered global; the payload is the index into
+    /// [`GlobalRegistry::symbols`].
+    Global(usize),
+    /// In the heap or globals segment but not attributable to any tracked
+    /// allocation (e.g. allocator metadata or alignment gaps).
+    Unattributed(Segment),
+    /// Outside the monitored segments; the profiler filters these.
+    Unmonitored,
+}
+
+/// Facade combining the heap model and the global registry — the
+/// "application address space" a profiler resolves sampled addresses
+/// against.
+///
+/// ```
+/// use cheetah_heap::{AddressSpace, CallStack, Location};
+/// use cheetah_sim::ThreadId;
+///
+/// let mut space = AddressSpace::new();
+/// let addr = space.heap_mut().alloc(ThreadId(0), 100, CallStack::unknown())?;
+/// assert!(matches!(space.resolve(addr), Location::HeapObject(_)));
+/// assert_eq!(space.resolve(cheetah_sim::Addr(0x10)), Location::Unmonitored);
+/// # Ok::<(), cheetah_heap::HeapError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    heap: HeapModel,
+    globals: GlobalRegistry,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        AddressSpace::default()
+    }
+
+    /// The heap model.
+    pub fn heap(&self) -> &HeapModel {
+        &self.heap
+    }
+
+    /// Mutable heap model (allocate / free).
+    pub fn heap_mut(&mut self) -> &mut HeapModel {
+        &mut self.heap
+    }
+
+    /// The global symbol registry.
+    pub fn globals(&self) -> &GlobalRegistry {
+        &self.globals
+    }
+
+    /// Mutable global registry (register symbols).
+    pub fn globals_mut(&mut self) -> &mut GlobalRegistry {
+        &mut self.globals
+    }
+
+    /// Resolves an address to a location.
+    pub fn resolve(&self, addr: Addr) -> Location {
+        match classify(addr) {
+            Segment::Heap => match self.heap.object_at(addr) {
+                Some(object) => Location::HeapObject(object.id),
+                None => Location::Unattributed(Segment::Heap),
+            },
+            Segment::Globals => match self.globals.symbol_at(addr) {
+                Some(symbol) => {
+                    let index = self
+                        .globals
+                        .symbols()
+                        .iter()
+                        .position(|s| s.start == symbol.start)
+                        .expect("symbol from registry");
+                    Location::Global(index)
+                }
+                None => Location::Unattributed(Segment::Globals),
+            },
+            Segment::Other => Location::Unmonitored,
+        }
+    }
+
+    /// Object metadata for a [`Location::HeapObject`] resolution.
+    pub fn object(&self, id: ObjectId) -> &ObjectInfo {
+        self.heap.object(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callsite::CallStack;
+    use cheetah_sim::layout::HEAP_BASE;
+    use cheetah_sim::ThreadId;
+
+    #[test]
+    fn resolves_all_location_kinds() {
+        let mut space = AddressSpace::new();
+        let heap_addr = space
+            .heap_mut()
+            .alloc(ThreadId(0), 64, CallStack::unknown())
+            .unwrap();
+        let global_addr = space.globals_mut().register("g", 16, 8).unwrap();
+
+        assert!(matches!(space.resolve(heap_addr), Location::HeapObject(_)));
+        assert!(matches!(space.resolve(global_addr), Location::Global(0)));
+        assert_eq!(space.resolve(Addr(0x100)), Location::Unmonitored);
+        // Heap segment but past any allocation.
+        assert_eq!(
+            space.resolve(Addr(HEAP_BASE.0 + 0x0800_0000)),
+            Location::Unattributed(Segment::Heap)
+        );
+    }
+
+    #[test]
+    fn object_round_trip() {
+        let mut space = AddressSpace::new();
+        let addr = space
+            .heap_mut()
+            .alloc(ThreadId(2), 4000, CallStack::single("a.c", 9))
+            .unwrap();
+        if let Location::HeapObject(id) = space.resolve(addr.offset(100)) {
+            let object = space.object(id);
+            assert_eq!(object.owner, ThreadId(2));
+            assert_eq!(object.size, 4000);
+        } else {
+            panic!("expected heap object");
+        }
+    }
+}

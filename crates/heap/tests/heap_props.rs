@@ -1,0 +1,94 @@
+//! Property tests of the Hoard-style heap model and shadow memory.
+
+use cheetah_heap::{AddressSpace, CallStack, HeapModel, Location, ShadowMap};
+use cheetah_sim::layout::{HEAP_BASE, HEAP_END};
+use cheetah_sim::{Addr, ThreadId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alloc_free_alloc_reuses_without_corruption(
+        script in proptest::collection::vec((0u32..4, 1u64..2048, proptest::bool::ANY), 1..80)
+    ) {
+        let mut heap = HeapModel::new();
+        let mut live: Vec<Addr> = Vec::new();
+        for (thread, size, free_one) in script {
+            if free_one && !live.is_empty() {
+                let addr = live.swap_remove(0);
+                heap.free(addr).unwrap();
+                // Double free must fail.
+                prop_assert!(heap.free(addr).is_err());
+            } else {
+                let addr = heap.alloc(ThreadId(thread), size, CallStack::unknown()).unwrap();
+                prop_assert!(addr >= HEAP_BASE && addr < HEAP_END);
+                prop_assert!(!live.contains(&addr), "live object returned twice");
+                live.push(addr);
+            }
+        }
+        // Every live object still resolves to itself.
+        for addr in live {
+            prop_assert_eq!(heap.object_at(addr).unwrap().start, addr);
+        }
+    }
+
+    #[test]
+    fn live_bytes_balance(
+        sizes in proptest::collection::vec(1u64..4096, 1..50)
+    ) {
+        let mut heap = HeapModel::new();
+        let mut addrs = Vec::new();
+        for &size in &sizes {
+            addrs.push(heap.alloc(ThreadId(0), size, CallStack::unknown()).unwrap());
+        }
+        let peak = heap.peak_live_bytes();
+        prop_assert!(peak >= heap.live_bytes());
+        for addr in addrs {
+            heap.free(addr).unwrap();
+        }
+        prop_assert_eq!(heap.live_bytes(), 0);
+        prop_assert_eq!(heap.peak_live_bytes(), peak, "peak is a high-water mark");
+    }
+
+    #[test]
+    fn resolution_is_exclusive_and_total_over_objects(
+        sizes in proptest::collection::vec(1u64..600, 1..30)
+    ) {
+        let mut space = AddressSpace::new();
+        let mut starts = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let t = ThreadId((i % 3) as u32);
+            starts.push((space.heap_mut().alloc(t, size, CallStack::unknown()).unwrap(), size));
+        }
+        for &(start, size) in &starts {
+            for probe in [0, size - 1] {
+                match space.resolve(start.offset(probe)) {
+                    Location::HeapObject(id) => {
+                        prop_assert_eq!(space.object(id).start, start);
+                    }
+                    other => prop_assert!(false, "expected heap object, got {:?}", other),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_iter_touched_finds_exactly_what_was_written(
+        offsets in proptest::collection::vec(0u64..100_000, 1..60)
+    ) {
+        let mut shadow: ShadowMap<u32> = ShadowMap::new(64);
+        let mut expected = std::collections::BTreeSet::new();
+        for off in offsets {
+            let line = Addr(HEAP_BASE.0 + off * 64).line(64);
+            *shadow.get_mut_or_default(line).unwrap() = 1;
+            expected.insert(line.0);
+        }
+        let found: std::collections::BTreeSet<u64> = shadow
+            .iter_touched()
+            .filter(|(_, v)| **v == 1)
+            .map(|(l, _)| l.0)
+            .collect();
+        prop_assert_eq!(found, expected);
+    }
+}

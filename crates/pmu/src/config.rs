@@ -1,0 +1,122 @@
+//! Sampler configuration and overhead model.
+
+use cheetah_sim::Cycles;
+
+/// The paper's default sampling period: one sample per 64K instructions.
+pub const DEFAULT_PERIOD: u64 = 64 * 1024;
+
+/// Configuration of the (simulated) PMU sampler, including the costs it
+/// charges back into simulated time so profiler overhead is measurable
+/// (Fig. 4 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Instructions between samples. The paper evaluates with 64K.
+    pub period: u64,
+    /// Maximum random shortening of each sampling interval, expressed as a
+    /// divisor of `period` (interval is uniform in
+    /// `[period - period/jitter_div, period]`). IBS randomizes the interval
+    /// to avoid lock-step aliasing with loop bodies; `0` disables jitter.
+    pub jitter_div: u64,
+    /// Cycles charged to a thread for each delivered sample: the signal
+    /// delivery plus Cheetah's handler work.
+    pub trap_cost: Cycles,
+    /// Cycles charged at each thread start for programming the PMU — the
+    /// "six pfmon APIs and six additional system calls" the paper blames
+    /// for the kmeans/x264 overhead.
+    pub setup_cost: Cycles,
+}
+
+impl SamplerConfig {
+    /// The paper's deployment configuration: 64K period, modest trap and
+    /// per-thread setup costs.
+    pub fn paper_default() -> Self {
+        SamplerConfig {
+            period: DEFAULT_PERIOD,
+            jitter_div: 8,
+            trap_cost: 2_600,
+            setup_cost: 150_000,
+        }
+    }
+
+    /// A configuration with a custom period and default costs.
+    pub fn with_period(period: u64) -> Self {
+        SamplerConfig {
+            period,
+            ..SamplerConfig::paper_default()
+        }
+    }
+
+    /// A configuration for scaled-down experiments: the period *and* the
+    /// perturbation costs shrink by the same factor relative to the paper's
+    /// deployment configuration.
+    ///
+    /// Rationale: the synthetic workloads are the paper's applications
+    /// shrunk by some factor F in runtime. Sampling them with period
+    /// `64K / F` restores the paper's samples-per-run; scaling the trap and
+    /// setup costs by the same factor restores the paper's *overhead
+    /// fraction*, so profiled runs stay faithful rather than being crushed
+    /// by measurement perturbation.
+    pub fn scaled_to_period(period: u64) -> Self {
+        let paper = SamplerConfig::paper_default();
+        let scale = |cost: u64| ((cost as u128 * period as u128) / paper.period as u128) as u64;
+        SamplerConfig {
+            period,
+            jitter_div: paper.jitter_div,
+            trap_cost: scale(paper.trap_cost).max(1),
+            setup_cost: scale(paper.setup_cost).max(1),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero — a zero period would sample every
+    /// instruction, which is instrumentation, not sampling.
+    pub fn validate(&self) {
+        assert!(self.period > 0, "sampling period must be nonzero");
+    }
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_uses_64k_period() {
+        let config = SamplerConfig::paper_default();
+        assert_eq!(config.period, 65_536);
+        config.validate();
+    }
+
+    #[test]
+    fn with_period_overrides_period_only() {
+        let config = SamplerConfig::with_period(4096);
+        assert_eq!(config.period, 4096);
+        assert_eq!(config.trap_cost, SamplerConfig::paper_default().trap_cost);
+    }
+
+    #[test]
+    fn scaled_config_preserves_overhead_fraction() {
+        let paper = SamplerConfig::paper_default();
+        let scaled = SamplerConfig::scaled_to_period(paper.period / 32);
+        // trap_cost / period ratio is invariant.
+        let paper_ratio = paper.trap_cost as f64 / paper.period as f64;
+        let scaled_ratio = scaled.trap_cost as f64 / scaled.period as f64;
+        assert!((paper_ratio - scaled_ratio).abs() / paper_ratio < 0.05);
+        assert!(scaled.setup_cost < paper.setup_cost);
+        assert!(scaled.trap_cost >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_period_rejected() {
+        SamplerConfig::with_period(0).validate();
+    }
+}

@@ -1,0 +1,39 @@
+//! # cheetah-pmu — PMU address sampling
+//!
+//! The measurement substrate of the Cheetah reproduction. Cheetah collects
+//! memory accesses with the hardware performance monitoring units' address
+//! sampling (AMD IBS, Intel PEBS): one access out of every ~64K retired
+//! instructions is captured with its data address, read/write direction,
+//! latency and triggering thread (§2.1 of the paper).
+//!
+//! This crate provides that capability twice over:
+//!
+//! * [`SamplingEngine`] / [`SimPmu`] — a deterministic simulated PMU over
+//!   [`cheetah_sim`]'s access stream. It reproduces IBS behaviour in the
+//!   ways that matter: per-thread retired-instruction periods, randomized
+//!   sampling intervals, per-sample trap cost and per-thread counter-setup
+//!   cost (both charged back into simulated time so that Fig. 4's overhead
+//!   experiment is reproducible).
+//! * [`perf::PerfSampler`] *(feature `linux-pmu`)* — real
+//!   `perf_event_open(2)` glue that delivers the same [`Sample`] records
+//!   from native hardware, for running the detector outside the simulator.
+//!
+//! Everything downstream (detection, assessment, reporting) consumes only
+//! [`Sample`] values and is agnostic to the source.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![cfg_attr(not(feature = "linux-pmu"), forbid(unsafe_code))]
+
+pub mod config;
+pub mod engine;
+pub mod sample;
+pub mod sim_pmu;
+
+#[cfg(feature = "linux-pmu")]
+pub mod perf;
+
+pub use config::{SamplerConfig, DEFAULT_PERIOD};
+pub use engine::SamplingEngine;
+pub use sample::Sample;
+pub use sim_pmu::SimPmu;

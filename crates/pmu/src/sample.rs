@@ -1,0 +1,75 @@
+//! The sample record delivered by the PMU.
+
+use cheetah_sim::{AccessKind, Addr, Cycles, PhaseKind, ThreadId};
+use std::fmt;
+
+/// One sampled memory access, as delivered by AMD IBS / Intel PEBS (or the
+/// simulated PMU): the exact tuple Cheetah's detection and assessment
+/// modules consume (§2.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Thread that triggered the sample.
+    pub thread: ThreadId,
+    /// Sampled data address.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Access latency in cycles (IBS "data cache miss latency" / PEBS
+    /// weight). For simulated runs this is the exact modelled latency.
+    pub latency: Cycles,
+    /// Global timestamp at which the access started.
+    pub time: Cycles,
+    /// Index of the fork-join phase the access occurred in.
+    pub phase_index: u32,
+    /// Whether the access occurred in a serial or parallel phase.
+    pub phase_kind: PhaseKind,
+}
+
+impl Sample {
+    /// Whether the sample was taken inside a parallel phase; Cheetah only
+    /// records detailed sharing state for these (§2.4).
+    pub fn in_parallel_phase(&self) -> bool {
+        self.phase_kind == PhaseKind::Parallel
+    }
+}
+
+impl fmt::Display for Sample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} latency {} @ {}",
+            self.thread, self.kind, self.addr, self.latency, self.time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: PhaseKind) -> Sample {
+        Sample {
+            thread: ThreadId(3),
+            addr: Addr(0x4000_0040),
+            kind: AccessKind::Write,
+            latency: 150,
+            time: 12_345,
+            phase_index: 1,
+            phase_kind: kind,
+        }
+    }
+
+    #[test]
+    fn parallel_phase_flag() {
+        assert!(sample(PhaseKind::Parallel).in_parallel_phase());
+        assert!(!sample(PhaseKind::Serial).in_parallel_phase());
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let text = sample(PhaseKind::Parallel).to_string();
+        assert!(text.contains("T3"));
+        assert!(text.contains("write"));
+        assert!(text.contains("latency 150"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Statistical and structural properties of the sampling engine.
+
+use cheetah_pmu::{SamplerConfig, SamplingEngine};
+use cheetah_sim::{AccessKind, AccessOutcome, AccessRecord, Addr, CoreId, PhaseKind, ThreadId};
+use proptest::prelude::*;
+
+fn record(thread: ThreadId, instrs_before: u64, latency: u64) -> AccessRecord {
+    AccessRecord {
+        thread,
+        core: CoreId(0),
+        addr: Addr(0x4000_0000),
+        kind: AccessKind::Read,
+        outcome: AccessOutcome::L1Hit,
+        latency,
+        start: instrs_before,
+        instrs_before,
+        phase_index: 1,
+        phase_kind: PhaseKind::Parallel,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tag_count_matches_instruction_budget(
+        period in 64u64..4096,
+        gaps in proptest::collection::vec(1u64..200, 50..300),
+    ) {
+        let mut config = SamplerConfig::with_period(period);
+        config.jitter_div = 8;
+        let mut engine = SamplingEngine::new(config);
+        engine.begin_thread(ThreadId(1));
+        let mut instr = 0u64;
+        for gap in &gaps {
+            instr += gap;
+            engine.observe(&record(ThreadId(1), instr, 4));
+        }
+        let tags = engine.total_samples() + engine.total_dropped();
+        // Tags fire once per (jittered) period; intervals shrink by at
+        // most period/8, and up to one tag can still be pending.
+        let min_expected = instr / period;
+        let max_expected = instr / (period - period / 8) + 1;
+        prop_assert!(
+            tags <= max_expected && tags + 1 >= min_expected.min(tags + 1),
+            "tags {} outside [{}, {}] for {} instructions at period {}",
+            tags, min_expected, max_expected, instr, period
+        );
+    }
+
+    #[test]
+    fn sampled_mean_latency_is_unbiased(
+        latencies in proptest::collection::vec(1u64..500, 2..10)
+    ) {
+        // A loop touching accesses of different latencies back-to-back:
+        // the sampled mean must approximate the true mean.
+        let mut config = SamplerConfig::with_period(97);
+        config.jitter_div = 4;
+        let mut engine = SamplingEngine::new(config);
+        engine.begin_thread(ThreadId(1));
+        let mut instr = 0u64;
+        let mut sampled_total = 0u64;
+        let mut sampled_n = 0u64;
+        for _ in 0..40_000 {
+            for &lat in &latencies {
+                if let (Some(sample), _) = engine.observe(&record(ThreadId(1), instr, lat)) {
+                    sampled_total += sample.latency;
+                    sampled_n += 1;
+                }
+                instr += 1;
+            }
+        }
+        prop_assume!(sampled_n > 200);
+        let true_mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+        let sampled_mean = sampled_total as f64 / sampled_n as f64;
+        prop_assert!(
+            (sampled_mean - true_mean).abs() / true_mean < 0.25,
+            "sampled {} vs true {}", sampled_mean, true_mean
+        );
+    }
+
+    #[test]
+    fn perturbation_equals_trap_cost_times_tags(
+        period in 32u64..1024,
+        n in 100u64..5_000,
+    ) {
+        let config = SamplerConfig::scaled_to_period(period);
+        let trap = config.trap_cost;
+        let mut engine = SamplingEngine::new(config);
+        engine.begin_thread(ThreadId(1));
+        let mut charged = 0u64;
+        for i in 0..n {
+            charged += engine.observe(&record(ThreadId(1), i * 3, 4)).1;
+        }
+        prop_assert_eq!(
+            charged,
+            trap * (engine.total_samples() + engine.total_dropped())
+        );
+        prop_assert_eq!(charged, engine.total_trap_cycles());
+    }
+}

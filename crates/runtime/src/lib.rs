@@ -1,0 +1,25 @@
+//! # cheetah-runtime — thread lifecycle and fork-join phase tracking
+//!
+//! Cheetah's assessment (§3 of the paper) needs runtime structure that the
+//! PMU cannot provide: per-thread wall-clock runtimes (`RT_t`, measured by
+//! RDTSC around each start routine) and the serial/parallel phase timeline
+//! of the fork-join model (Fig. 3). This crate supplies both:
+//!
+//! * [`PhaseTracker`] — reconstructs the phase structure purely from thread
+//!   creation/exit events, flagging programs that are not fork-join shaped;
+//! * [`ThreadRegistry`] — per-thread start/end timestamps plus the sampled
+//!   access and latency totals the per-thread prediction consumes.
+//!
+//! Both are event-driven and source-agnostic: Cheetah's profiler feeds them
+//! from simulator callbacks, and a native deployment would feed them from
+//! intercepted `pthread_create`/`pthread_join`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod phase;
+pub mod threads;
+
+pub use phase::{PhaseInterval, PhaseTracker};
+pub use threads::{ThreadRegistry, ThreadStats};

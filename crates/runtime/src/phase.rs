@@ -1,0 +1,340 @@
+//! Fork-join phase tracking (Fig. 3 of the paper).
+//!
+//! Cheetah infers the phase structure of an application from thread
+//! lifecycle events alone: *"an application leaves a serial phase after the
+//! creation of a thread; it leaves a parallel phase after all child threads
+//! (created in the current phase) have been successfully joined."*
+//! [`PhaseTracker`] implements that automaton. It deliberately does **not**
+//! look at the [`cheetah_sim::Program`]'s declared phases — reconstructing
+//! them from events is part of what the paper's runtime does, and tests
+//! check that the reconstruction matches the ground truth.
+
+use cheetah_sim::{Cycles, PhaseKind, ThreadId};
+use std::collections::BTreeSet;
+
+/// One reconstructed phase interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseInterval {
+    /// Phase index in program order.
+    pub index: u32,
+    /// Serial or parallel.
+    pub kind: PhaseKind,
+    /// Start time.
+    pub start: Cycles,
+    /// End time.
+    pub end: Cycles,
+    /// Child threads of the phase (empty for serial phases).
+    pub threads: Vec<ThreadId>,
+}
+
+impl PhaseInterval {
+    /// Duration of the interval.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Serial {
+        start: Cycles,
+    },
+    Parallel {
+        start: Cycles,
+        members: Vec<ThreadId>,
+        live: BTreeSet<ThreadId>,
+    },
+}
+
+/// Reconstructs the fork-join phase structure from thread events.
+///
+/// ```
+/// use cheetah_runtime::PhaseTracker;
+/// use cheetah_sim::{PhaseKind, ThreadId};
+///
+/// let mut tracker = PhaseTracker::new();
+/// tracker.on_thread_created(ThreadId(1), 100);
+/// tracker.on_thread_created(ThreadId(2), 110);
+/// tracker.on_thread_exited(ThreadId(1), 500);
+/// tracker.on_thread_exited(ThreadId(2), 600);
+/// let phases = tracker.finish(700);
+/// assert_eq!(phases.len(), 3); // serial, parallel, serial
+/// assert_eq!(phases[1].kind, PhaseKind::Parallel);
+/// assert_eq!(phases[1].duration(), 500);
+/// ```
+#[derive(Debug)]
+pub struct PhaseTracker {
+    state: State,
+    intervals: Vec<PhaseInterval>,
+    /// Set when events violate the strict fork-join shape (e.g. a creation
+    /// after some, but not all, children of the phase have exited).
+    irregular: bool,
+    finished: bool,
+}
+
+impl Default for PhaseTracker {
+    fn default() -> Self {
+        PhaseTracker::new()
+    }
+}
+
+impl PhaseTracker {
+    /// A tracker starting in a serial phase at time 0.
+    pub fn new() -> Self {
+        PhaseTracker {
+            state: State::Serial { start: 0 },
+            intervals: Vec::new(),
+            irregular: false,
+            finished: false,
+        }
+    }
+
+    /// Kind of the phase currently open.
+    pub fn current_kind(&self) -> PhaseKind {
+        match self.state {
+            State::Serial { .. } => PhaseKind::Serial,
+            State::Parallel { .. } => PhaseKind::Parallel,
+        }
+    }
+
+    /// Index of the phase currently open.
+    pub fn current_index(&self) -> u32 {
+        self.intervals.len() as u32
+    }
+
+    /// Whether the event stream so far matches the strict fork-join model
+    /// Cheetah's application-level assessment requires (§3.3).
+    pub fn is_fork_join(&self) -> bool {
+        !self.irregular
+    }
+
+    /// Records the creation of a child thread.
+    pub fn on_thread_created(&mut self, thread: ThreadId, now: Cycles) {
+        debug_assert!(!self.finished, "events after finish()");
+        match &mut self.state {
+            State::Serial { start } => {
+                let start = *start;
+                self.intervals.push(PhaseInterval {
+                    index: self.intervals.len() as u32,
+                    kind: PhaseKind::Serial,
+                    start,
+                    end: now,
+                    threads: Vec::new(),
+                });
+                let mut live = BTreeSet::new();
+                live.insert(thread);
+                self.state = State::Parallel {
+                    start: now,
+                    members: vec![thread],
+                    live,
+                };
+            }
+            State::Parallel { members, live, .. } => {
+                // Creating another thread is normal while the whole cohort
+                // is still being spawned; it breaks the fork-join shape only
+                // if some member already exited (partial join + respawn).
+                if live.len() != members.len() {
+                    self.irregular = true;
+                }
+                members.push(thread);
+                live.insert(thread);
+            }
+        }
+    }
+
+    /// Records a child thread's exit (its join, from the main thread's
+    /// point of view).
+    pub fn on_thread_exited(&mut self, thread: ThreadId, now: Cycles) {
+        debug_assert!(!self.finished, "events after finish()");
+        match &mut self.state {
+            State::Serial { .. } => {
+                // Exit without a tracked creation: irregular stream.
+                self.irregular = true;
+            }
+            State::Parallel {
+                start,
+                members,
+                live,
+            } => {
+                if !live.remove(&thread) {
+                    self.irregular = true;
+                    return;
+                }
+                if live.is_empty() {
+                    let interval = PhaseInterval {
+                        index: self.intervals.len() as u32,
+                        kind: PhaseKind::Parallel,
+                        start: *start,
+                        end: now,
+                        threads: std::mem::take(members),
+                    };
+                    self.intervals.push(interval);
+                    self.state = State::Serial { start: now };
+                }
+            }
+        }
+    }
+
+    /// Closes the current phase at `now` and returns all intervals.
+    ///
+    /// A zero-length trailing serial phase (program ended exactly at a
+    /// join) is dropped.
+    pub fn finish(&mut self, now: Cycles) -> &[PhaseInterval] {
+        if !self.finished {
+            self.finished = true;
+            match &mut self.state {
+                State::Serial { start } => {
+                    if *start < now {
+                        let start = *start;
+                        self.intervals.push(PhaseInterval {
+                            index: self.intervals.len() as u32,
+                            kind: PhaseKind::Serial,
+                            start,
+                            end: now,
+                            threads: Vec::new(),
+                        });
+                    }
+                }
+                State::Parallel {
+                    start,
+                    members,
+                    live,
+                } => {
+                    // Program ended with unjoined threads: irregular, but
+                    // still record the interval.
+                    if !live.is_empty() {
+                        self.irregular = true;
+                    }
+                    let interval = PhaseInterval {
+                        index: self.intervals.len() as u32,
+                        kind: PhaseKind::Parallel,
+                        start: *start,
+                        end: now,
+                        threads: std::mem::take(members),
+                    };
+                    self.intervals.push(interval);
+                }
+            }
+        }
+        &self.intervals
+    }
+
+    /// Intervals closed so far (all of them after [`PhaseTracker::finish`]).
+    pub fn intervals(&self) -> &[PhaseInterval] {
+        &self.intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_parallel_phase() {
+        let mut tracker = PhaseTracker::new();
+        tracker.on_thread_created(ThreadId(1), 50);
+        tracker.on_thread_created(ThreadId(2), 60);
+        tracker.on_thread_exited(ThreadId(2), 400);
+        tracker.on_thread_exited(ThreadId(1), 450);
+        let phases = tracker.finish(500);
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].kind, PhaseKind::Serial);
+        assert_eq!((phases[0].start, phases[0].end), (0, 50));
+        assert_eq!(phases[1].kind, PhaseKind::Parallel);
+        assert_eq!((phases[1].start, phases[1].end), (50, 450));
+        assert_eq!(phases[1].threads, vec![ThreadId(1), ThreadId(2)]);
+        assert_eq!(phases[2].kind, PhaseKind::Serial);
+        assert_eq!((phases[2].start, phases[2].end), (450, 500));
+    }
+
+    #[test]
+    fn two_parallel_phases_alternate_with_serial() {
+        let mut tracker = PhaseTracker::new();
+        tracker.on_thread_created(ThreadId(1), 10);
+        tracker.on_thread_exited(ThreadId(1), 100);
+        tracker.on_thread_created(ThreadId(2), 150);
+        tracker.on_thread_exited(ThreadId(2), 300);
+        let phases = tracker.finish(300);
+        // serial, parallel, serial, parallel — trailing empty serial dropped.
+        let kinds: Vec<_> = phases.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PhaseKind::Serial,
+                PhaseKind::Parallel,
+                PhaseKind::Serial,
+                PhaseKind::Parallel
+            ]
+        );
+        assert!(tracker.is_fork_join());
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let mut tracker = PhaseTracker::new();
+        tracker.on_thread_created(ThreadId(1), 10);
+        tracker.on_thread_exited(ThreadId(1), 20);
+        let phases = tracker.finish(30);
+        let indices: Vec<_> = phases.iter().map(|p| p.index).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn current_kind_follows_state() {
+        let mut tracker = PhaseTracker::new();
+        assert_eq!(tracker.current_kind(), PhaseKind::Serial);
+        assert_eq!(tracker.current_index(), 0);
+        tracker.on_thread_created(ThreadId(1), 10);
+        assert_eq!(tracker.current_kind(), PhaseKind::Parallel);
+        assert_eq!(tracker.current_index(), 1);
+        tracker.on_thread_exited(ThreadId(1), 20);
+        assert_eq!(tracker.current_kind(), PhaseKind::Serial);
+        assert_eq!(tracker.current_index(), 2);
+    }
+
+    #[test]
+    fn respawn_after_partial_join_is_irregular() {
+        let mut tracker = PhaseTracker::new();
+        tracker.on_thread_created(ThreadId(1), 10);
+        tracker.on_thread_created(ThreadId(2), 11);
+        tracker.on_thread_exited(ThreadId(1), 100);
+        // T2 still live, and a new thread appears: pipeline shape, not
+        // fork-join.
+        tracker.on_thread_created(ThreadId(3), 110);
+        assert!(!tracker.is_fork_join());
+    }
+
+    #[test]
+    fn unjoined_threads_at_end_are_irregular() {
+        let mut tracker = PhaseTracker::new();
+        tracker.on_thread_created(ThreadId(1), 10);
+        tracker.finish(100);
+        assert!(!tracker.is_fork_join());
+        assert_eq!(tracker.intervals().last().unwrap().kind, PhaseKind::Parallel);
+    }
+
+    #[test]
+    fn unknown_exit_is_irregular() {
+        let mut tracker = PhaseTracker::new();
+        tracker.on_thread_exited(ThreadId(9), 10);
+        assert!(!tracker.is_fork_join());
+    }
+
+    #[test]
+    fn trailing_zero_length_serial_dropped() {
+        let mut tracker = PhaseTracker::new();
+        tracker.on_thread_created(ThreadId(1), 10);
+        tracker.on_thread_exited(ThreadId(1), 100);
+        let phases = tracker.finish(100);
+        assert_eq!(phases.len(), 2);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut tracker = PhaseTracker::new();
+        tracker.on_thread_created(ThreadId(1), 10);
+        tracker.on_thread_exited(ThreadId(1), 100);
+        let n = tracker.finish(120).len();
+        assert_eq!(tracker.finish(120).len(), n);
+    }
+}

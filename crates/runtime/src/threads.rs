@@ -1,0 +1,194 @@
+//! Per-thread runtime statistics.
+//!
+//! For the assessment equations (§3.2 of the paper) Cheetah needs, for each
+//! thread `t`: its wall-clock runtime `RT_t` (RDTSC around the start
+//! routine), the number of sampled accesses `Accesses_t` and their total
+//! latency `Cycles_t`. [`ThreadRegistry`] accumulates exactly those, keyed
+//! by thread id, with the creation phase recorded so the application-level
+//! prediction can re-time each parallel phase independently.
+
+use cheetah_sim::util::FastMap;
+use cheetah_sim::{Cycles, ThreadId};
+
+/// Statistics for one tracked thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Thread name (from the spec; `"main"` for the main thread).
+    pub name: String,
+    /// Timestamp of the start routine's entry.
+    pub start: Cycles,
+    /// Timestamp of the start routine's exit; `None` while running.
+    pub end: Option<Cycles>,
+    /// Index of the phase in which the thread was created.
+    pub creation_phase: u32,
+    /// Number of sampled memory accesses attributed to this thread.
+    pub sampled_accesses: u64,
+    /// Total latency (cycles) of those sampled accesses.
+    pub sampled_cycles: Cycles,
+}
+
+impl ThreadStats {
+    /// The thread's runtime `RT_t`; for running threads, the time elapsed
+    /// until `now_hint` would be needed, so this returns `None`.
+    pub fn runtime(&self) -> Option<Cycles> {
+        self.end.map(|end| end - self.start)
+    }
+
+    /// Mean sampled access latency, or `None` without samples.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.sampled_accesses == 0 {
+            None
+        } else {
+            Some(self.sampled_cycles as f64 / self.sampled_accesses as f64)
+        }
+    }
+}
+
+/// Registry of every thread seen during a profile.
+///
+/// ```
+/// use cheetah_runtime::ThreadRegistry;
+/// use cheetah_sim::ThreadId;
+///
+/// let mut registry = ThreadRegistry::new();
+/// registry.on_start(ThreadId(1), "worker", 100, 1);
+/// registry.record_sample(ThreadId(1), 150);
+/// registry.on_exit(ThreadId(1), 5_100);
+/// let stats = registry.get(ThreadId(1)).unwrap();
+/// assert_eq!(stats.runtime(), Some(5_000));
+/// assert_eq!(stats.sampled_cycles, 150);
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadRegistry {
+    order: Vec<ThreadId>,
+    by_id: FastMap<ThreadId, ThreadStats>,
+}
+
+impl ThreadRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ThreadRegistry::default()
+    }
+
+    /// Registers a thread start. Re-registering an id replaces the previous
+    /// record (thread ids are never reused by the simulator).
+    pub fn on_start(&mut self, id: ThreadId, name: &str, now: Cycles, creation_phase: u32) {
+        if !self.by_id.contains_key(&id) {
+            self.order.push(id);
+        }
+        self.by_id.insert(
+            id,
+            ThreadStats {
+                id,
+                name: name.to_string(),
+                start: now,
+                end: None,
+                creation_phase,
+                sampled_accesses: 0,
+                sampled_cycles: 0,
+            },
+        );
+    }
+
+    /// Records a thread exit; unknown ids are ignored (exits can race with
+    /// profiler attach in real deployments).
+    pub fn on_exit(&mut self, id: ThreadId, now: Cycles) {
+        if let Some(stats) = self.by_id.get_mut(&id) {
+            stats.end = Some(now);
+        }
+    }
+
+    /// Attributes one sampled access of `latency` cycles to `id`.
+    pub fn record_sample(&mut self, id: ThreadId, latency: Cycles) {
+        if let Some(stats) = self.by_id.get_mut(&id) {
+            stats.sampled_accesses += 1;
+            stats.sampled_cycles += latency;
+        }
+    }
+
+    /// Stats for one thread.
+    pub fn get(&self, id: ThreadId) -> Option<&ThreadStats> {
+        self.by_id.get(&id)
+    }
+
+    /// Iterates threads in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ThreadStats> {
+        self.order.iter().filter_map(|id| self.by_id.get(id))
+    }
+
+    /// Number of threads ever registered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no thread was registered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Threads created in the given phase.
+    pub fn in_phase(&self, phase: u32) -> impl Iterator<Item = &ThreadStats> {
+        self.iter().filter(move |t| t.creation_phase == phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_samples() {
+        let mut registry = ThreadRegistry::new();
+        registry.on_start(ThreadId(0), "main", 0, 0);
+        registry.on_start(ThreadId(1), "w0", 100, 1);
+        registry.record_sample(ThreadId(1), 150);
+        registry.record_sample(ThreadId(1), 4);
+        registry.on_exit(ThreadId(1), 1_100);
+        let w0 = registry.get(ThreadId(1)).unwrap();
+        assert_eq!(w0.runtime(), Some(1_000));
+        assert_eq!(w0.sampled_accesses, 2);
+        assert_eq!(w0.sampled_cycles, 154);
+        assert_eq!(w0.mean_latency(), Some(77.0));
+        assert_eq!(registry.get(ThreadId(0)).unwrap().runtime(), None);
+    }
+
+    #[test]
+    fn unknown_ids_ignored() {
+        let mut registry = ThreadRegistry::new();
+        registry.record_sample(ThreadId(7), 10);
+        registry.on_exit(ThreadId(7), 10);
+        assert!(registry.get(ThreadId(7)).is_none());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn iteration_preserves_registration_order() {
+        let mut registry = ThreadRegistry::new();
+        for i in [3u32, 1, 2] {
+            registry.on_start(ThreadId(i), "t", 0, 0);
+        }
+        let order: Vec<u32> = registry.iter().map(|t| t.id.0).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+        assert_eq!(registry.len(), 3);
+    }
+
+    #[test]
+    fn phase_filter() {
+        let mut registry = ThreadRegistry::new();
+        registry.on_start(ThreadId(1), "a", 0, 1);
+        registry.on_start(ThreadId(2), "b", 0, 1);
+        registry.on_start(ThreadId(3), "c", 0, 3);
+        assert_eq!(registry.in_phase(1).count(), 2);
+        assert_eq!(registry.in_phase(3).count(), 1);
+        assert_eq!(registry.in_phase(2).count(), 0);
+    }
+
+    #[test]
+    fn mean_latency_requires_samples() {
+        let mut registry = ThreadRegistry::new();
+        registry.on_start(ThreadId(1), "a", 0, 0);
+        assert_eq!(registry.get(ThreadId(1)).unwrap().mean_latency(), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests of the fork-join phase automaton.
+
+use cheetah_runtime::{PhaseTracker, ThreadRegistry};
+use cheetah_sim::{PhaseKind, ThreadId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn kinds_alternate_and_members_partition(cohorts in proptest::collection::vec(1u32..8, 1..8)) {
+        let mut tracker = PhaseTracker::new();
+        let mut now = 1u64;
+        let mut next = 1u32;
+        let mut all_members = Vec::new();
+        for cohort in &cohorts {
+            let ids: Vec<ThreadId> = (0..*cohort).map(|_| { let id = ThreadId(next); next += 1; id }).collect();
+            for &id in &ids { tracker.on_thread_created(id, now); now += 2; }
+            now += 10;
+            for &id in &ids { tracker.on_thread_exited(id, now); now += 2; }
+            all_members.extend(ids);
+        }
+        let phases = tracker.finish(now + 1).to_vec();
+        // Kinds strictly alternate.
+        for pair in phases.windows(2) {
+            prop_assert_ne!(pair[0].kind, pair[1].kind);
+        }
+        // Every created thread appears in exactly one parallel phase.
+        let mut seen = Vec::new();
+        for phase in &phases {
+            match phase.kind {
+                PhaseKind::Serial => prop_assert!(phase.threads.is_empty()),
+                PhaseKind::Parallel => seen.extend(phase.threads.iter().copied()),
+            }
+        }
+        seen.sort();
+        let mut expected = all_members.clone();
+        expected.sort();
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn registry_aggregates_are_sums(samples in proptest::collection::vec((0u32..5, 1u64..500), 0..200)) {
+        let mut registry = ThreadRegistry::new();
+        for t in 0..5u32 {
+            registry.on_start(ThreadId(t), "w", 0, 1);
+        }
+        let mut expected = [(0u64, 0u64); 5];
+        for (t, latency) in samples {
+            registry.record_sample(ThreadId(t), latency);
+            expected[t as usize].0 += 1;
+            expected[t as usize].1 += latency;
+        }
+        for t in 0..5u32 {
+            let stats = registry.get(ThreadId(t)).unwrap();
+            prop_assert_eq!(stats.sampled_accesses, expected[t as usize].0);
+            prop_assert_eq!(stats.sampled_cycles, expected[t as usize].1);
+        }
+    }
+}

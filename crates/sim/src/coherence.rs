@@ -1,0 +1,549 @@
+//! MESI coherence directory with per-line contention queuing.
+//!
+//! The directory tracks, for every cache line ever touched, which cores hold
+//! a copy and in which state (Modified / Exclusive / Shared; Invalid lines
+//! are simply absent). Private caches are modelled as infinite — capacity
+//! evictions are disabled — so every miss is either cold or a *coherence*
+//! miss. That isolates exactly the effect false sharing produces and matches
+//! the machine model the paper's detector assumes (its Assumption 2).
+//!
+//! Beyond MESI state, each line has a **busy window**: a coherence
+//! transaction (cold fill, cache-to-cache transfer, invalidating upgrade)
+//! occupies the line until it completes, and any access arriving meanwhile
+//! queues behind it. This is what makes contended lines expensive for
+//! *every* participant — the physical property behind the paper's
+//! Observation 2 (accesses with false sharing have much higher latency) —
+//! and what serialises throughput on a ping-ponging line.
+//!
+//! The directory is the single authority for access outcomes: the execution
+//! engine calls [`Directory::access`] for every simulated load/store with
+//! the current virtual time and charges the returned total latency to the
+//! issuing thread.
+
+use crate::latency::{AccessOutcome, LatencyModel};
+use crate::stats::CoherenceStats;
+use crate::types::{AccessKind, CacheLineId, CoreId, Cycles};
+use crate::util::{FastMap, FastSet};
+
+/// Maximum number of cores the sharer bitset supports.
+pub const MAX_CORES: u32 = 64;
+
+/// Set of cores sharing a line, as a 64-bit bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        SharerSet(0)
+    }
+
+    /// A singleton set.
+    pub fn singleton(core: CoreId) -> Self {
+        debug_assert!(core.0 < MAX_CORES);
+        SharerSet(1u64 << core.0)
+    }
+
+    /// Inserts `core` into the set.
+    pub fn insert(&mut self, core: CoreId) {
+        debug_assert!(core.0 < MAX_CORES);
+        self.0 |= 1u64 << core.0;
+    }
+
+    /// Whether `core` is in the set.
+    pub fn contains(self, core: CoreId) -> bool {
+        core.0 < MAX_CORES && self.0 & (1u64 << core.0) != 0
+    }
+
+    /// Number of cores in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the cores in ascending id order.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        let bits = self.0;
+        (0..MAX_CORES).filter_map(move |i| {
+            if bits & (1u64 << i) != 0 {
+                Some(CoreId(i))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// MESI state of a tracked line. `Invalid` is represented by absence from the
+/// directory map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    /// Exactly one core holds a clean, exclusive copy.
+    Exclusive(CoreId),
+    /// Exactly one core holds a dirty copy.
+    Modified(CoreId),
+    /// One or more cores hold clean shared copies.
+    Shared(SharerSet),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineEntry {
+    state: LineState,
+    /// The line is occupied by an in-flight coherence transaction until
+    /// this time; later requests queue behind it.
+    busy_until: Cycles,
+}
+
+/// Result of one directory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// How the access was satisfied.
+    pub outcome: AccessOutcome,
+    /// Cycles spent queued behind an in-flight transaction on the line.
+    pub wait: Cycles,
+    /// Cycles of the access itself.
+    pub cost: Cycles,
+}
+
+impl AccessResult {
+    /// Total latency charged to the issuing thread.
+    pub fn latency(&self) -> Cycles {
+        self.wait + self.cost
+    }
+}
+
+/// The coherence directory of the simulated machine.
+///
+/// ```
+/// use cheetah_sim::{AccessKind, AccessOutcome, CacheLineId, CoreId, Directory,
+///                   LatencyModel};
+/// let mut dir = Directory::new(LatencyModel::default());
+/// let line = CacheLineId(7);
+/// // Cold write allocates the line in Modified on core 0.
+/// assert_eq!(dir.access(CoreId(0), line, AccessKind::Write, 0).outcome,
+///            AccessOutcome::Memory);
+/// // A write from core 1 is a dirty remote fetch that invalidates core 0.
+/// let result = dir.access(CoreId(1), line, AccessKind::Write, 1_000);
+/// assert_eq!(result.outcome, AccessOutcome::RemoteDirty);
+/// assert_eq!(dir.stats().invalidations, 1);
+/// ```
+#[derive(Debug)]
+pub struct Directory {
+    latency: LatencyModel,
+    lines: FastMap<CacheLineId, LineEntry>,
+    /// Lines that have ever been cached: the (infinite) shared LLC contents.
+    llc: FastSet<CacheLineId>,
+    /// Last line touched per core, for next-line prefetch detection.
+    last_line: FastMap<CoreId, CacheLineId>,
+    stats: CoherenceStats,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory::new(LatencyModel::default())
+    }
+}
+
+impl Directory {
+    /// Creates an empty directory (all lines Invalid, LLC empty) using the
+    /// given latency model for transaction costs.
+    pub fn new(latency: LatencyModel) -> Self {
+        Directory {
+            latency,
+            lines: FastMap::default(),
+            llc: FastSet::default(),
+            last_line: FastMap::default(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// Aggregate statistics accumulated so far.
+    pub fn stats(&self) -> &CoherenceStats {
+        &self.stats
+    }
+
+    /// Number of lines currently tracked in a valid state.
+    pub fn tracked_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Simulates one access starting at time `now`; returns how it was
+    /// satisfied and the full latency breakdown.
+    ///
+    /// Updates MESI state, the per-line busy window, the LLC presence set
+    /// and the statistics counters (including `invalidations`, the number
+    /// of remote line copies killed by write upgrades and
+    /// read-for-ownership transfers).
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        line: CacheLineId,
+        kind: AccessKind,
+        now: Cycles,
+    ) -> AccessResult {
+        // Queue behind any in-flight transaction on the line.
+        let wait = self
+            .lines
+            .get(&line)
+            .map_or(0, |entry| entry.busy_until.saturating_sub(now));
+        let mut outcome = match kind {
+            AccessKind::Read => self.read(core, line),
+            AccessKind::Write => self.write(core, line),
+        };
+        // Next-line prefetch: a sequential miss on an uncontended line is
+        // hidden by the hardware prefetcher. The state transition and any
+        // invalidations above still stand; only the visible cost changes.
+        if wait == 0
+            && prefetchable(outcome)
+            && self.last_line.get(&core).is_some_and(|last| last.0 + 1 == line.0)
+        {
+            outcome = AccessOutcome::Prefetched;
+        }
+        self.last_line.insert(core, line);
+        let cost = self.latency.cost(outcome);
+        // Transactions that move the line occupy it until they complete.
+        if occupies_line(outcome) {
+            if let Some(entry) = self.lines.get_mut(&line) {
+                entry.busy_until = now + wait + cost;
+            }
+        }
+        self.stats.record(outcome);
+        self.stats.wait_cycles += wait;
+        AccessResult {
+            outcome,
+            wait,
+            cost,
+        }
+    }
+
+    fn set_state(&mut self, line: CacheLineId, state: LineState) {
+        match self.lines.get_mut(&line) {
+            Some(entry) => entry.state = state,
+            None => {
+                self.lines.insert(
+                    line,
+                    LineEntry {
+                        state,
+                        busy_until: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn read(&mut self, core: CoreId, line: CacheLineId) -> AccessOutcome {
+        match self.lines.get(&line).map(|e| e.state) {
+            Some(LineState::Modified(owner)) => {
+                if owner == core {
+                    AccessOutcome::L1Hit
+                } else {
+                    // Dirty cache-to-cache transfer; owner downgrades to
+                    // Shared and the dirty data reaches the LLC.
+                    let mut sharers = SharerSet::singleton(owner);
+                    sharers.insert(core);
+                    self.set_state(line, LineState::Shared(sharers));
+                    self.llc.insert(line);
+                    AccessOutcome::RemoteDirty
+                }
+            }
+            Some(LineState::Exclusive(owner)) => {
+                if owner == core {
+                    AccessOutcome::L1Hit
+                } else {
+                    let mut sharers = SharerSet::singleton(owner);
+                    sharers.insert(core);
+                    self.set_state(line, LineState::Shared(sharers));
+                    AccessOutcome::RemoteClean
+                }
+            }
+            Some(LineState::Shared(sharers)) => {
+                if sharers.contains(core) {
+                    AccessOutcome::L1Hit
+                } else {
+                    // Shared lines are (conservatively) present in the LLC.
+                    let mut sharers = sharers;
+                    sharers.insert(core);
+                    self.set_state(line, LineState::Shared(sharers));
+                    self.llc.insert(line);
+                    AccessOutcome::LlcHit
+                }
+            }
+            None => {
+                let outcome = if self.llc.contains(&line) {
+                    AccessOutcome::LlcHit
+                } else {
+                    AccessOutcome::Memory
+                };
+                self.set_state(line, LineState::Exclusive(core));
+                self.llc.insert(line);
+                outcome
+            }
+        }
+    }
+
+    fn write(&mut self, core: CoreId, line: CacheLineId) -> AccessOutcome {
+        match self.lines.get(&line).map(|e| e.state) {
+            Some(LineState::Modified(owner)) => {
+                if owner == core {
+                    AccessOutcome::L1Hit
+                } else {
+                    // Read-for-ownership of a dirty line: invalidate owner.
+                    self.stats.invalidations += 1;
+                    self.set_state(line, LineState::Modified(core));
+                    AccessOutcome::RemoteDirty
+                }
+            }
+            Some(LineState::Exclusive(owner)) => {
+                if owner == core {
+                    // Silent E -> M upgrade.
+                    self.set_state(line, LineState::Modified(core));
+                    AccessOutcome::L1Hit
+                } else {
+                    self.stats.invalidations += 1;
+                    self.set_state(line, LineState::Modified(core));
+                    AccessOutcome::RemoteClean
+                }
+            }
+            Some(LineState::Shared(sharers)) => {
+                let holds_copy = sharers.contains(core);
+                let victims = sharers.len() - u32::from(holds_copy);
+                self.set_state(line, LineState::Modified(core));
+                if victims == 0 {
+                    AccessOutcome::UpgradeSole
+                } else {
+                    self.stats.invalidations += u64::from(victims);
+                    AccessOutcome::UpgradeInvalidate
+                }
+            }
+            None => {
+                let outcome = if self.llc.contains(&line) {
+                    AccessOutcome::LlcHit
+                } else {
+                    AccessOutcome::Memory
+                };
+                self.set_state(line, LineState::Modified(core));
+                self.llc.insert(line);
+                outcome
+            }
+        }
+    }
+}
+
+/// Whether an outcome keeps the line occupied for its duration.
+fn occupies_line(outcome: AccessOutcome) -> bool {
+    matches!(
+        outcome,
+        AccessOutcome::Memory
+            | AccessOutcome::RemoteClean
+            | AccessOutcome::RemoteDirty
+            | AccessOutcome::UpgradeInvalidate
+            | AccessOutcome::Prefetched
+    )
+}
+
+/// Which misses the next-line prefetcher can hide.
+fn prefetchable(outcome: AccessOutcome) -> bool {
+    matches!(
+        outcome,
+        AccessOutcome::Memory
+            | AccessOutcome::LlcHit
+            | AccessOutcome::RemoteClean
+            | AccessOutcome::RemoteDirty
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: CacheLineId = CacheLineId(100);
+    const C0: CoreId = CoreId(0);
+    const C1: CoreId = CoreId(1);
+    const C2: CoreId = CoreId(2);
+
+    /// Test helper driving the directory with a private monotonic clock so
+    /// that queueing effects don't leak into outcome assertions.
+    struct Driver {
+        dir: Directory,
+        now: Cycles,
+    }
+
+    impl Driver {
+        fn new() -> Self {
+            Driver {
+                dir: Directory::default(),
+                now: 0,
+            }
+        }
+
+        fn access(&mut self, core: CoreId, line: CacheLineId, kind: AccessKind) -> AccessOutcome {
+            let result = self.dir.access(core, line, kind, self.now);
+            self.now += result.latency() + 1;
+            result.outcome
+        }
+    }
+
+    #[test]
+    fn cold_read_is_memory_then_hits() {
+        let mut d = Driver::new();
+        assert_eq!(d.access(C0, L, AccessKind::Read), AccessOutcome::Memory);
+        assert_eq!(d.access(C0, L, AccessKind::Read), AccessOutcome::L1Hit);
+        assert_eq!(d.access(C0, L, AccessKind::Write), AccessOutcome::L1Hit);
+        assert_eq!(d.dir.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn read_after_remote_write_is_dirty_transfer() {
+        let mut d = Driver::new();
+        d.access(C0, L, AccessKind::Write);
+        assert_eq!(d.access(C1, L, AccessKind::Read), AccessOutcome::RemoteDirty);
+        // Both now share; further reads hit locally.
+        assert_eq!(d.access(C0, L, AccessKind::Read), AccessOutcome::L1Hit);
+        assert_eq!(d.access(C1, L, AccessKind::Read), AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    fn write_ping_pong_counts_invalidations() {
+        let mut d = Driver::new();
+        d.access(C0, L, AccessKind::Write); // cold
+        for _ in 0..10 {
+            assert_eq!(d.access(C1, L, AccessKind::Write), AccessOutcome::RemoteDirty);
+            assert_eq!(d.access(C0, L, AccessKind::Write), AccessOutcome::RemoteDirty);
+        }
+        assert_eq!(d.dir.stats().invalidations, 20);
+    }
+
+    #[test]
+    fn write_to_shared_line_invalidates_all_other_sharers() {
+        let mut d = Driver::new();
+        d.access(C0, L, AccessKind::Read);
+        d.access(C1, L, AccessKind::Read);
+        d.access(C2, L, AccessKind::Read);
+        let before = d.dir.stats().invalidations;
+        assert_eq!(
+            d.access(C0, L, AccessKind::Write),
+            AccessOutcome::UpgradeInvalidate
+        );
+        assert_eq!(d.dir.stats().invalidations - before, 2);
+    }
+
+    #[test]
+    fn sole_sharer_upgrade_is_cheap() {
+        let mut d = Driver::new();
+        d.access(C0, L, AccessKind::Read); // E on C0
+        d.access(C1, L, AccessKind::Read); // S{0,1}
+        d.access(C1, L, AccessKind::Write); // invalidate C0 -> M(C1)
+        assert_eq!(d.access(C1, L, AccessKind::Write), AccessOutcome::L1Hit);
+        // C1 is now the only holder; hammering it stays local.
+        assert_eq!(d.access(C1, L, AccessKind::Write), AccessOutcome::L1Hit);
+    }
+
+    #[test]
+    fn exclusive_read_by_other_core_is_clean_transfer() {
+        let mut d = Driver::new();
+        d.access(C0, L, AccessKind::Read); // E on C0
+        assert_eq!(d.access(C1, L, AccessKind::Read), AccessOutcome::RemoteClean);
+    }
+
+    #[test]
+    fn untouched_lines_miss_to_memory() {
+        let mut d = Driver::new();
+        d.access(C0, L, AccessKind::Read);
+        d.access(C0, CacheLineId(200), AccessKind::Read);
+        assert_eq!(
+            d.access(C1, CacheLineId(300), AccessKind::Read),
+            AccessOutcome::Memory
+        );
+    }
+
+    #[test]
+    fn sharer_set_operations() {
+        let mut set = SharerSet::empty();
+        assert!(set.is_empty());
+        set.insert(CoreId(3));
+        set.insert(CoreId(63));
+        assert!(set.contains(CoreId(3)));
+        assert!(set.contains(CoreId(63)));
+        assert!(!set.contains(CoreId(4)));
+        assert_eq!(set.len(), 2);
+        let cores: Vec<_> = set.iter().collect();
+        assert_eq!(cores, vec![CoreId(3), CoreId(63)]);
+    }
+
+    #[test]
+    fn stats_outcome_counters_accumulate() {
+        let mut d = Driver::new();
+        d.access(C0, L, AccessKind::Write);
+        d.access(C1, L, AccessKind::Write);
+        d.access(C1, L, AccessKind::Write);
+        let stats = d.dir.stats();
+        assert_eq!(stats.total_accesses(), 3);
+        assert_eq!(stats.memory, 1);
+        assert_eq!(stats.remote_dirty, 1);
+        assert_eq!(stats.l1_hits, 1);
+    }
+
+    #[test]
+    fn same_core_threads_do_not_ping_pong() {
+        // Two "threads" mapped onto the same core share the private cache:
+        // no coherence traffic. This mirrors the paper's over-subscription
+        // discussion (§2, Assumption 1).
+        let mut d = Driver::new();
+        d.access(C0, L, AccessKind::Write);
+        for _ in 0..10 {
+            assert_eq!(d.access(C0, L, AccessKind::Write), AccessOutcome::L1Hit);
+        }
+        assert_eq!(d.dir.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn concurrent_request_queues_behind_busy_line() {
+        let mut dir = Directory::default();
+        let lat = LatencyModel::default();
+        dir.access(C0, L, AccessKind::Write, 0); // cold fill, busy until `memory`
+        // C1 requests 10 cycles in: must wait out the remaining fill.
+        let result = dir.access(C1, L, AccessKind::Write, 10);
+        assert_eq!(result.outcome, AccessOutcome::RemoteDirty);
+        assert_eq!(result.wait, lat.memory - 10);
+        assert_eq!(result.latency(), lat.memory - 10 + lat.remote_dirty);
+        assert_eq!(dir.stats().wait_cycles, lat.memory - 10);
+    }
+
+    #[test]
+    fn queued_transactions_serialise() {
+        let mut dir = Directory::default();
+        let lat = LatencyModel::default();
+        dir.access(C0, L, AccessKind::Write, 0);
+        let first = dir.access(C1, L, AccessKind::Write, 0);
+        let second = dir.access(C2, L, AccessKind::Write, 0);
+        // The second steal queues behind cold fill + first steal.
+        assert_eq!(first.wait, lat.memory);
+        assert_eq!(second.wait, lat.memory + lat.remote_dirty);
+    }
+
+    #[test]
+    fn hits_do_not_extend_busy_window() {
+        let mut dir = Directory::default();
+        let lat = LatencyModel::default();
+        dir.access(C0, L, AccessKind::Write, 0);
+        // Hit by owner after the fill completes: no wait, no new busy.
+        let hit = dir.access(C0, L, AccessKind::Write, lat.memory);
+        assert_eq!(hit.outcome, AccessOutcome::L1Hit);
+        assert_eq!(hit.wait, 0);
+        let next = dir.access(C1, L, AccessKind::Read, lat.memory + 1);
+        assert_eq!(next.wait, 0);
+    }
+
+    #[test]
+    fn idle_line_has_no_wait() {
+        let mut dir = Directory::default();
+        dir.access(C0, L, AccessKind::Write, 0);
+        // Long after the transaction: no queueing.
+        let result = dir.access(C1, L, AccessKind::Write, 1_000_000);
+        assert_eq!(result.wait, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The machine's memory latency model.
+//!
+//! Every simulated access resolves to an [`AccessOutcome`] (decided by the
+//! coherence directory) which the [`LatencyModel`] converts into cycles.
+//! Defaults approximate the paper's evaluation machine — a 1.6 GHz AMD
+//! Opteron with private L1/L2, a shared L3 and an inter-socket coherence
+//! fabric — at the granularity that matters for false sharing: a coherence
+//! miss is an order of magnitude more expensive than a local hit.
+
+use crate::types::Cycles;
+
+/// How an access was satisfied by the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOutcome {
+    /// Hit in the issuing core's private cache.
+    L1Hit,
+    /// Served by the shared last-level cache.
+    LlcHit,
+    /// Cold miss served by main memory.
+    Memory,
+    /// Line transferred from another core's private cache in clean state.
+    RemoteClean,
+    /// Line transferred from another core's private cache in Modified state
+    /// (dirty transfer — the expensive case behind false sharing).
+    RemoteDirty,
+    /// Write upgrade on a line this core already held as the only sharer.
+    UpgradeSole,
+    /// Write upgrade that had to invalidate copies in other cores.
+    UpgradeInvalidate,
+    /// A miss on the next sequential line, hidden by the hardware
+    /// prefetcher. The coherence transaction still happened (state
+    /// transitions and invalidation counts are identical); only the
+    /// *visible* latency is small. This is what keeps streaming
+    /// initialisation and scan phases cheap on real machines, and it is why
+    /// serial-phase sampled latencies approximate post-fix latencies
+    /// (the paper's `AverCycles_serial` heuristic, §3.1).
+    Prefetched,
+}
+
+impl AccessOutcome {
+    /// Whether this outcome involved a coherence transaction with another
+    /// core (remote transfer or invalidation), i.e. the traffic class false
+    /// sharing inflates.
+    pub fn is_coherence(self) -> bool {
+        matches!(
+            self,
+            AccessOutcome::RemoteClean
+                | AccessOutcome::RemoteDirty
+                | AccessOutcome::UpgradeInvalidate
+        )
+    }
+}
+
+/// Cycle costs per [`AccessOutcome`], plus the base pipeline costs.
+///
+/// The model is intentionally flat (no queuing or bandwidth contention): the
+/// detector only needs relative latencies — coherence misses must dominate
+/// local hits — and a flat model keeps every experiment deterministic.
+///
+/// ```
+/// use cheetah_sim::{AccessOutcome, LatencyModel};
+/// let m = LatencyModel::default();
+/// assert!(m.cost(AccessOutcome::RemoteDirty) > 10 * m.cost(AccessOutcome::L1Hit));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Private-cache hit.
+    pub l1_hit: Cycles,
+    /// Shared LLC hit.
+    pub llc_hit: Cycles,
+    /// Main-memory access (cold miss).
+    pub memory: Cycles,
+    /// Cache-to-cache transfer of a clean line.
+    pub remote_clean: Cycles,
+    /// Cache-to-cache transfer of a dirty line.
+    pub remote_dirty: Cycles,
+    /// Write upgrade when the writer is the sole sharer.
+    pub upgrade_sole: Cycles,
+    /// Write upgrade that invalidates other sharers.
+    pub upgrade_invalidate: Cycles,
+    /// Sequential miss hidden by the hardware prefetcher.
+    pub prefetched: Cycles,
+    /// Cycles retired per non-memory instruction (pure compute).
+    pub cycles_per_instruction: Cycles,
+}
+
+impl LatencyModel {
+    /// Cycle cost of an access outcome.
+    pub fn cost(&self, outcome: AccessOutcome) -> Cycles {
+        match outcome {
+            AccessOutcome::L1Hit => self.l1_hit,
+            AccessOutcome::LlcHit => self.llc_hit,
+            AccessOutcome::Memory => self.memory,
+            AccessOutcome::RemoteClean => self.remote_clean,
+            AccessOutcome::RemoteDirty => self.remote_dirty,
+            AccessOutcome::UpgradeSole => self.upgrade_sole,
+            AccessOutcome::UpgradeInvalidate => self.upgrade_invalidate,
+            AccessOutcome::Prefetched => self.prefetched,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            l1_hit: 4,
+            llc_hit: 40,
+            memory: 220,
+            remote_clean: 90,
+            remote_dirty: 150,
+            upgrade_sole: 10,
+            upgrade_invalidate: 120,
+            prefetched: 10,
+            cycles_per_instruction: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_order_coherence_above_hits() {
+        let m = LatencyModel::default();
+        assert!(m.l1_hit < m.llc_hit);
+        assert!(m.llc_hit < m.remote_clean);
+        assert!(m.remote_clean < m.remote_dirty);
+        assert!(m.upgrade_sole < m.upgrade_invalidate);
+        assert!(m.l1_hit < m.memory);
+    }
+
+    #[test]
+    fn cost_matches_fields() {
+        let m = LatencyModel::default();
+        assert_eq!(m.cost(AccessOutcome::L1Hit), m.l1_hit);
+        assert_eq!(m.cost(AccessOutcome::LlcHit), m.llc_hit);
+        assert_eq!(m.cost(AccessOutcome::Memory), m.memory);
+        assert_eq!(m.cost(AccessOutcome::RemoteClean), m.remote_clean);
+        assert_eq!(m.cost(AccessOutcome::RemoteDirty), m.remote_dirty);
+        assert_eq!(m.cost(AccessOutcome::UpgradeSole), m.upgrade_sole);
+        assert_eq!(
+            m.cost(AccessOutcome::UpgradeInvalidate),
+            m.upgrade_invalidate
+        );
+        assert_eq!(m.cost(AccessOutcome::Prefetched), m.prefetched);
+    }
+
+    #[test]
+    fn coherence_classification() {
+        assert!(AccessOutcome::RemoteDirty.is_coherence());
+        assert!(AccessOutcome::RemoteClean.is_coherence());
+        assert!(AccessOutcome::UpgradeInvalidate.is_coherence());
+        assert!(!AccessOutcome::L1Hit.is_coherence());
+        assert!(!AccessOutcome::LlcHit.is_coherence());
+        assert!(!AccessOutcome::Memory.is_coherence());
+        assert!(!AccessOutcome::UpgradeSole.is_coherence());
+        assert!(!AccessOutcome::Prefetched.is_coherence());
+    }
+}

@@ -1,0 +1,70 @@
+//! Address-space conventions shared by the workspace.
+//!
+//! The simulator itself treats addresses as opaque numbers; the allocator,
+//! workloads and detector agree on this segmentation so that a profiler can
+//! classify an address as heap, global or other in O(1) — the role the
+//! paper's "driver" module plays when it filters sampled addresses.
+
+use crate::types::Addr;
+
+/// First byte of the global-variable segment.
+pub const GLOBALS_BASE: Addr = Addr(0x1000_0000);
+/// One past the last byte of the global-variable segment (256 MiB).
+pub const GLOBALS_END: Addr = Addr(0x2000_0000);
+/// First byte of the modelled heap segment.
+pub const HEAP_BASE: Addr = Addr(0x4000_0000);
+/// One past the last byte of the modelled heap segment (1 GiB).
+pub const HEAP_END: Addr = Addr(0x8000_0000);
+
+/// Segment classification of an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// Statically allocated globals.
+    Globals,
+    /// The modelled heap.
+    Heap,
+    /// Anything else (stack, kernel, libraries) — filtered out by the
+    /// profiler, as in the paper.
+    Other,
+}
+
+/// Classifies an address into its segment.
+///
+/// ```
+/// use cheetah_sim::layout::{classify, Segment, HEAP_BASE};
+/// use cheetah_sim::Addr;
+/// assert_eq!(classify(HEAP_BASE), Segment::Heap);
+/// assert_eq!(classify(Addr(0x10)), Segment::Other);
+/// ```
+pub fn classify(addr: Addr) -> Segment {
+    if (GLOBALS_BASE..GLOBALS_END).contains(&addr) {
+        Segment::Globals
+    } else if (HEAP_BASE..HEAP_END).contains(&addr) {
+        Segment::Heap
+    } else {
+        Segment::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_do_not_overlap() {
+        assert!(GLOBALS_END <= HEAP_BASE);
+        assert!(GLOBALS_BASE < GLOBALS_END);
+        assert!(HEAP_BASE < HEAP_END);
+    }
+
+    #[test]
+    fn classify_boundaries() {
+        assert_eq!(classify(GLOBALS_BASE), Segment::Globals);
+        assert_eq!(classify(Addr(GLOBALS_END.0 - 1)), Segment::Globals);
+        assert_eq!(classify(GLOBALS_END), Segment::Other);
+        assert_eq!(classify(HEAP_BASE), Segment::Heap);
+        assert_eq!(classify(Addr(HEAP_END.0 - 1)), Segment::Heap);
+        assert_eq!(classify(HEAP_END), Segment::Other);
+        assert_eq!(classify(Addr(0)), Segment::Other);
+    }
+}

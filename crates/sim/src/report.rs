@@ -1,0 +1,225 @@
+//! Results of a simulated run.
+
+use crate::stats::CoherenceStats;
+use crate::types::{Cycles, PhaseKind, ThreadId};
+use std::fmt;
+
+/// Timing of one phase of the executed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Index of the phase within the program.
+    pub index: u32,
+    /// Serial or parallel.
+    pub kind: PhaseKind,
+    /// Global time the phase started.
+    pub start: Cycles,
+    /// Global time the phase ended (all member threads joined).
+    pub end: Cycles,
+    /// Threads that ran in this phase (the main thread for serial phases).
+    pub threads: Vec<ThreadId>,
+}
+
+impl PhaseReport {
+    /// Phase duration in cycles.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// Timing and traffic of one simulated thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadReport {
+    /// Thread id (0 = main).
+    pub id: ThreadId,
+    /// Name from the [`crate::ThreadSpec`] (main thread: `"main"`).
+    pub name: String,
+    /// Phase the thread ran in. The main thread reports the whole program
+    /// span and `phase_index` of 0.
+    pub phase_index: u32,
+    /// Global time the thread started executing (after spawn + setup costs).
+    pub start: Cycles,
+    /// Global time the thread retired its last instruction.
+    pub end: Cycles,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Loads issued.
+    pub reads: u64,
+    /// Stores issued.
+    pub writes: u64,
+}
+
+impl ThreadReport {
+    /// Wall-clock runtime of the thread (what RDTSC around the start routine
+    /// measures in the paper).
+    pub fn runtime(&self) -> Cycles {
+        self.end - self.start
+    }
+
+    /// Total memory accesses issued.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Complete result of simulating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Program name.
+    pub program: String,
+    /// Global time at which the last phase ended: the application runtime.
+    pub total_cycles: Cycles,
+    /// Per-phase timings, in program order.
+    pub phases: Vec<PhaseReport>,
+    /// Per-thread timings. Index 0 is always the main thread; child threads
+    /// follow in spawn order.
+    pub threads: Vec<ThreadReport>,
+    /// Machine-level coherence statistics.
+    pub coherence: CoherenceStats,
+}
+
+impl RunReport {
+    /// The report of a single thread, if it exists.
+    pub fn thread(&self, id: ThreadId) -> Option<&ThreadReport> {
+        self.threads.iter().find(|t| t.id == id)
+    }
+
+    /// Sum of all parallel-phase durations.
+    pub fn parallel_cycles(&self) -> Cycles {
+        self.phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Parallel)
+            .map(PhaseReport::duration)
+            .sum()
+    }
+
+    /// Sum of all serial-phase durations.
+    pub fn serial_cycles(&self) -> Cycles {
+        self.phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::Serial)
+            .map(PhaseReport::duration)
+            .sum()
+    }
+
+    /// Total memory accesses across all threads.
+    pub fn total_accesses(&self) -> u64 {
+        self.threads.iter().map(ThreadReport::accesses).sum()
+    }
+
+    /// Speedup of this run relative to another run of the same program
+    /// (`other.total_cycles / self.total_cycles`); >1 means this run is
+    /// faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run has zero total cycles, which only a degenerate
+    /// empty program can produce.
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        assert!(self.total_cycles > 0, "run has zero cycles");
+        other.total_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program {:?}: {} cycles, {} phases, {} threads",
+            self.program,
+            self.total_cycles,
+            self.phases.len(),
+            self.threads.len()
+        )?;
+        for phase in &self.phases {
+            writeln!(
+                f,
+                "  phase {} ({}): {}..{} ({} cycles, {} threads)",
+                phase.index,
+                phase.kind,
+                phase.start,
+                phase.end,
+                phase.duration(),
+                phase.threads.len()
+            )?;
+        }
+        write!(f, "  coherence: {}", self.coherence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            program: "test".into(),
+            total_cycles: 1000,
+            phases: vec![
+                PhaseReport {
+                    index: 0,
+                    kind: PhaseKind::Serial,
+                    start: 0,
+                    end: 200,
+                    threads: vec![ThreadId(0)],
+                },
+                PhaseReport {
+                    index: 1,
+                    kind: PhaseKind::Parallel,
+                    start: 200,
+                    end: 1000,
+                    threads: vec![ThreadId(1), ThreadId(2)],
+                },
+            ],
+            threads: vec![
+                ThreadReport {
+                    id: ThreadId(0),
+                    name: "main".into(),
+                    phase_index: 0,
+                    start: 0,
+                    end: 1000,
+                    instructions: 100,
+                    reads: 10,
+                    writes: 5,
+                },
+                ThreadReport {
+                    id: ThreadId(1),
+                    name: "w0".into(),
+                    phase_index: 1,
+                    start: 210,
+                    end: 900,
+                    instructions: 500,
+                    reads: 100,
+                    writes: 50,
+                },
+            ],
+            coherence: CoherenceStats::default(),
+        }
+    }
+
+    #[test]
+    fn durations_and_sums() {
+        let report = sample_report();
+        assert_eq!(report.serial_cycles(), 200);
+        assert_eq!(report.parallel_cycles(), 800);
+        assert_eq!(report.total_accesses(), 165);
+        assert_eq!(report.thread(ThreadId(1)).unwrap().runtime(), 690);
+        assert!(report.thread(ThreadId(9)).is_none());
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_cycles() {
+        let fast = sample_report();
+        let mut slow = sample_report();
+        slow.total_cycles = 2000;
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_program_and_phases() {
+        let text = sample_report().to_string();
+        assert!(text.contains("test"));
+        assert!(text.contains("phase 0"));
+        assert!(text.contains("phase 1"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Aggregate coherence statistics for a run.
+
+use crate::latency::AccessOutcome;
+use std::fmt;
+
+/// Counters of how accesses were satisfied, accumulated by the
+/// [`crate::Directory`] over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// Private-cache hits.
+    pub l1_hits: u64,
+    /// Shared-LLC hits.
+    pub llc_hits: u64,
+    /// Cold misses to memory.
+    pub memory: u64,
+    /// Clean cache-to-cache transfers.
+    pub remote_clean: u64,
+    /// Dirty cache-to-cache transfers.
+    pub remote_dirty: u64,
+    /// Sole-sharer write upgrades.
+    pub upgrade_sole: u64,
+    /// Write upgrades that invalidated other sharers.
+    pub upgrade_invalidate: u64,
+    /// Sequential misses hidden by the prefetcher.
+    pub prefetched: u64,
+    /// Total remote line copies invalidated (the quantity Cheetah's
+    /// two-entry tables approximate).
+    pub invalidations: u64,
+    /// Total cycles spent queued behind in-flight transactions on busy
+    /// lines (contention delay).
+    pub wait_cycles: u64,
+}
+
+impl CoherenceStats {
+    /// Records one access outcome (invalidation counts are added separately
+    /// by the directory, which knows the number of victims).
+    pub(crate) fn record(&mut self, outcome: AccessOutcome) {
+        match outcome {
+            AccessOutcome::L1Hit => self.l1_hits += 1,
+            AccessOutcome::LlcHit => self.llc_hits += 1,
+            AccessOutcome::Memory => self.memory += 1,
+            AccessOutcome::RemoteClean => self.remote_clean += 1,
+            AccessOutcome::RemoteDirty => self.remote_dirty += 1,
+            AccessOutcome::UpgradeSole => self.upgrade_sole += 1,
+            AccessOutcome::UpgradeInvalidate => self.upgrade_invalidate += 1,
+            AccessOutcome::Prefetched => self.prefetched += 1,
+        }
+    }
+
+    /// Total number of accesses recorded.
+    pub fn total_accesses(&self) -> u64 {
+        self.l1_hits
+            + self.llc_hits
+            + self.memory
+            + self.remote_clean
+            + self.remote_dirty
+            + self.upgrade_sole
+            + self.upgrade_invalidate
+            + self.prefetched
+    }
+
+    /// Accesses that involved a coherence transaction with another core.
+    pub fn coherence_accesses(&self) -> u64 {
+        self.remote_clean + self.remote_dirty + self.upgrade_invalidate
+    }
+
+    /// Fraction of accesses that were coherence traffic, in `[0, 1]`.
+    pub fn coherence_ratio(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.coherence_accesses() as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CoherenceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses {} | l1 {} llc {} mem {} prefetched {} | remote clean {} dirty {} | upgrades sole {} inval {} | invalidations {} | wait {}",
+            self.total_accesses(),
+            self.l1_hits,
+            self.llc_hits,
+            self.memory,
+            self.prefetched,
+            self.remote_clean,
+            self.remote_dirty,
+            self.upgrade_sole,
+            self.upgrade_invalidate,
+            self.invalidations,
+            self.wait_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_all_categories() {
+        let mut stats = CoherenceStats::default();
+        stats.record(AccessOutcome::L1Hit);
+        stats.record(AccessOutcome::LlcHit);
+        stats.record(AccessOutcome::Memory);
+        stats.record(AccessOutcome::RemoteClean);
+        stats.record(AccessOutcome::RemoteDirty);
+        stats.record(AccessOutcome::UpgradeSole);
+        stats.record(AccessOutcome::UpgradeInvalidate);
+        stats.record(AccessOutcome::Prefetched);
+        assert_eq!(stats.total_accesses(), 8);
+        assert_eq!(stats.coherence_accesses(), 3);
+    }
+
+    #[test]
+    fn coherence_ratio_empty_is_zero() {
+        assert_eq!(CoherenceStats::default().coherence_ratio(), 0.0);
+    }
+
+    #[test]
+    fn coherence_ratio_counts_remote_traffic() {
+        let mut stats = CoherenceStats::default();
+        stats.record(AccessOutcome::L1Hit);
+        stats.record(AccessOutcome::RemoteDirty);
+        assert!((stats.coherence_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let stats = CoherenceStats::default();
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Phoenix `linear_regression` — the paper's primary case study (§4.2.1).
+//!
+//! The main thread allocates one `tid_args` array of per-thread `lreg_args`
+//! structs at `linear_regression-pthread.c: 139` and hands each thread a
+//! pointer to its element. The worker loop
+//!
+//! ```c
+//! for (i = 0; i < args->num_elems; i++) {
+//!     args->SX  += args->points[i].x;
+//!     args->SXX += args->points[i].x * args->points[i].x;
+//!     args->SY  += args->points[i].y;
+//!     ...
+//! }
+//! ```
+//!
+//! touches the struct in two ways every iteration: it *reads* the header
+//! fields (`points`, `num_elems`) and *writes* the accumulator tail
+//! (SX, SY, SXX, SYY). The struct is 56 bytes, the array is packed, and —
+//! as the paper's own Fig. 5 report shows (`start 0x400004b8`, i.e. 56 mod
+//! 64) — allocator bookkeeping leaves it misaligned, so each thread's
+//! accumulators share a cache line with its neighbour's header. Every
+//! thread then both ping-pongs its own accumulator line against the
+//! neighbour's header reads and vice versa. Fixing it by padding the
+//! struct (the paper adds 64 bytes) yields 2x at 2 threads up to ~6.7x at
+//! 16 (Table 1).
+
+use crate::apps::alloc_main;
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use crate::patterns::{Segment, SegmentsStream};
+use cheetah_heap::AddressSpace;
+use cheetah_sim::{Addr, ProgramBuilder, ThreadSpec};
+
+/// sizeof(lreg_args): tid(8) + points ptr(8) + num_elems(8) + SX,SY,SXX,SYY.
+pub const STRUCT_BYTES: u64 = 56;
+/// The paper pads the struct with 64 extra bytes.
+pub const FIXED_STRUCT_BYTES: u64 = STRUCT_BYTES + 64;
+/// Misalignment of the array start within its cache line, reproducing the
+/// allocator bookkeeping offset visible in the paper's Fig. 5 report
+/// (start address 0x400004b8 = 56 mod 64).
+pub const START_OFFSET: u64 = 56;
+/// Header fields: points pointer, num_elems.
+const HEADER_FIELDS: [u64; 2] = [8, 16];
+/// Accumulator fields written back every iteration. SX and SY live in
+/// registers within the unrolled loop body; SXX and SYY spill and store
+/// each iteration (the compiler cannot disambiguate them from the
+/// `points[i]` loads).
+const ACCUM_FIELDS: [u64; 2] = [40, 48];
+/// Total points, before scaling (total work is fixed: fewer threads
+/// process more points each).
+const BASE_TOTAL_POINTS: u64 = 64_000;
+/// Passes over the points ("we explicitly change the source code by adding
+/// more loop iterations", §4 of the paper).
+const REPS: u64 = 16;
+/// The compiler keeps `args->points` / `args->num_elems` in registers for
+/// short stretches; they are re-read from memory this often (iterations).
+const HEADER_EVERY: u64 = 4;
+/// sizeof(POINT_T): two 8-byte coordinates.
+const POINT_BYTES: u64 = 16;
+
+/// Builds linear_regression.
+pub fn build(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let stride = if config.fixed {
+        FIXED_STRUCT_BYTES
+    } else {
+        STRUCT_BYTES
+    };
+    let total_points = config.iters(BASE_TOTAL_POINTS);
+    let points_per_thread = (total_points / u64::from(config.threads)).max(1);
+
+    let points = alloc_main(
+        &mut space,
+        total_points * POINT_BYTES,
+        "linear_regression-pthread.c",
+        115,
+    );
+    let raw_args = alloc_main(
+        &mut space,
+        u64::from(config.threads) * stride + START_OFFSET + 64,
+        "linear_regression-pthread.c",
+        139,
+    );
+    let tid_args = raw_args.offset(START_OFFSET);
+
+    // Serial phase: read the input file into the points array plus one
+    // validation pass. The streaming mix (prefetched fills + cache-hit
+    // re-reads) gives the serial phase a latency profile close to the
+    // post-fix parallel phase — the property Cheetah's AverCycles_serial
+    // estimate relies on (§3.1).
+    let init = SegmentsStream::new(vec![
+        Segment::sweep(points, total_points * POINT_BYTES, 16, true, 1),
+        Segment::sweep(points, total_points * POINT_BYTES, 16, false, 1),
+    ]);
+
+    let workers = (0..config.threads)
+        .map(|t| {
+            let my_args = tid_args.offset(u64::from(t) * stride);
+            let my_points = points.offset(u64::from(t) * points_per_thread * POINT_BYTES);
+            ThreadSpec::new(
+                format!("linear_regression_pthread-{t}"),
+                LinRegStream::new(my_args, my_points, points_per_thread, REPS),
+            )
+        })
+        .collect();
+
+    let program = ProgramBuilder::new("linear_regression")
+        .serial(ThreadSpec::new("read_input", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+/// The regression worker loop as a compact state machine: per iteration,
+/// two point reads and four accumulator writes, with the header fields
+/// re-read every [`HEADER_EVERY`] iterations, over [`REPS`] passes.
+#[derive(Debug)]
+struct LinRegStream {
+    args: Addr,
+    points: Addr,
+    npoints: u64,
+    reps: u64,
+    rep: u64,
+    point: u64,
+    step: u8,
+}
+
+impl LinRegStream {
+    fn new(args: Addr, points: Addr, npoints: u64, reps: u64) -> Self {
+        LinRegStream {
+            args,
+            points,
+            npoints,
+            reps,
+            rep: 0,
+            point: 0,
+            step: 0,
+        }
+    }
+}
+
+impl cheetah_sim::AccessStream for LinRegStream {
+    fn next_op(&mut self) -> Option<cheetah_sim::Op> {
+        use cheetah_sim::Op;
+        if self.rep >= self.reps {
+            return None;
+        }
+        let header = self.point % HEADER_EVERY == 0;
+        // Step layout: [R ptr, R num]? then R x, R y, W SXX, W SYY, Work.
+        let base_steps: u8 = if header { 2 } else { 0 };
+        let op = if header && self.step < 2 {
+            Op::Read(self.args.offset(HEADER_FIELDS[self.step as usize]))
+        } else {
+            let local = self.step - base_steps;
+            let point_addr = self.points.offset(self.point * POINT_BYTES);
+            match local {
+                0 => Op::Read(point_addr),
+                1 => Op::Read(point_addr.offset(8)),
+                2..=3 => Op::Write(self.args.offset(ACCUM_FIELDS[(local - 2) as usize])),
+                _ => Op::Work(8),
+            }
+        };
+        self.step += 1;
+        if self.step == base_steps + 5 {
+            self.step = 0;
+            self.point += 1;
+            if self.point == self.npoints {
+                self.point = 0;
+                self.rep += 1;
+            }
+        }
+        Some(op)
+    }
+}
+
+/// Address of thread `t`'s struct given the *array start* (after the
+/// misalignment offset); exposed for tests and harnesses.
+pub fn struct_addr(tid_args: Addr, thread: u32, fixed: bool) -> Addr {
+    let stride = if fixed {
+        FIXED_STRUCT_BYTES
+    } else {
+        STRUCT_BYTES
+    };
+    tid_args.offset(u64::from(thread) * stride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::{Machine, MachineConfig, NullObserver};
+
+    fn run(threads: u32, fixed: bool) -> u64 {
+        let config = AppConfig {
+            threads,
+            scale: 0.2,
+            fixed,
+            seed: 1,
+        };
+        let machine = Machine::new(MachineConfig::default());
+        let instance = build(&config);
+        machine.run(instance.program, &mut NullObserver).total_cycles
+    }
+
+    #[test]
+    fn broken_build_has_false_sharing_cost() {
+        let broken = run(16, false);
+        let fixed = run(16, true);
+        assert!(
+            broken as f64 > 1.8 * fixed as f64,
+            "broken={broken} fixed={fixed}"
+        );
+    }
+
+    #[test]
+    fn improvement_grows_with_threads() {
+        let improve = |n| run(n, false) as f64 / run(n, true) as f64;
+        let at2 = improve(2);
+        let at16 = improve(16);
+        assert!(at2 > 1.2, "2-thread improvement {at2}");
+        assert!(at16 > at2, "improvement should grow: {at2} -> {at16}");
+    }
+
+    #[test]
+    fn accumulators_share_line_with_neighbour_header_when_broken() {
+        let base = Addr(0x4000_0000 + START_OFFSET);
+        // Thread 0's accumulator tail and thread 1's header must share a
+        // line in the packed layout.
+        let t0_sy = struct_addr(base, 0, false).offset(ACCUM_FIELDS[1]);
+        let t1_ptr = struct_addr(base, 1, false).offset(HEADER_FIELDS[0]);
+        assert_eq!(t0_sy.line(64), t1_ptr.line(64), "packed structs must straddle");
+    }
+
+    #[test]
+    fn fixed_layout_never_shares_accessed_lines() {
+        let base = Addr(0x4000_0000 + START_OFFSET);
+        let accessed = |t: u32| -> Vec<u64> {
+            let s = struct_addr(base, t, true);
+            HEADER_FIELDS
+                .iter()
+                .chain(ACCUM_FIELDS.iter())
+                .map(|f| s.offset(*f).line(64).0)
+                .collect()
+        };
+        for t in 0..15u32 {
+            let a = accessed(t);
+            let b = accessed(t + 1);
+            for line in &a {
+                assert!(!b.contains(line), "threads {t} and {} share line", t + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn total_work_fixed_across_thread_counts() {
+        let i1 = build(&AppConfig::with_threads(2).scaled(0.05));
+        let i2 = build(&AppConfig::with_threads(8).scaled(0.05));
+        // Same points allocation regardless of thread count.
+        assert_eq!(
+            i1.space.heap().objects()[0].size,
+            i2.space.heap().objects()[0].size
+        );
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let config = AppConfig::with_threads(4).scaled(0.02);
+        let machine = Machine::new(MachineConfig::default());
+        let a = machine.run(build(&config).program, &mut NullObserver);
+        let b = machine.run(build(&config).program, &mut NullObserver);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+}

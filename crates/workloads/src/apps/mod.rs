@@ -1,0 +1,37 @@
+//! The synthetic applications.
+//!
+//! Each module reproduces one benchmark's *memory behaviour* — thread
+//! structure, which objects are shared, which words of which cache lines
+//! each thread touches, and roughly how much compute separates accesses —
+//! not its semantics. Parameters are calibrated so the broken builds show
+//! the sharing behaviour the paper reports and the `fixed` builds apply
+//! the paper's padding fixes.
+
+pub mod linear_regression;
+pub mod microbench;
+pub mod parsec;
+pub mod phoenix;
+pub mod streamcluster;
+
+use cheetah_heap::{AddressSpace, CallStack};
+use cheetah_sim::{Addr, ThreadId};
+
+/// Allocates a main-thread heap object with a single-frame callsite, the
+/// way Phoenix/PARSEC main routines allocate shared state before spawning
+/// workers.
+///
+/// # Panics
+///
+/// Panics if the modelled heap is exhausted (workloads are sized far below
+/// the 1 GiB segment, so this indicates a bug).
+pub(crate) fn alloc_main(
+    space: &mut AddressSpace,
+    size: u64,
+    file: &'static str,
+    line: u32,
+) -> Addr {
+    space
+        .heap_mut()
+        .alloc(ThreadId::MAIN, size, CallStack::single(file, line))
+        .expect("workload allocation failed")
+}

@@ -1,0 +1,382 @@
+//! PARSEC-suite applications (other than `streamcluster`).
+//!
+//! All of these are clean of significant false sharing; they exist so the
+//! overhead experiment (Fig. 4) runs over the paper's full application set
+//! and so the detector is exercised against realistic *negative* cases:
+//! read-only sharing (bodytrack), random writes (canneal), border true
+//! sharing (fluidanimate), pipeline true sharing with enormous thread
+//! counts (x264).
+
+use crate::apps::alloc_main;
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use crate::patterns::{OpTemplate, RandomStream, Segment, SegmentsStream};
+use cheetah_sim::{ProgramBuilder, ThreadSpec};
+
+/// `blackscholes`: each thread prices a private slice of options.
+pub fn blackscholes(config: &AppConfig) -> WorkloadInstance {
+    let mut space = cheetah_heap::AddressSpace::new();
+    let options = config.iters(320_000);
+    let inputs = alloc_main(&mut space, options * 40, "blackscholes.c", 310);
+    let prices = alloc_main(&mut space, options * 8, "blackscholes.c", 311);
+    let init = SegmentsStream::new(vec![Segment::sweep(inputs, options * 40, 40, true, 0)]);
+    let per_thread = (options / u64::from(config.threads)).max(1);
+    let workers = (0..config.threads)
+        .map(|t| {
+            let my_in = inputs.offset(u64::from(t) * per_thread * 40);
+            let my_out = prices.offset(u64::from(t) * per_thread * 8);
+            let body = vec![
+                OpTemplate::Read {
+                    base: my_in,
+                    stride: 40,
+                },
+                OpTemplate::Read {
+                    base: my_in.offset(8),
+                    stride: 40,
+                },
+                OpTemplate::Read {
+                    base: my_in.offset(16),
+                    stride: 40,
+                },
+                OpTemplate::Work(22), // CNDF evaluation
+                OpTemplate::Write {
+                    base: my_out,
+                    stride: 8,
+                },
+            ];
+            ThreadSpec::new(
+                format!("bs_thread-{t}"),
+                SegmentsStream::repeat(body, per_thread),
+            )
+        })
+        .collect();
+    let program = ProgramBuilder::new("blackscholes")
+        .serial(ThreadSpec::new("parse_options", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+/// `bodytrack`: per-frame phases; threads read a shared model read-only
+/// and write private particle weights.
+pub fn bodytrack(config: &AppConfig) -> WorkloadInstance {
+    const FRAMES: usize = 4;
+    let mut space = cheetah_heap::AddressSpace::new();
+    let model = alloc_main(&mut space, 256 * 1024, "TrackingModel.cpp", 88);
+    let particles = (config.iters(48_000) / u64::from(config.threads)).max(1);
+    let weights = alloc_main(
+        &mut space,
+        particles * 8 * u64::from(config.threads),
+        "ParticleFilter.h",
+        262,
+    );
+    let init = SegmentsStream::new(vec![Segment::sweep(model, 256 * 1024, 8, true, 0)]);
+    let mut builder =
+        ProgramBuilder::new("bodytrack").serial(ThreadSpec::new("load_model", init));
+    for frame in 0..FRAMES {
+        let workers = (0..config.threads)
+            .map(|t| {
+                let my_weights = weights.offset(u64::from(t) * particles * 8);
+                let body = vec![
+                    OpTemplate::Read {
+                        base: model.offset((u64::from(t) * 4096) % (256 * 1024)),
+                        stride: 64,
+                    },
+                    OpTemplate::Work(18),
+                    OpTemplate::Write {
+                        base: my_weights,
+                        stride: 8,
+                    },
+                ];
+                ThreadSpec::new(
+                    format!("bodytrack-f{frame}-t{t}"),
+                    SegmentsStream::repeat(body, particles),
+                )
+            })
+            .collect();
+        builder = builder.parallel(workers);
+    }
+    WorkloadInstance::new(builder.build(), space)
+}
+
+/// `canneal`: randomized reads/writes over a large shared netlist.
+pub fn canneal(config: &AppConfig) -> WorkloadInstance {
+    let mut space = cheetah_heap::AddressSpace::new();
+    let elements = 64 * 1024u64;
+    let netlist = alloc_main(&mut space, elements * 8, "netlist.cpp", 60);
+    let init = SegmentsStream::new(vec![Segment::sweep(netlist, elements * 8, 8, true, 0)]);
+    let moves = (config.iters(640_000) / u64::from(config.threads)).max(1);
+    let workers = (0..config.threads)
+        .map(|t| {
+            ThreadSpec::new(
+                format!("annealer-{t}"),
+                RandomStream::new(
+                    config.seed ^ u64::from(t),
+                    netlist,
+                    elements,
+                    8,
+                    12,
+                    moves,
+                    10,
+                ),
+            )
+        })
+        .collect();
+    let program = ProgramBuilder::new("canneal")
+        .serial(ThreadSpec::new("load_netlist", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+/// `facesim`: three pipeline-stage phases over private mesh partitions
+/// with read-only shared state.
+pub fn facesim(config: &AppConfig) -> WorkloadInstance {
+    let mut space = cheetah_heap::AddressSpace::new();
+    let nodes = config.iters(192_000);
+    let mesh = alloc_main(&mut space, nodes * 24, "FACE_EXAMPLE.h", 105);
+    let init = SegmentsStream::new(vec![Segment::sweep(mesh, nodes * 24, 48, true, 0)]);
+    let per_thread = (nodes / u64::from(config.threads)).max(1);
+    let mut builder = ProgramBuilder::new("facesim").serial(ThreadSpec::new("load_face", init));
+    for stage in 0..3 {
+        let workers = (0..config.threads)
+            .map(|t| {
+                let mine = mesh.offset(u64::from(t) * per_thread * 24);
+                let body = vec![
+                    OpTemplate::Read {
+                        base: mine,
+                        stride: 24,
+                    },
+                    OpTemplate::Work(20),
+                    OpTemplate::Write {
+                        base: mine.offset(16),
+                        stride: 24,
+                    },
+                ];
+                ThreadSpec::new(
+                    format!("facesim-s{stage}-t{t}"),
+                    SegmentsStream::repeat(body, per_thread),
+                )
+            })
+            .collect();
+        builder = builder.parallel(workers);
+    }
+    WorkloadInstance::new(builder.build(), space)
+}
+
+/// `fluidanimate`: grid partitions with *true* sharing on border cells —
+/// neighbours read (and half-update) the same words.
+pub fn fluidanimate(config: &AppConfig) -> WorkloadInstance {
+    let mut space = cheetah_heap::AddressSpace::new();
+    let cells_per_thread = (config.iters(160_000) / u64::from(config.threads)).max(1);
+    let cell_bytes = 32u64;
+    let grid = alloc_main(
+        &mut space,
+        cells_per_thread * cell_bytes * u64::from(config.threads),
+        "pthreads.cpp",
+        500,
+    );
+    let init = SegmentsStream::new(vec![Segment::sweep(
+        grid,
+        cells_per_thread * cell_bytes * u64::from(config.threads),
+        8,
+        true,
+        0,
+    )]);
+    let workers = (0..config.threads)
+        .map(|t| {
+            let mine = grid.offset(u64::from(t) * cells_per_thread * cell_bytes);
+            // Neighbour's first border cell: genuinely the same words.
+            let neighbour = grid.offset(
+                (u64::from((t + 1) % config.threads)) * cells_per_thread * cell_bytes,
+            );
+            let body = vec![
+                OpTemplate::Read {
+                    base: mine,
+                    stride: cell_bytes,
+                },
+                OpTemplate::Write {
+                    base: mine.offset(8),
+                    stride: cell_bytes,
+                },
+                OpTemplate::Work(12),
+                OpTemplate::read_fixed(neighbour),
+            ];
+            ThreadSpec::new(
+                format!("fluid-{t}"),
+                SegmentsStream::repeat(body, cells_per_thread),
+            )
+        })
+        .collect();
+    let program = ProgramBuilder::new("fluidanimate")
+        .serial(ThreadSpec::new("init_grid", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+/// `freqmine`: private FP-tree construction; writes and re-reads own
+/// region.
+pub fn freqmine(config: &AppConfig) -> WorkloadInstance {
+    let mut space = cheetah_heap::AddressSpace::new();
+    let tree_bytes = 128 * 1024u64;
+    let trees = alloc_main(
+        &mut space,
+        tree_bytes * u64::from(config.threads),
+        "fp_tree.cpp",
+        330,
+    );
+    let transactions = (config.iters(480_000) / u64::from(config.threads)).max(1);
+    let workers = (0..config.threads)
+        .map(|t| {
+            let mine = trees.offset(u64::from(t) * tree_bytes);
+            ThreadSpec::new(
+                format!("freqmine-{t}"),
+                RandomStream::new(
+                    config.seed ^ (u64::from(t) << 8),
+                    mine,
+                    tree_bytes / 16,
+                    16,
+                    45,
+                    transactions,
+                    9,
+                ),
+            )
+        })
+        .collect();
+    let program = ProgramBuilder::new("freqmine").parallel(workers).build();
+    WorkloadInstance::new(program, space)
+}
+
+/// `swaptions`: fully independent per-thread Monte-Carlo simulations.
+pub fn swaptions(config: &AppConfig) -> WorkloadInstance {
+    let mut space = cheetah_heap::AddressSpace::new();
+    let scratch_bytes = 64 * 1024u64;
+    let scratch = alloc_main(
+        &mut space,
+        scratch_bytes * u64::from(config.threads),
+        "HJM_Securities.cpp",
+        91,
+    );
+    let paths = (config.iters(400_000) / u64::from(config.threads)).max(1);
+    let workers = (0..config.threads)
+        .map(|t| {
+            let mine = scratch.offset(u64::from(t) * scratch_bytes);
+            ThreadSpec::new(
+                format!("swaptions-{t}"),
+                RandomStream::new(
+                    config.seed ^ (u64::from(t) << 16),
+                    mine,
+                    scratch_bytes / 8,
+                    8,
+                    50,
+                    paths,
+                    14,
+                ),
+            )
+        })
+        .collect();
+    let program = ProgramBuilder::new("swaptions").parallel(workers).build();
+    WorkloadInstance::new(program, space)
+}
+
+/// `x264`: a long pipeline of short-lived encoder thread cohorts — 1024
+/// threads at 16 threads x 64 frames, the paper's worst case for
+/// per-thread PMU setup overhead.
+pub fn x264(config: &AppConfig) -> WorkloadInstance {
+    const FRAMES: usize = 64;
+    let mut space = cheetah_heap::AddressSpace::new();
+    let mb_per_thread = (config.iters(32_000) / u64::from(config.threads)).max(1);
+    let frame_bytes = mb_per_thread * 64 * u64::from(config.threads);
+    let frames = alloc_main(&mut space, frame_bytes * 2, "encoder.c", 1480);
+    let init = SegmentsStream::new(vec![Segment::sweep(frames, frame_bytes, 64, true, 0)]);
+    let mut builder = ProgramBuilder::new("x264").serial(ThreadSpec::new("open_input", init));
+    for frame in 0..FRAMES {
+        let src = frames;
+        let dst = frames.offset(frame_bytes);
+        let workers = (0..config.threads)
+            .map(|t| {
+                let my_src = src.offset(u64::from(t) * mb_per_thread * 64);
+                let my_dst = dst.offset(u64::from(t) * mb_per_thread * 64);
+                let body = vec![
+                    OpTemplate::Read {
+                        base: my_src,
+                        stride: 64,
+                    },
+                    OpTemplate::Work(16),
+                    OpTemplate::Write {
+                        base: my_dst,
+                        stride: 64,
+                    },
+                ];
+                ThreadSpec::new(
+                    format!("x264-f{frame}-t{t}"),
+                    SegmentsStream::repeat(body, mb_per_thread),
+                )
+            })
+            .collect();
+        builder = builder.parallel(workers);
+    }
+    WorkloadInstance::new(builder.build(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::{Machine, MachineConfig, NullObserver};
+
+    #[test]
+    fn x264_spawns_1024_threads_at_16() {
+        let instance = x264(&AppConfig::with_threads(16).scaled(0.01));
+        assert_eq!(instance.program.total_threads(), 1 + 1024);
+    }
+
+    #[test]
+    fn clean_apps_scale_with_threads() {
+        // blackscholes at 8 threads must be much faster than at 1.
+        let run = |threads| {
+            let machine = Machine::new(MachineConfig::default());
+            let instance = blackscholes(&AppConfig::with_threads(threads).scaled(0.05));
+            machine.run(instance.program, &mut NullObserver).parallel_cycles()
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert!(
+            (eight as f64) < one as f64 / 3.0,
+            "one={one} eight={eight}"
+        );
+    }
+
+    #[test]
+    fn all_builders_produce_runnable_programs() {
+        let config = AppConfig::with_threads(4).scaled(0.01);
+        let machine = Machine::new(MachineConfig::default());
+        for build in [
+            blackscholes,
+            bodytrack,
+            canneal,
+            facesim,
+            fluidanimate,
+            freqmine,
+            swaptions,
+            x264,
+        ] {
+            let instance = build(&config);
+            let report = machine.run(instance.program, &mut NullObserver);
+            assert!(report.total_cycles > 0);
+            assert!(report.total_accesses() > 100);
+        }
+    }
+
+    #[test]
+    fn fluidanimate_border_sharing_is_true_sharing_shaped() {
+        // Border reads target the same words neighbours write: coherence
+        // traffic exists but is a small fraction.
+        let machine = Machine::new(MachineConfig::default());
+        let instance = fluidanimate(&AppConfig::with_threads(8).scaled(0.05));
+        let report = machine.run(instance.program, &mut NullObserver);
+        let ratio = report.coherence.coherence_ratio();
+        assert!(ratio > 0.0001, "borders must create some traffic: {ratio}");
+        assert!(ratio < 0.15, "but not dominate: {ratio}");
+    }
+}

@@ -1,0 +1,409 @@
+//! Phoenix-suite applications (other than `linear_regression`).
+//!
+//! Each builder reproduces the benchmark's thread/data shape:
+//!
+//! * `histogram`, `reverse_index`, `word_count` carry the *minor* false
+//!   sharing Predator reports and Fig. 7 shows to be worth <0.2%: their
+//!   per-thread result buffers are packed with a stride that is not a
+//!   multiple of the line size, so only the boundary lines are contended,
+//!   and result writes are a small fraction of the streaming reads.
+//!   `fixed` builds pad the stride to a line multiple.
+//! * `kmeans` spawns a fresh thread cohort per clustering iteration (224
+//!   threads at 16 threads x 14 iterations), the trait behind its Fig. 4
+//!   overhead.
+//! * `matrix_multiply`, `pca`, `string_match` are cleanly partitioned.
+
+use crate::apps::alloc_main;
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use crate::patterns::{OpTemplate, RandomStream, Segment, SegmentsStream};
+use cheetah_heap::AddressSpace;
+use cheetah_sim::{AccessStream, Addr, Op, ProgramBuilder, ThreadSpec};
+
+/// A stream interleaving a private sweep with writes into a (possibly
+/// boundary-shared) result buffer: the common Phoenix map-phase shape.
+#[derive(Debug)]
+struct MapStream {
+    sweep: SegmentsStream,
+    results: RandomStream,
+    /// Emit one result write per `ratio` sweep ops.
+    ratio: u32,
+    counter: u32,
+}
+
+impl MapStream {
+    fn new(sweep: SegmentsStream, results: RandomStream, ratio: u32) -> Self {
+        assert!(ratio > 0);
+        MapStream {
+            sweep,
+            results,
+            ratio,
+            counter: 0,
+        }
+    }
+}
+
+impl AccessStream for MapStream {
+    fn next_op(&mut self) -> Option<Op> {
+        self.counter += 1;
+        if self.counter % self.ratio == 0 {
+            if let Some(op) = self.results.next_op() {
+                return Some(op);
+            }
+        }
+        match self.sweep.next_op() {
+            Some(op) => Some(op),
+            None => self.results.next_op(),
+        }
+    }
+}
+
+/// Shared builder for the three minor-FS map-reduce apps: threads stream
+/// over private input and update per-thread result buffers whose packing
+/// stride leaves boundary lines shared.
+fn map_reduce_minor_fs(
+    name: &'static str,
+    file: &'static str,
+    alloc_line: u32,
+    config: &AppConfig,
+    total_input: u64,
+    buffer_bytes: u64,
+    broken_stride: u64,
+    result_ratio: u32,
+    work: u64,
+) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let stride = if config.fixed {
+        buffer_bytes.next_multiple_of(64)
+    } else {
+        broken_stride
+    };
+    let input_bytes = config.iters(total_input);
+    let input = alloc_main(&mut space, input_bytes, file, 60);
+    let buffers = alloc_main(
+        &mut space,
+        u64::from(config.threads) * stride + 64,
+        file,
+        alloc_line,
+    );
+
+    let init = SegmentsStream::new(vec![Segment::sweep(input, input_bytes, 8, true, 0)]);
+    let per_thread = input_bytes / u64::from(config.threads);
+    let workers = (0..config.threads)
+        .map(|t| {
+            let my_input = input.offset(u64::from(t) * per_thread);
+            let sweep = SegmentsStream::new(vec![Segment::sweep(
+                my_input, per_thread, 4, false, work,
+            )]);
+            let results = RandomStream::new(
+                config.seed ^ (u64::from(t) << 32) ^ 0x1234,
+                buffers.offset(u64::from(t) * stride),
+                buffer_bytes / 4,
+                4,
+                100,
+                per_thread / (4 * u64::from(result_ratio)),
+                0,
+            );
+            ThreadSpec::new(
+                format!("{name}-worker-{t}"),
+                MapStream::new(sweep, results, result_ratio),
+            )
+        })
+        .collect();
+
+    let program = ProgramBuilder::new(name)
+        .serial(ThreadSpec::new("read_input", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+/// `histogram`: streams pixels, bumps per-thread R/G/B bucket arrays.
+pub fn histogram(config: &AppConfig) -> WorkloadInstance {
+    map_reduce_minor_fs(
+        "histogram",
+        "histogram-pthread.c",
+        120,
+        config,
+        1_900_000,
+        3 * 256 * 4, // R, G, B buckets
+        3 * 256 * 4 + 16,
+        4,
+        2,
+    )
+}
+
+/// `reverse_index`: parses links, appends to per-thread index buffers.
+pub fn reverse_index(config: &AppConfig) -> WorkloadInstance {
+    map_reduce_minor_fs(
+        "reverse_index",
+        "reverse_index-pthread.c",
+        220,
+        config,
+        1_400_000,
+        2048,
+        2048 + 24,
+        5,
+        3,
+    )
+}
+
+/// `word_count`: scans text, bumps per-thread hash-bucket counters.
+pub fn word_count(config: &AppConfig) -> WorkloadInstance {
+    map_reduce_minor_fs(
+        "word_count",
+        "word_count-pthread.c",
+        180,
+        config,
+        1_600_000,
+        4096,
+        4096 + 40,
+        4,
+        2,
+    )
+}
+
+/// `kmeans`: one thread cohort per clustering iteration — 14 iterations
+/// at the paper's 16 threads gives the 224 threads it reports.
+pub fn kmeans(config: &AppConfig) -> WorkloadInstance {
+    const ITERATIONS: usize = 14;
+    let mut space = AddressSpace::new();
+    let total = config.iters(32_000);
+    let points_per_thread = (total / u64::from(config.threads)).max(1);
+    let points = alloc_main(&mut space, total * 16, "kmeans-pthread.c", 85);
+    let membership = alloc_main(&mut space, total * 4, "kmeans-pthread.c", 92);
+    let centers = alloc_main(&mut space, 16 * 64, "kmeans-pthread.c", 97);
+
+    let mut builder = ProgramBuilder::new("kmeans").serial(ThreadSpec::new(
+        "init",
+        SegmentsStream::new(vec![
+            Segment::sweep(points, total * 16, 64, true, 0),
+            Segment::sweep(centers, 16 * 64, 8, true, 0),
+        ]),
+    ));
+    for iteration in 0..ITERATIONS {
+        let workers = (0..config.threads)
+            .map(|t| {
+                let my_points = points.offset(u64::from(t) * points_per_thread * 16);
+                let my_membership = membership.offset(u64::from(t) * points_per_thread * 4);
+                let body = vec![
+                    OpTemplate::Read {
+                        base: my_points,
+                        stride: 16,
+                    },
+                    OpTemplate::Read {
+                        base: my_points.offset(8),
+                        stride: 16,
+                    },
+                    OpTemplate::read_fixed(centers.offset((iteration as u64 % 16) * 64)),
+                    OpTemplate::Write {
+                        base: my_membership,
+                        stride: 4,
+                    },
+                    OpTemplate::Work(8),
+                ];
+                ThreadSpec::new(
+                    format!("kmeans-it{iteration}-t{t}"),
+                    SegmentsStream::repeat(body, points_per_thread),
+                )
+            })
+            .collect();
+        builder = builder.parallel(workers);
+    }
+    WorkloadInstance::new(builder.build(), space)
+}
+
+/// `matrix_multiply`: each thread computes private output rows from
+/// shared read-only inputs.
+pub fn matrix_multiply(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let n = 64u64;
+    let reps = config.iters(700);
+    let a = alloc_main(&mut space, n * n * 8, "matrix_multiply-pthread.c", 70);
+    let b = alloc_main(&mut space, n * n * 8, "matrix_multiply-pthread.c", 71);
+    let c = alloc_main(&mut space, n * n * 8, "matrix_multiply-pthread.c", 72);
+
+    let init = SegmentsStream::new(vec![
+        Segment::sweep(a, n * n * 8, 8, true, 0),
+        Segment::sweep(b, n * n * 8, 8, true, 0),
+    ]);
+    let rows_per_thread = (n / u64::from(config.threads)).max(1);
+    let workers = (0..config.threads)
+        .map(|t| {
+            let row0 = (u64::from(t) * rows_per_thread) % n;
+            let body = vec![
+                OpTemplate::Read {
+                    base: a.offset(row0 * n * 8),
+                    stride: 8,
+                },
+                OpTemplate::Read {
+                    base: b,
+                    stride: 8 * n, // column walk: strided
+                },
+                OpTemplate::Work(4),
+                OpTemplate::Write {
+                    base: c.offset(row0 * n * 8),
+                    stride: 8,
+                },
+            ];
+            ThreadSpec::new(
+                format!("mm-{t}"),
+                SegmentsStream::new(
+                    (0..reps)
+                        .map(|_| Segment::new(body.clone(), rows_per_thread * n / 8))
+                        .collect(),
+                ),
+            )
+        })
+        .collect();
+    let program = ProgramBuilder::new("matrix_multiply")
+        .serial(ThreadSpec::new("init", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+/// `pca`: two parallel phases (row means, then covariance) over a shared
+/// read-only matrix with private result rows.
+pub fn pca(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let n = 48u64;
+    let reps = config.iters(220);
+    let matrix = alloc_main(&mut space, n * n * 8, "pca-pthread.c", 110);
+    let means = alloc_main(&mut space, n * 64, "pca-pthread.c", 111);
+    let cov = alloc_main(&mut space, n * n * 8, "pca-pthread.c", 112);
+
+    let init = SegmentsStream::new(vec![Segment::sweep(matrix, n * n * 8, 8, true, 0)]);
+    let rows_per_thread = (n / u64::from(config.threads)).max(1);
+    let mk_phase = |write_target: Addr, write_stride: u64, work: u64| {
+        (0..config.threads)
+            .map(|t| {
+                let row0 = (u64::from(t) * rows_per_thread) % n;
+                let body = vec![
+                    OpTemplate::Read {
+                        base: matrix.offset(row0 * n * 8),
+                        stride: 8,
+                    },
+                    OpTemplate::Work(work),
+                    OpTemplate::Write {
+                        base: write_target.offset(row0 * write_stride),
+                        stride: 0,
+                    },
+                ];
+                ThreadSpec::new(
+                    format!("pca-{t}"),
+                    SegmentsStream::new(
+                        (0..reps)
+                            .map(|_| Segment::new(body.clone(), rows_per_thread * n))
+                            .collect(),
+                    ),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let program = ProgramBuilder::new("pca")
+        .serial(ThreadSpec::new("init", init))
+        .parallel(mk_phase(means, 64, 5))
+        .parallel(mk_phase(cov, n * 8, 7))
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+/// `string_match`: scans private key chunks; results are thread-private.
+pub fn string_match(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let total = config.iters(3_200_000);
+    let chunk = (total / u64::from(config.threads)).max(64);
+    let keys = alloc_main(&mut space, total, "string_match-pthread.c", 136);
+    let init = SegmentsStream::new(vec![Segment::sweep(keys, total, 64, true, 0)]);
+    let workers = (0..config.threads)
+        .map(|t| {
+            let my_keys = keys.offset(u64::from(t) * chunk);
+            ThreadSpec::new(
+                format!("string_match-{t}"),
+                SegmentsStream::new(vec![Segment::sweep(my_keys, chunk, 4, false, 3)]),
+            )
+        })
+        .collect();
+    let program = ProgramBuilder::new("string_match")
+        .serial(ThreadSpec::new("init", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::{Machine, MachineConfig, NullObserver, PhaseKind};
+
+    fn quick(config: &AppConfig, build: fn(&AppConfig) -> WorkloadInstance) -> cheetah_sim::RunReport {
+        let machine = Machine::new(MachineConfig::default());
+        machine.run(build(config).program, &mut NullObserver)
+    }
+
+    #[test]
+    fn kmeans_spawns_224_threads_at_16() {
+        let instance = kmeans(&AppConfig::with_threads(16).scaled(0.01));
+        assert_eq!(instance.program.total_threads(), 1 + 224);
+    }
+
+    #[test]
+    fn minor_fs_apps_have_tiny_fix_impact() {
+        // Fig. 7: fixing these yields <0.2%; allow <2% in the scaled-down
+        // builds.
+        for build in [histogram, reverse_index, word_count] {
+            let config = AppConfig::with_threads(16).scaled(0.1);
+            let broken = quick(&config, build).total_cycles as f64;
+            let fixed = quick(&config.clone().fixed(), build).total_cycles as f64;
+            let improvement = broken / fixed;
+            assert!(
+                improvement < 1.02,
+                "minor FS fix impact too large: {improvement}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_apps_have_low_coherence_traffic() {
+        for (name, build) in [
+            ("matrix_multiply", matrix_multiply as fn(&AppConfig) -> WorkloadInstance),
+            ("pca", pca),
+            ("string_match", string_match),
+        ] {
+            let report = quick(&AppConfig::with_threads(8).scaled(0.05), build);
+            let ratio = report.coherence.coherence_ratio();
+            assert!(ratio < 0.2, "{name} coherence ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn pca_has_two_parallel_phases() {
+        let instance = pca(&AppConfig::with_threads(4).scaled(0.02));
+        let parallel = instance
+            .program
+            .phases()
+            .iter()
+            .filter(|p| p.kind() == PhaseKind::Parallel)
+            .count();
+        assert_eq!(parallel, 2);
+    }
+
+    #[test]
+    fn map_stream_interleaves_results() {
+        let sweep = SegmentsStream::new(vec![Segment::sweep(Addr(0x1000), 400, 4, false, 0)]);
+        let results = RandomStream::new(1, Addr(0x2000), 16, 4, 100, 10, 0);
+        let mut stream = MapStream::new(sweep, results, 10);
+        let mut reads = 0;
+        let mut writes = 0;
+        while let Some(op) = stream.next_op() {
+            match op.mem_ref() {
+                Some((_, cheetah_sim::AccessKind::Read)) => reads += 1,
+                Some((_, cheetah_sim::AccessKind::Write)) => writes += 1,
+                None => {}
+            }
+        }
+        assert_eq!(reads, 100);
+        assert_eq!(writes, 10);
+    }
+}

@@ -1,0 +1,30 @@
+//! A built workload: program + address space.
+
+use cheetah_heap::AddressSpace;
+use cheetah_sim::Program;
+
+/// One ready-to-run workload instance.
+///
+/// The [`AddressSpace`] carries every allocation the workload performed
+/// (with callsites) and every global it registered — the information the
+/// profiler resolves sampled addresses against. Instances are single-shot:
+/// running the program consumes it, so build a fresh instance per run.
+#[derive(Debug)]
+pub struct WorkloadInstance {
+    /// The program to simulate.
+    pub program: Program,
+    /// The address space it was built against.
+    pub space: AddressSpace,
+}
+
+impl WorkloadInstance {
+    /// Creates an instance.
+    pub fn new(program: Program, space: AddressSpace) -> Self {
+        WorkloadInstance { program, space }
+    }
+
+    /// Splits the instance into program and space.
+    pub fn into_parts(self) -> (Program, AddressSpace) {
+        (self.program, self.space)
+    }
+}

@@ -1,0 +1,328 @@
+//! Access-pattern primitives the synthetic applications are built from.
+//!
+//! Real benchmark behaviour decomposes into a few memory shapes: sequential
+//! sweeps (initialisation, scans), hot loops with stepping operands (the
+//! per-element compute kernels), and randomized accesses (canneal-style
+//! refinement). [`SegmentsStream`] expresses the first two compactly as a
+//! list of [`Segment`]s whose operand addresses advance per iteration, and
+//! [`RandomStream`] covers the third with a seeded generator, so every
+//! workload stays allocation-free and deterministic no matter how many
+//! million accesses it issues.
+
+use cheetah_sim::{AccessStream, Addr, Op};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation template within a [`Segment`] body; `stride` addresses
+/// advance with the segment's iteration counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTemplate {
+    /// Pure compute.
+    Work(u64),
+    /// Read `base + iteration * stride`.
+    Read {
+        /// Address at iteration 0.
+        base: Addr,
+        /// Bytes advanced per iteration.
+        stride: u64,
+    },
+    /// Write `base + iteration * stride`.
+    Write {
+        /// Address at iteration 0.
+        base: Addr,
+        /// Bytes advanced per iteration.
+        stride: u64,
+    },
+}
+
+impl OpTemplate {
+    /// A read with a fixed address.
+    pub fn read_fixed(addr: Addr) -> Self {
+        OpTemplate::Read {
+            base: addr,
+            stride: 0,
+        }
+    }
+
+    /// A write with a fixed address.
+    pub fn write_fixed(addr: Addr) -> Self {
+        OpTemplate::Write {
+            base: addr,
+            stride: 0,
+        }
+    }
+
+    fn instantiate(self, iteration: u64) -> Op {
+        match self {
+            OpTemplate::Work(n) => Op::Work(n),
+            OpTemplate::Read { base, stride } => Op::Read(base.offset(iteration * stride)),
+            OpTemplate::Write { base, stride } => Op::Write(base.offset(iteration * stride)),
+        }
+    }
+}
+
+/// A body of op templates repeated for a number of iterations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Templates executed in order each iteration.
+    pub body: Vec<OpTemplate>,
+    /// Number of iterations.
+    pub iterations: u64,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(body: Vec<OpTemplate>, iterations: u64) -> Self {
+        Segment { body, iterations }
+    }
+
+    /// A sequential sweep: one access per `stride` bytes over
+    /// `[base, base + bytes)`, with `work` compute between accesses.
+    pub fn sweep(base: Addr, bytes: u64, stride: u64, write: bool, work: u64) -> Self {
+        assert!(stride > 0, "sweep stride must be nonzero");
+        let op = if write {
+            OpTemplate::Write { base, stride }
+        } else {
+            OpTemplate::Read { base, stride }
+        };
+        let mut body = vec![op];
+        if work > 0 {
+            body.push(OpTemplate::Work(work));
+        }
+        Segment::new(body, bytes / stride)
+    }
+
+    /// Total operations this segment will emit.
+    pub fn len(&self) -> u64 {
+        self.iterations * self.body.len() as u64
+    }
+
+    /// Whether the segment emits nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An [`AccessStream`] over a sequence of [`Segment`]s.
+#[derive(Debug, Clone)]
+pub struct SegmentsStream {
+    segments: Vec<Segment>,
+    segment: usize,
+    iteration: u64,
+    position: usize,
+}
+
+impl SegmentsStream {
+    /// Creates a stream that plays `segments` in order.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        SegmentsStream {
+            segments,
+            segment: 0,
+            iteration: 0,
+            position: 0,
+        }
+    }
+
+    /// Single-segment convenience constructor.
+    pub fn repeat(body: Vec<OpTemplate>, iterations: u64) -> Self {
+        SegmentsStream::new(vec![Segment::new(body, iterations)])
+    }
+}
+
+impl AccessStream for SegmentsStream {
+    fn next_op(&mut self) -> Option<Op> {
+        loop {
+            let segment = self.segments.get(self.segment)?;
+            if self.iteration >= segment.iterations || segment.body.is_empty() {
+                self.segment += 1;
+                self.iteration = 0;
+                self.position = 0;
+                continue;
+            }
+            let template = segment.body[self.position];
+            let op = template.instantiate(self.iteration);
+            self.position += 1;
+            if self.position == segment.body.len() {
+                self.position = 0;
+                self.iteration += 1;
+            }
+            return Some(op);
+        }
+    }
+}
+
+/// Randomized accesses over a byte range (canneal-style refinement).
+#[derive(Debug, Clone)]
+pub struct RandomStream {
+    rng: SmallRng,
+    base: Addr,
+    slots: u64,
+    slot_bytes: u64,
+    write_percent: u32,
+    remaining: u64,
+    work: u64,
+    emit_work: bool,
+}
+
+impl RandomStream {
+    /// `count` accesses over `slots` aligned slots of `slot_bytes` starting
+    /// at `base`; each access writes with probability `write_percent`/100
+    /// and is followed by `work` compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `slot_bytes` is zero, or `write_percent > 100`.
+    pub fn new(
+        seed: u64,
+        base: Addr,
+        slots: u64,
+        slot_bytes: u64,
+        write_percent: u32,
+        count: u64,
+        work: u64,
+    ) -> Self {
+        assert!(slots > 0 && slot_bytes > 0, "empty random range");
+        assert!(write_percent <= 100, "write_percent is a percentage");
+        RandomStream {
+            rng: SmallRng::seed_from_u64(seed),
+            base,
+            slots,
+            slot_bytes,
+            write_percent,
+            remaining: count,
+            work,
+            emit_work: false,
+        }
+    }
+}
+
+impl AccessStream for RandomStream {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.emit_work {
+            self.emit_work = false;
+            return Some(Op::Work(self.work));
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.emit_work = self.work > 0;
+        let slot = self.rng.gen_range(0..self.slots);
+        let addr = self.base.offset(slot * self.slot_bytes);
+        if self.rng.gen_range(0..100) < self.write_percent {
+            Some(Op::Write(addr))
+        } else {
+            Some(Op::Read(addr))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::AccessKind;
+
+    fn drain(mut stream: impl AccessStream) -> Vec<Op> {
+        let mut ops = Vec::new();
+        while let Some(op) = stream.next_op() {
+            ops.push(op);
+        }
+        ops
+    }
+
+    #[test]
+    fn sweep_advances_addresses() {
+        let ops = drain(SegmentsStream::new(vec![Segment::sweep(
+            Addr(0x100),
+            64,
+            8,
+            true,
+            0,
+        )]));
+        assert_eq!(ops.len(), 8);
+        assert_eq!(ops[0], Op::Write(Addr(0x100)));
+        assert_eq!(ops[7], Op::Write(Addr(0x138)));
+    }
+
+    #[test]
+    fn repeat_with_fixed_and_stepping_operands() {
+        let ops = drain(SegmentsStream::repeat(
+            vec![
+                OpTemplate::Read {
+                    base: Addr(0x1000),
+                    stride: 16,
+                },
+                OpTemplate::write_fixed(Addr(0x2000)),
+                OpTemplate::Work(3),
+            ],
+            3,
+        ));
+        assert_eq!(ops.len(), 9);
+        assert_eq!(ops[0], Op::Read(Addr(0x1000)));
+        assert_eq!(ops[3], Op::Read(Addr(0x1010)));
+        assert_eq!(ops[6], Op::Read(Addr(0x1020)));
+        assert_eq!(ops[1], Op::Write(Addr(0x2000)));
+        assert_eq!(ops[7], Op::Write(Addr(0x2000)));
+    }
+
+    #[test]
+    fn segments_play_in_order() {
+        let ops = drain(SegmentsStream::new(vec![
+            Segment::sweep(Addr(0), 16, 8, true, 0),
+            Segment::new(vec![OpTemplate::Work(5)], 2),
+        ]));
+        assert_eq!(
+            ops,
+            vec![
+                Op::Write(Addr(0)),
+                Op::Write(Addr(8)),
+                Op::Work(5),
+                Op::Work(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_segments_are_skipped() {
+        let ops = drain(SegmentsStream::new(vec![
+            Segment::new(vec![], 100),
+            Segment::new(vec![OpTemplate::Work(1)], 0),
+            Segment::new(vec![OpTemplate::Work(7)], 1),
+        ]));
+        assert_eq!(ops, vec![Op::Work(7)]);
+    }
+
+    #[test]
+    fn random_stream_stays_in_range_and_is_deterministic() {
+        let make = || RandomStream::new(7, Addr(0x4000), 10, 64, 30, 1000, 2);
+        let a = drain(make());
+        let b = drain(make());
+        assert_eq!(a, b);
+        // count accesses + work ops
+        assert_eq!(a.iter().filter(|o| o.mem_ref().is_some()).count(), 1000);
+        for op in &a {
+            if let Some((addr, _)) = op.mem_ref() {
+                assert!(addr.0 >= 0x4000 && addr.0 < 0x4000 + 10 * 64);
+                assert_eq!((addr.0 - 0x4000) % 64, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn random_stream_write_ratio_approximate() {
+        let ops = drain(RandomStream::new(9, Addr(0), 4, 8, 25, 10_000, 0));
+        let writes = ops
+            .iter()
+            .filter(|o| matches!(o.mem_ref(), Some((_, AccessKind::Write))))
+            .count();
+        assert!((2_000..3_000).contains(&writes), "writes {writes}");
+    }
+
+    #[test]
+    fn segment_len() {
+        let segment = Segment::new(vec![OpTemplate::Work(1), OpTemplate::Work(2)], 10);
+        assert_eq!(segment.len(), 20);
+        assert!(!segment.is_empty());
+        assert!(Segment::new(vec![], 5).is_empty());
+    }
+}

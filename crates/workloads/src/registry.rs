@@ -1,0 +1,249 @@
+//! The application registry: the 17 evaluated programs plus the Fig. 1
+//! microbenchmark, addressable by name.
+
+use crate::apps;
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use std::fmt;
+
+/// What kind of sharing problem the *broken* build of an app contains —
+/// the ground truth the detection experiments are judged against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// False sharing with significant performance impact; Cheetah must
+    /// detect it (linear_regression, streamcluster).
+    SignificantFalseSharing,
+    /// False sharing with negligible impact (<0.2% per Fig. 7); Cheetah is
+    /// expected to *miss* it at deployment sampling rates (histogram,
+    /// reverse_index, word_count).
+    MinorFalseSharing,
+    /// No false sharing worth reporting.
+    NoFalseSharing,
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expectation::SignificantFalseSharing => f.write_str("significant false sharing"),
+            Expectation::MinorFalseSharing => f.write_str("minor false sharing"),
+            Expectation::NoFalseSharing => f.write_str("no false sharing"),
+        }
+    }
+}
+
+/// A registered application.
+#[derive(Clone, Copy)]
+pub struct App {
+    name: &'static str,
+    suite: &'static str,
+    expectation: Expectation,
+    builder: fn(&AppConfig) -> WorkloadInstance,
+}
+
+impl App {
+    /// The application's name, as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Benchmark suite the app comes from (`"phoenix"`, `"parsec"` or
+    /// `"micro"`).
+    pub fn suite(&self) -> &'static str {
+        self.suite
+    }
+
+    /// The ground-truth sharing expectation of the broken build.
+    pub fn expectation(&self) -> Expectation {
+        self.expectation
+    }
+
+    /// Builds an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (zero threads or scale).
+    pub fn build(&self, config: &AppConfig) -> WorkloadInstance {
+        config.validate();
+        (self.builder)(config)
+    }
+}
+
+impl fmt::Debug for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("App")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("expectation", &self.expectation)
+            .finish()
+    }
+}
+
+/// Every application of the paper's evaluation (Fig. 4 order), plus the
+/// Fig. 1 microbenchmark under the name `"microbench"`.
+pub const APPS: &[App] = &[
+    App {
+        name: "blackscholes",
+        suite: "parsec",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::parsec::blackscholes,
+    },
+    App {
+        name: "bodytrack",
+        suite: "parsec",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::parsec::bodytrack,
+    },
+    App {
+        name: "canneal",
+        suite: "parsec",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::parsec::canneal,
+    },
+    App {
+        name: "facesim",
+        suite: "parsec",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::parsec::facesim,
+    },
+    App {
+        name: "fluidanimate",
+        suite: "parsec",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::parsec::fluidanimate,
+    },
+    App {
+        name: "freqmine",
+        suite: "parsec",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::parsec::freqmine,
+    },
+    App {
+        name: "histogram",
+        suite: "phoenix",
+        expectation: Expectation::MinorFalseSharing,
+        builder: apps::phoenix::histogram,
+    },
+    App {
+        name: "kmeans",
+        suite: "phoenix",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::phoenix::kmeans,
+    },
+    App {
+        name: "linear_regression",
+        suite: "phoenix",
+        expectation: Expectation::SignificantFalseSharing,
+        builder: apps::linear_regression::build,
+    },
+    App {
+        name: "matrix_multiply",
+        suite: "phoenix",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::phoenix::matrix_multiply,
+    },
+    App {
+        name: "pca",
+        suite: "phoenix",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::phoenix::pca,
+    },
+    App {
+        name: "string_match",
+        suite: "phoenix",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::phoenix::string_match,
+    },
+    App {
+        name: "reverse_index",
+        suite: "phoenix",
+        expectation: Expectation::MinorFalseSharing,
+        builder: apps::phoenix::reverse_index,
+    },
+    App {
+        name: "streamcluster",
+        suite: "parsec",
+        expectation: Expectation::SignificantFalseSharing,
+        builder: apps::streamcluster::build,
+    },
+    App {
+        name: "swaptions",
+        suite: "parsec",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::parsec::swaptions,
+    },
+    App {
+        name: "word_count",
+        suite: "phoenix",
+        expectation: Expectation::MinorFalseSharing,
+        builder: apps::phoenix::word_count,
+    },
+    App {
+        name: "x264",
+        suite: "parsec",
+        expectation: Expectation::NoFalseSharing,
+        builder: apps::parsec::x264,
+    },
+    App {
+        name: "microbench",
+        suite: "micro",
+        expectation: Expectation::SignificantFalseSharing,
+        builder: apps::microbench::build,
+    },
+];
+
+/// The 17 applications of the paper's Fig. 4 (excludes the
+/// microbenchmark).
+pub fn evaluated_apps() -> impl Iterator<Item = &'static App> {
+    APPS.iter().filter(|a| a.suite != "micro")
+}
+
+/// Looks an application up by name.
+pub fn find(name: &str) -> Option<&'static App> {
+    APPS.iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_evaluated_apps() {
+        assert_eq!(evaluated_apps().count(), 17);
+        assert_eq!(APPS.len(), 18); // + microbench
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert_eq!(find("linear_regression").unwrap().name(), "linear_regression");
+        assert_eq!(
+            find("linear_regression").unwrap().expectation(),
+            Expectation::SignificantFalseSharing
+        );
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = APPS.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), APPS.len());
+    }
+
+    #[test]
+    fn fig7_trio_marked_minor() {
+        for name in ["histogram", "reverse_index", "word_count"] {
+            assert_eq!(
+                find(name).unwrap().expectation(),
+                Expectation::MinorFalseSharing,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn debug_format_mentions_name() {
+        let text = format!("{:?}", find("canneal").unwrap());
+        assert!(text.contains("canneal"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Workload-level invariants across the whole registry.
+
+use cheetah_sim::{Machine, MachineConfig, NullObserver};
+use cheetah_workloads::{AppConfig, Expectation, APPS};
+use proptest::prelude::*;
+
+#[test]
+fn every_app_builds_deterministically() {
+    let machine = Machine::new(MachineConfig::default());
+    let config = AppConfig::with_threads(4).scaled(0.01);
+    for app in APPS {
+        let a = machine.run(app.build(&config).program, &mut NullObserver);
+        let b = machine.run(app.build(&config).program, &mut NullObserver);
+        assert_eq!(a.total_cycles, b.total_cycles, "{}", app.name());
+    }
+}
+
+#[test]
+fn fixed_builds_never_slower_for_fs_apps() {
+    let machine = Machine::new(MachineConfig::default());
+    let config = AppConfig::with_threads(8).scaled(0.05);
+    for app in APPS {
+        if app.expectation() == Expectation::NoFalseSharing {
+            continue;
+        }
+        let broken = machine
+            .run(app.build(&config).program, &mut NullObserver)
+            .total_cycles as f64;
+        let fixed = machine
+            .run(app.build(&config.clone().fixed()).program, &mut NullObserver)
+            .total_cycles as f64;
+        assert!(
+            fixed <= broken * 1.01,
+            "{}: fix must not hurt (broken {broken}, fixed {fixed})",
+            app.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn thread_count_preserves_total_accesses_for_partitioned_apps(
+        threads in prop::sample::select(vec![2u32, 4, 8, 16]),
+    ) {
+        // Fixed-input apps issue (nearly) the same total traffic no matter
+        // how many threads split the work.
+        let machine = Machine::new(MachineConfig::default());
+        for name in ["blackscholes", "linear_regression", "string_match"] {
+            let app = cheetah_workloads::find(name).unwrap();
+            let base = machine.run(
+                app.build(&AppConfig::with_threads(1).scaled(0.02)).program,
+                &mut NullObserver,
+            ).total_accesses();
+            let split = machine.run(
+                app.build(&AppConfig::with_threads(threads).scaled(0.02)).program,
+                &mut NullObserver,
+            ).total_accesses();
+            let ratio = split as f64 / base as f64;
+            prop_assert!(
+                (0.9..1.1).contains(&ratio),
+                "{name}: accesses {} vs {} at {} threads", base, split, threads
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Compare Cheetah against the Predator-like full-instrumentation baseline
+//! on a workload whose false sharing is too minor for sparse sampling.
+//!
+//! Run with: `cargo run --release --example compare_detectors`
+
+use cheetah::baselines::PredatorProfiler;
+use cheetah::core::{CheetahConfig, CheetahProfiler};
+use cheetah::sim::{Machine, MachineConfig, NullObserver};
+use cheetah::workloads::{find, AppConfig};
+
+fn main() {
+    let machine = Machine::new(MachineConfig::default());
+    let config = AppConfig::with_threads(16);
+    for name in ["histogram", "linear_regression"] {
+        let app = find(name).expect("registered");
+        let native = machine
+            .run(app.build(&config).program, &mut NullObserver)
+            .total_cycles;
+
+        let instance = app.build(&config);
+        let mut cheetah = CheetahProfiler::new(CheetahConfig::scaled(8192), &instance.space);
+        let cheetah_run = machine.run(instance.program, &mut cheetah);
+        let profile = cheetah.finish();
+
+        let instance = app.build(&config);
+        let mut predator = PredatorProfiler::new(Default::default(), &instance.space);
+        let predator_run = machine.run(instance.program, &mut predator);
+
+        println!("== {name}");
+        println!(
+            "  cheetah : {} significant instance(s), overhead {:.2}x",
+            profile.significant_false_sharing(1.1).len(),
+            cheetah_run.total_cycles as f64 / native as f64
+        );
+        println!(
+            "  predator: {} instance(s), overhead {:.2}x",
+            predator.instances().len(),
+            predator_run.total_cycles as f64 / native as f64
+        );
+    }
+}

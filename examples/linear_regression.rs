@@ -1,0 +1,49 @@
+//! The paper's §4.2.1 case study: detecting and assessing the false
+//! sharing in Phoenix `linear_regression`, reproducing the Fig. 5 report.
+//!
+//! Run with: `cargo run --release --example linear_regression`
+
+use cheetah::core::{format_word_profile, CheetahConfig, CheetahProfiler};
+use cheetah::sim::{Machine, MachineConfig, NullObserver};
+use cheetah::workloads::{find, AppConfig};
+
+fn main() {
+    let app = find("linear_regression").expect("registered");
+    let machine = Machine::new(MachineConfig::default());
+    let config = AppConfig {
+        threads: 16,
+        scale: 0.5,
+        fixed: false,
+        seed: 1,
+    };
+
+    // Profile the broken build.
+    let instance = app.build(&config);
+    let mut profiler = CheetahProfiler::new(CheetahConfig::scaled(256), &instance.space);
+    machine.run(instance.program, &mut profiler);
+    let profile = profiler.finish();
+
+    // The Fig. 5-style report.
+    println!("{}", profile.render_report());
+
+    // The word-level access breakdown that guides padding decisions.
+    if let Some(first) = profile.false_sharing().first() {
+        println!("{}", format_word_profile(&first.instance));
+    }
+
+    // Verify the prediction by actually applying the paper's fix.
+    let broken = machine
+        .run(app.build(&config).program, &mut NullObserver)
+        .total_cycles;
+    let fixed = machine
+        .run(app.build(&config.clone().fixed()).program, &mut NullObserver)
+        .total_cycles;
+    let predicted = profile
+        .false_sharing()
+        .first()
+        .map_or(1.0, |i| i.improvement());
+    println!(
+        "predicted improvement {predicted:.2}x, actual improvement after padding {:.2}x",
+        broken as f64 / fixed as f64
+    );
+}

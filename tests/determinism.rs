@@ -1,0 +1,56 @@
+//! Reproducibility: identical configurations must produce bit-identical
+//! simulations and identical profiles — the property that makes
+//! predicted-vs-real comparisons meaningful.
+
+use cheetah::core::{CheetahConfig, CheetahProfiler};
+use cheetah::sim::{Machine, MachineConfig, NullObserver};
+use cheetah::workloads::{find, AppConfig};
+
+#[test]
+fn native_runs_are_bit_identical() {
+    let machine = Machine::new(MachineConfig::default());
+    for name in ["linear_regression", "canneal", "kmeans"] {
+        let app = find(name).unwrap();
+        let config = AppConfig::with_threads(4).scaled(0.03);
+        let a = machine.run(app.build(&config).program, &mut NullObserver);
+        let b = machine.run(app.build(&config).program, &mut NullObserver);
+        assert_eq!(a, b, "{name} must be deterministic");
+    }
+}
+
+#[test]
+fn profiles_are_identical_across_runs() {
+    let machine = Machine::new(MachineConfig::default());
+    let app = find("linear_regression").unwrap();
+    let config = AppConfig::with_threads(8).scaled(0.1);
+    let run = || {
+        let instance = app.build(&config);
+        let mut profiler = CheetahProfiler::new(CheetahConfig::scaled(256), &instance.space);
+        machine.run(instance.program, &mut profiler);
+        profiler.finish()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_samples, b.total_samples);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.instances.len(), b.instances.len());
+    for (x, y) in a.instances.iter().zip(&b.instances) {
+        assert_eq!(x.instance, y.instance);
+        assert_eq!(x.assessment, y.assessment);
+    }
+}
+
+#[test]
+fn seeds_change_random_workloads_but_not_structure() {
+    let machine = Machine::new(MachineConfig::default());
+    let app = find("canneal").unwrap();
+    let mut config = AppConfig::with_threads(4).scaled(0.03);
+    let a = machine.run(app.build(&config).program, &mut NullObserver);
+    config.seed = 99;
+    let b = machine.run(app.build(&config).program, &mut NullObserver);
+    assert_ne!(
+        a.total_cycles, b.total_cycles,
+        "different seeds must change the access pattern"
+    );
+    assert_eq!(a.threads.len(), b.threads.len());
+}

@@ -1,0 +1,87 @@
+//! Compact shape checks for each experiment claim — cheap versions of the
+//! full harness binaries, run on every `cargo test`.
+
+use cheetah::core::{CheetahConfig, CheetahProfiler};
+use cheetah::sim::{Machine, MachineConfig, NullObserver};
+use cheetah::workloads::{find, AppConfig};
+
+#[test]
+fn fig1_shape_reality_far_above_expectation() {
+    let machine = Machine::new(MachineConfig::with_cores(8));
+    let app = find("microbench").unwrap();
+    let scale = 0.05;
+    let run = |threads: u32| {
+        let config = AppConfig {
+            threads,
+            scale,
+            fixed: false,
+            seed: 1,
+        };
+        machine
+            .run(app.build(&config).program, &mut NullObserver)
+            .total_cycles
+    };
+    let serial = run(1);
+    let reality8 = run(8);
+    let expectation8 = serial / 8;
+    let gap = reality8 as f64 / expectation8 as f64;
+    assert!(gap > 8.0, "8-thread gap must be catastrophic: {gap:.1}x");
+}
+
+#[test]
+fn fig4_shape_overhead_low_and_thread_heavy_apps_worst() {
+    let machine = Machine::new(MachineConfig::default());
+    let config = AppConfig::with_threads(16).scaled(0.5);
+    let overhead = |name: &str| {
+        let app = find(name).unwrap();
+        let native = machine
+            .run(app.build(&config).program, &mut NullObserver)
+            .total_cycles;
+        let instance = app.build(&config);
+        let mut profiler = CheetahProfiler::new(CheetahConfig::scaled(8192), &instance.space);
+        let profiled = machine.run(instance.program, &mut profiler).total_cycles;
+        profiled as f64 / native as f64
+    };
+    let blackscholes = overhead("blackscholes");
+    let kmeans = overhead("kmeans");
+    assert!(
+        blackscholes < 1.12,
+        "ordinary apps stay cheap: {blackscholes:.3}"
+    );
+    assert!(
+        kmeans > blackscholes,
+        "thread-heavy kmeans ({kmeans:.3}) must exceed blackscholes ({blackscholes:.3})"
+    );
+}
+
+#[test]
+fn table1_shape_ladders() {
+    // Real improvements: linear_regression grows with threads,
+    // streamcluster shrinks — the two shapes of Table 1.
+    let machine = Machine::new(MachineConfig::default());
+    let improvement = |name: &str, threads: u32| {
+        let app = find(name).unwrap();
+        let config = AppConfig {
+            threads,
+            scale: 0.2,
+            fixed: false,
+            seed: 1,
+        };
+        let broken = machine
+            .run(app.build(&config).program, &mut NullObserver)
+            .total_cycles;
+        let fixed = machine
+            .run(app.build(&config.clone().fixed()).program, &mut NullObserver)
+            .total_cycles;
+        broken as f64 / fixed as f64
+    };
+    let lr2 = improvement("linear_regression", 2);
+    let lr16 = improvement("linear_regression", 16);
+    assert!(lr2 > 1.5 && lr16 > lr2, "lreg ladder grows: {lr2:.2} -> {lr16:.2}");
+    let sc2 = improvement("streamcluster", 2);
+    let sc16 = improvement("streamcluster", 16);
+    assert!(
+        sc2 < 1.2 && sc16 < sc2,
+        "streamcluster ladder shrinks: {sc2:.3} -> {sc16:.3}"
+    );
+}

@@ -1,0 +1,330 @@
+//! Property-based tests over the core data structures and cross-crate
+//! invariants.
+
+use cheetah::core::{
+    CheetahConfig, CheetahProfiler, Detector, DetectorConfig, TwoEntryTable, WriteOutcome,
+};
+use cheetah::heap::{AddressSpace, CallStack, HeapModel, ShadowMap};
+use cheetah::pmu::Sample;
+use cheetah::runtime::PhaseTracker;
+use cheetah::sim::{
+    AccessKind, Addr, LoopStream, Machine, MachineConfig, NullObserver, Op, PhaseKind,
+    ProgramBuilder, ThreadId, ThreadSpec,
+};
+use proptest::prelude::*;
+
+// ---- two-entry table (§2.3) -------------------------------------------
+
+/// Reference model: full per-line access history. An invalidation per the
+/// paper's rule happens when a write lands on a line "recently accessed"
+/// by another thread — for the constant-space table this means any
+/// non-empty state containing a foreign entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Read(u8),
+    Write(u8),
+}
+
+fn events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(
+        (0u8..4, proptest::bool::ANY).prop_map(|(t, w)| {
+            if w {
+                Event::Write(t)
+            } else {
+                Event::Read(t)
+            }
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn table_never_empty_after_a_write(ops in events()) {
+        let mut table = TwoEntryTable::new();
+        let mut wrote = false;
+        for op in ops {
+            match op {
+                Event::Read(t) => { table.record_read(ThreadId(t.into())); }
+                Event::Write(t) => { table.record_write(ThreadId(t.into())); wrote = true; }
+            }
+            if wrote {
+                prop_assert!(!table.is_empty(), "table must stay non-empty after any write");
+            }
+            prop_assert!(table.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn single_thread_streams_never_invalidate(ops in events()) {
+        let mut table = TwoEntryTable::new();
+        for op in ops {
+            let outcome = match op {
+                Event::Read(_) => { table.record_read(ThreadId(7)); continue; }
+                Event::Write(_) => table.record_write(ThreadId(7)),
+            };
+            prop_assert_ne!(outcome, WriteOutcome::Invalidation);
+        }
+    }
+
+    #[test]
+    fn invalidation_iff_foreign_entry_present(ops in events()) {
+        let mut table = TwoEntryTable::new();
+        for op in ops {
+            match op {
+                Event::Read(t) => { table.record_read(ThreadId(t.into())); }
+                Event::Write(t) => {
+                    let thread = ThreadId(t.into());
+                    let foreign = table.entries().any(|e| e.thread != thread);
+                    let outcome = table.record_write(thread);
+                    prop_assert_eq!(
+                        outcome == WriteOutcome::Invalidation,
+                        foreign,
+                        "write by {:?} with foreign={}", thread, foreign
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---- heap model ---------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn heap_objects_never_overlap_and_respect_thread_isolation(
+        requests in proptest::collection::vec((0u32..6, 1u64..5000), 1..60)
+    ) {
+        let mut heap = HeapModel::new();
+        let mut placed: Vec<(u32, u64, u64)> = Vec::new();
+        for (thread, size) in requests {
+            let addr = heap.alloc(ThreadId(thread), size, CallStack::unknown()).unwrap();
+            let class = size.max(16).next_power_of_two();
+            // No two live objects overlap.
+            for &(_, start, len) in &placed {
+                prop_assert!(
+                    addr.0 + class <= start || start + len <= addr.0,
+                    "objects overlap"
+                );
+            }
+            // Different threads never share a cache line.
+            for &(other_thread, start, len) in &placed {
+                if other_thread != thread {
+                    let lines_a = (addr.0 / 64, (addr.0 + class - 1) / 64);
+                    let lines_b = (start / 64, (start + len - 1) / 64);
+                    prop_assert!(
+                        lines_a.1 < lines_b.0 || lines_b.1 < lines_a.0,
+                        "cross-thread line sharing"
+                    );
+                }
+            }
+            placed.push((thread, addr.0, class));
+        }
+    }
+
+    #[test]
+    fn object_lookup_resolves_every_interior_byte(
+        sizes in proptest::collection::vec(1u64..3000, 1..20)
+    ) {
+        let mut heap = HeapModel::new();
+        for size in sizes {
+            let addr = heap.alloc(ThreadId(1), size, CallStack::unknown()).unwrap();
+            for probe in [0, size / 2, size - 1] {
+                let found = heap.object_at(addr.offset(probe)).expect("interior resolves");
+                prop_assert_eq!(found.start, addr);
+            }
+        }
+    }
+}
+
+// ---- shadow map vs. hash map model --------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn shadow_map_matches_hashmap_model(
+        writes in proptest::collection::vec((0u64..200_000, 1u32..100), 1..200)
+    ) {
+        let mut shadow: ShadowMap<u32> = ShadowMap::new(64);
+        let mut model = std::collections::HashMap::new();
+        let base = 0x4000_0000u64;
+        for (offset, value) in writes {
+            let line = Addr(base + offset * 64).line(64);
+            *shadow.get_mut_or_default(line).unwrap() = value;
+            model.insert(line, value);
+        }
+        for (line, value) in &model {
+            prop_assert_eq!(shadow.get(*line), Some(value));
+        }
+    }
+}
+
+// ---- phase tracker -------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn phase_intervals_are_contiguous_and_ordered(cohorts in proptest::collection::vec(1u32..6, 1..6)) {
+        let mut tracker = PhaseTracker::new();
+        let mut now = 10u64;
+        let mut next_id = 1u32;
+        for cohort in &cohorts {
+            let members: Vec<ThreadId> = (0..*cohort).map(|_| {
+                let id = ThreadId(next_id);
+                next_id += 1;
+                id
+            }).collect();
+            for &m in &members {
+                tracker.on_thread_created(m, now);
+                now += 3;
+            }
+            now += 50;
+            for &m in &members {
+                tracker.on_thread_exited(m, now);
+                now += 7;
+            }
+        }
+        let phases = tracker.finish(now + 5).to_vec();
+        prop_assert!(tracker.is_fork_join());
+        // Contiguity: each phase starts where the previous ended.
+        for pair in phases.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        prop_assert_eq!(phases.first().unwrap().start, 0);
+        // One parallel phase per cohort.
+        let parallel = phases.iter().filter(|p| p.kind == PhaseKind::Parallel).count();
+        prop_assert_eq!(parallel, cohorts.len());
+    }
+}
+
+// ---- detector invariants -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn detector_counts_are_consistent(
+        accesses in proptest::collection::vec((0u32..4, 0u64..16, proptest::bool::ANY), 0..400)
+    ) {
+        let mut space = AddressSpace::new();
+        let obj = space.heap_mut().alloc(ThreadId(0), 64, CallStack::unknown()).unwrap();
+        let mut detector = Detector::new(DetectorConfig::default());
+        for (thread, word, is_write) in accesses {
+            detector.ingest(&space, &Sample {
+                thread: ThreadId(thread + 1),
+                addr: obj.offset(word * 4),
+                kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                latency: 100,
+                time: 0,
+                phase_index: 1,
+                phase_kind: PhaseKind::Parallel,
+            });
+        }
+        for accum in detector.objects() {
+            // Invalidations can never exceed writes.
+            prop_assert!(accum.invalidations <= accum.writes);
+            // Per-thread counters sum to the object totals.
+            let sum: u64 = accum.threads().map(|(_, t)| t.accesses).sum();
+            prop_assert_eq!(sum, accum.accesses());
+            let cycles: u64 = accum.threads().map(|(_, t)| t.cycles).sum();
+            prop_assert_eq!(cycles, accum.latency);
+        }
+    }
+
+    #[test]
+    fn single_thread_programs_never_report(
+        words in proptest::collection::vec(0u64..16, 1..100)
+    ) {
+        let mut space = AddressSpace::new();
+        let obj = space.heap_mut().alloc(ThreadId(0), 64, CallStack::unknown()).unwrap();
+        let mut detector = Detector::new(DetectorConfig::default());
+        for word in words {
+            detector.ingest(&space, &Sample {
+                thread: ThreadId(1),
+                addr: obj.offset(word * 4),
+                kind: AccessKind::Write,
+                latency: 10,
+                time: 0,
+                phase_index: 1,
+                phase_kind: PhaseKind::Parallel,
+            });
+        }
+        prop_assert_eq!(
+            cheetah::core::collect_instances(&detector, &space).len(),
+            0
+        );
+    }
+}
+
+// ---- end-to-end invariants over random programs ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn padded_programs_never_report_false_sharing(
+        threads in 2u32..6,
+        iterations in 1_000u64..20_000,
+    ) {
+        // Threads on distinct lines: whatever the sizes, no FS may appear.
+        let mut space = AddressSpace::new();
+        let obj = space.heap_mut()
+            .alloc(ThreadId(0), u64::from(threads) * 64, CallStack::unknown())
+            .unwrap();
+        let program = ProgramBuilder::new("padded")
+            .parallel((0..threads).map(|t| ThreadSpec::new(
+                format!("w{t}"),
+                LoopStream::new(
+                    vec![Op::Read(obj.offset(u64::from(t) * 64)),
+                         Op::Write(obj.offset(u64::from(t) * 64))],
+                    iterations,
+                ),
+            )).collect())
+            .build();
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let mut profiler = CheetahProfiler::new(CheetahConfig::scaled(128), &space);
+        machine.run(program, &mut profiler);
+        prop_assert!(profiler.finish().false_sharing().is_empty());
+    }
+
+    #[test]
+    fn profiler_never_slows_beyond_trap_budget(
+        threads in 1u32..5,
+        iterations in 1_000u64..10_000,
+    ) {
+        // Perturbation is bounded: profiled runtime <= native + (tags+1) x
+        // trap + threads x setup + slack.
+        let build = |space: &mut AddressSpace| {
+            let obj = space.heap_mut()
+                .alloc(ThreadId(0), u64::from(threads) * 256, CallStack::unknown())
+                .unwrap();
+            ProgramBuilder::new("bounded")
+                .parallel((0..threads).map(|t| ThreadSpec::new(
+                    format!("w{t}"),
+                    LoopStream::new(
+                        vec![Op::Write(obj.offset(u64::from(t) * 256)), Op::Work(3)],
+                        iterations,
+                    ),
+                )).collect())
+                .build()
+        };
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let mut space = AddressSpace::new();
+        let native = machine.run(build(&mut space), &mut NullObserver).total_cycles;
+        let mut space = AddressSpace::new();
+        let program = build(&mut space);
+        let config = CheetahConfig::scaled(1024);
+        let trap = config.sampler.trap_cost;
+        let setup = config.sampler.setup_cost;
+        let mut profiler = CheetahProfiler::new(config, &space);
+        let profiled = machine.run(program, &mut profiler).total_cycles;
+        let instr_per_thread = iterations * 5;
+        let budget = native
+            + (instr_per_thread / 1024 + 2) * trap
+            + u64::from(threads + 1) * setup
+            + 1_000;
+        prop_assert!(
+            profiled <= budget,
+            "profiled {} exceeds budget {} (native {})", profiled, budget, native
+        );
+    }
+}
