@@ -204,7 +204,10 @@ mod tests {
 
     #[test]
     fn per_line_bytes_grow_with_threads() {
-        assert!(OwnershipDetector::new(64).per_line_bytes() < OwnershipDetector::new(256).per_line_bytes());
+        assert!(
+            OwnershipDetector::new(64).per_line_bytes()
+                < OwnershipDetector::new(256).per_line_bytes()
+        );
         // 1024 threads need 128 bytes of bitmap per line -- more than the
         // line itself, the paper's scalability complaint.
         assert!(OwnershipDetector::new(1024).per_line_bytes() >= 128);

@@ -25,7 +25,9 @@ fn bench_fig1(c: &mut Criterion) {
                 };
                 b.iter(|| {
                     let instance = app.build(&config);
-                    machine.run(instance.program, &mut NullObserver).total_cycles
+                    machine
+                        .run(instance.program, &mut NullObserver)
+                        .total_cycles
                 });
             },
         );
@@ -47,7 +49,9 @@ fn bench_profile_linear_regression(c: &mut Criterion) {
     group.bench_function("native", |b| {
         b.iter(|| {
             let instance = app.build(&config);
-            machine.run(instance.program, &mut NullObserver).total_cycles
+            machine
+                .run(instance.program, &mut NullObserver)
+                .total_cycles
         });
     });
     group.bench_function("cheetah", |b| {

@@ -15,7 +15,7 @@ fn main() {
     println!("Ablation C: Cheetah vs. Predator-like full instrumentation");
     println!(
         "{}",
-        row(&[
+        row([
             "app",
             "cheetah inst",
             "cheetah ovh",
@@ -23,7 +23,7 @@ fn main() {
             "predator ovh"
         ]
         .map(String::from)
-        .to_vec())
+        .as_ref())
     );
     for name in [
         "histogram",

@@ -20,9 +20,9 @@ fn main() {
     println!("Ablation B: sampling period sweep (linear_regression, 16 threads)");
     println!(
         "{}",
-        row(&["period", "samples", "detected", "predicted", "overhead"]
+        row(["period", "samples", "detected", "predicted", "overhead"]
             .map(String::from)
-            .to_vec())
+            .as_ref())
     );
     for period in [128u64, 512, 2048, 8192, 32768, 65536] {
         let (report, profile) = run_cheetah(&machine, app, &config, CheetahConfig::scaled(period));
@@ -36,7 +36,10 @@ fn main() {
                 profile.total_samples.to_string(),
                 detected.to_string(),
                 format!("{predicted:.2}x"),
-                format!("{:+.2}%", (report.total_cycles as f64 / native as f64 - 1.0) * 100.0),
+                format!(
+                    "{:+.2}%",
+                    (report.total_cycles as f64 / native as f64 - 1.0) * 100.0
+                ),
             ])
         );
     }

@@ -15,9 +15,9 @@ fn main() {
     println!("Ablation A: two-entry table vs. ownership bitmap");
     println!(
         "{}",
-        row(&["threads", "table inval", "bitmap inval", "agree?"]
+        row(["threads", "table inval", "bitmap inval", "agree?"]
             .map(String::from)
-            .to_vec())
+            .as_ref())
     );
     for threads in [2u32, 4, 8, 16] {
         let config = AppConfig {
@@ -46,7 +46,12 @@ fn main() {
                 threads.to_string(),
                 table_inval.to_string(),
                 bitmap_inval.to_string(),
-                format!("{}", if (0.5..=1.5).contains(&ratio) { "yes" } else { "no" }),
+                (if (0.5..=1.5).contains(&ratio) {
+                    "yes"
+                } else {
+                    "no"
+                })
+                .to_string(),
             ])
         );
     }
@@ -54,9 +59,9 @@ fn main() {
     println!("\nPer-line detection state (bytes):");
     println!(
         "{}",
-        row(&["threads", "two-entry table", "ownership bitmap"]
+        row(["threads", "two-entry table", "ownership bitmap"]
             .map(String::from)
-            .to_vec())
+            .as_ref())
     );
     for threads in [2u32, 32, 64, 256, 1024] {
         let bitmap = OwnershipDetector::new(threads);

@@ -13,9 +13,9 @@ fn main() {
     println!("Fig. 1: false-sharing microbenchmark (8-core machine)");
     println!(
         "{}",
-        row(&["threads", "expectation", "reality", "gap", "fixed build"]
+        row(["threads", "expectation", "reality", "gap", "fixed build"]
             .map(String::from)
-            .to_vec())
+            .as_ref())
     );
     for threads in [1u32, 2, 4, 8] {
         let reality = run_native(&machine, app, &AppConfig::with_threads(threads)).total_cycles;

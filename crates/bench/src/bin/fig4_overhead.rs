@@ -16,9 +16,9 @@ fn main() {
     println!("Fig. 4: normalized runtime under Cheetah (pthreads = 1.00)");
     println!(
         "{}",
-        row(&["app", "native", "cheetah", "normalized", "samples"]
+        row(["app", "native", "cheetah", "normalized", "samples"]
             .map(String::from)
-            .to_vec())
+            .as_ref())
     );
     let mut ratios = Vec::new();
     let mut ratios_excl = Vec::new();

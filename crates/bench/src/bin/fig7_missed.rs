@@ -13,9 +13,11 @@ fn main() {
     println!("Fig. 7: impact of the minor instances Cheetah misses");
     println!(
         "{}",
-        row(&["app", "with-FS", "no-FS", "improvement", "cheetah reports"]
-            .map(String::from)
-            .to_vec())
+        row(
+            ["app", "with-FS", "no-FS", "improvement", "cheetah reports"]
+                .map(String::from)
+                .as_ref()
+        )
     );
     for name in ["histogram", "reverse_index", "word_count"] {
         let app = find(name).expect("registered");

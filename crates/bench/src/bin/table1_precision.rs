@@ -11,9 +11,9 @@ fn main() {
     println!("Table 1: precision of assessment");
     println!(
         "{}",
-        row(&["application", "threads", "predict", "real", "diff"]
+        row(["application", "threads", "predict", "real", "diff"]
             .map(String::from)
-            .to_vec())
+            .as_ref())
     );
     for name in ["linear_regression", "streamcluster"] {
         let app = find(name).expect("registered");

@@ -1,0 +1,187 @@
+//! Table 2 — predicted vs. actual improvement of *synthesized* fixes.
+//!
+//! For every repair target (the apps with significant false sharing), the
+//! harness profiles the broken build, synthesizes a fix from the profile
+//! alone, applies it, and measures the real speedup next to Cheetah's
+//! prediction. Also measures the detector's runtime overhead at the
+//! experiment's sampling rate.
+//!
+//! Emits a human table on stdout and machine-readable numbers to
+//! `BENCH_repair.json` (current directory) so future changes can be
+//! compared against this baseline.
+
+use cheetah_core::{CheetahConfig, CheetahProfiler};
+use cheetah_repair::{InstanceValidation, ValidationHarness};
+use cheetah_sim::{Machine, MachineConfig, NullObserver};
+use cheetah_workloads::{repair_targets, AppConfig};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+struct Case {
+    name: &'static str,
+    threads: u32,
+    scale: f64,
+    period: u64,
+    cores: u32,
+}
+
+struct Row {
+    case: Case,
+    /// One entry per validated instance; empty when nothing was detected.
+    instances: Vec<InstanceValidation>,
+    combined_actual: f64,
+    detector_overhead: f64,
+    broken_cycles: u64,
+    samples: u64,
+}
+
+fn measure(case: Case) -> Row {
+    let app = cheetah_workloads::find(case.name).expect("registered app");
+    let config = AppConfig {
+        threads: case.threads,
+        scale: case.scale,
+        fixed: false,
+        seed: 1,
+    };
+    let machine = Machine::new(MachineConfig::with_cores(case.cores));
+    let cheetah = CheetahConfig::scaled(case.period);
+
+    // Detector overhead: profiled vs. native runtime of the broken build.
+    let native = machine
+        .run(app.build(&config).program, &mut NullObserver)
+        .total_cycles;
+    let instance = app.build(&config);
+    let mut profiler = CheetahProfiler::new(cheetah.clone(), &instance.space);
+    let profiled = machine.run(instance.program, &mut profiler).total_cycles;
+    drop(profiler);
+    let detector_overhead = profiled as f64 / native as f64 - 1.0;
+
+    // Prediction validation through the synthesized repair.
+    let harness = ValidationHarness::calibrated(machine, cheetah);
+    let outcome = harness
+        .validate(case.name, || app.build(&config))
+        .expect("synthesized repair must apply");
+    Row {
+        case,
+        combined_actual: outcome.combined_actual(),
+        instances: outcome.instances,
+        detector_overhead,
+        broken_cycles: outcome.broken_cycles,
+        samples: outcome.total_samples,
+    }
+}
+
+fn main() {
+    let cases: Vec<Case> = repair_targets()
+        .map(|app| match app.name() {
+            "microbench" => Case {
+                name: "microbench",
+                threads: 8,
+                scale: 0.05,
+                period: 256,
+                cores: 8,
+            },
+            "linear_regression" => Case {
+                name: "linear_regression",
+                threads: 16,
+                scale: 0.25,
+                period: 128,
+                cores: 48,
+            },
+            other => Case {
+                name: other,
+                threads: 8,
+                scale: 0.5,
+                period: 64,
+                cores: 48,
+            },
+        })
+        .collect();
+
+    let rows: Vec<Row> = cases.into_iter().map(measure).collect();
+
+    println!("Table 2: predicted vs. actual improvement of synthesized fixes\n");
+    println!(
+        "{}",
+        cheetah_bench::row(&[
+            "workload".into(),
+            "threads".into(),
+            "instance".into(),
+            "predicted".into(),
+            "actual".into(),
+            "error".into(),
+            "overhead".into(),
+        ])
+    );
+    for row in &rows {
+        if row.instances.is_empty() {
+            println!(
+                "{}",
+                cheetah_bench::row(&[
+                    row.case.name.into(),
+                    row.case.threads.to_string(),
+                    "(none)".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{:.1}%", row.detector_overhead * 100.0),
+                ])
+            );
+        }
+        for instance in &row.instances {
+            println!(
+                "{}",
+                cheetah_bench::row(&[
+                    row.case.name.into(),
+                    row.case.threads.to_string(),
+                    instance.plan.label.clone(),
+                    format!("{:.2}x", instance.predicted),
+                    format!("{:.2}x", instance.actual),
+                    format!("{:.1}%", instance.relative_error() * 100.0),
+                    format!("{:.1}%", row.detector_overhead * 100.0),
+                ])
+            );
+        }
+    }
+
+    // One JSON record per validated instance, plus per-workload context,
+    // so cross-PR tracking never loses instances behind the top one.
+    let mut records: Vec<String> = Vec::new();
+    for row in &rows {
+        for instance in &row.instances {
+            let mut record = String::new();
+            let _ = write!(
+                record,
+                "    {{\"workload\": \"{}\", \"threads\": {}, \"scale\": {}, \"period\": {}, \
+                 \"instance\": \"{}\", \"strategy\": \"{}\", \
+                 \"predicted_speedup\": {:.6}, \"actual_speedup\": {:.6}, \
+                 \"prediction_error\": {:.6}, \"combined_actual_speedup\": {:.6}, \
+                 \"detector_overhead\": {:.6}, \"broken_cycles\": {}, \
+                 \"repaired_cycles\": {}, \"samples\": {}}}",
+                row.case.name,
+                row.case.threads,
+                row.case.scale,
+                row.case.period,
+                instance.plan.label,
+                instance.plan.strategy,
+                instance.predicted,
+                instance.actual,
+                instance.relative_error(),
+                row.combined_actual,
+                row.detector_overhead,
+                row.broken_cycles,
+                instance.repaired_cycles,
+                row.samples,
+            );
+            records.push(record);
+        }
+    }
+    let mut json = String::from("{\n  \"benchmark\": \"repair\",\n  \"results\": [\n");
+    json.push_str(&records.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    let path = "BENCH_repair.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_repair.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {path}");
+}

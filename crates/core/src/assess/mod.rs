@@ -122,8 +122,7 @@ pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment
                     // Eq. 1, applied to this thread's share of the object.
                     let pred_cycles_o = ctx.aver_cycles_nofs * on_object.accesses as f64;
                     // Eq. 2.
-                    let pred_cycles_t =
-                        cycles_t as f64 - on_object.cycles as f64 + pred_cycles_o;
+                    let pred_cycles_t = cycles_t as f64 - on_object.cycles as f64 + pred_cycles_o;
                     // Eq. 3.
                     let pred_rt = if cycles_t == 0 {
                         runtime as f64

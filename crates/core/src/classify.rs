@@ -321,7 +321,10 @@ mod tests {
     #[test]
     fn global_instance_carries_symbol_name() {
         let mut space = AddressSpace::new();
-        let g = space.globals_mut().register("shared_array", 128, 64).unwrap();
+        let g = space
+            .globals_mut()
+            .register("shared_array", 128, 64)
+            .unwrap();
         let mut detector = Detector::new(DetectorConfig::default());
         for _ in 0..40 {
             detector.ingest(&space, &sample(1, g, AccessKind::Write));

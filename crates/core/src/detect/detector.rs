@@ -370,7 +370,12 @@ mod tests {
             for t in [1, 2] {
                 detector.ingest(
                     &space,
-                    &sample(t, base.offset(line * 64), AccessKind::Write, PhaseKind::Parallel),
+                    &sample(
+                        t,
+                        base.offset(line * 64),
+                        AccessKind::Write,
+                        PhaseKind::Parallel,
+                    ),
                 );
             }
         }
@@ -428,7 +433,10 @@ mod tests {
         let g = space.globals_mut().register("hot_global", 64, 64).unwrap();
         let mut detector = Detector::new(DetectorConfig::default());
         for _ in 0..20 {
-            detector.ingest(&space, &sample(1, g, AccessKind::Write, PhaseKind::Parallel));
+            detector.ingest(
+                &space,
+                &sample(1, g, AccessKind::Write, PhaseKind::Parallel),
+            );
             detector.ingest(
                 &space,
                 &sample(2, g.offset(8), AccessKind::Write, PhaseKind::Parallel),
@@ -446,7 +454,12 @@ mod tests {
         for i in 0..100u64 {
             detector.ingest(
                 &space,
-                &sample(1, base.offset((i % 16) * 4), AccessKind::Write, PhaseKind::Parallel),
+                &sample(
+                    1,
+                    base.offset((i % 16) * 4),
+                    AccessKind::Write,
+                    PhaseKind::Parallel,
+                ),
             );
         }
         let accum = detector.objects().next().unwrap();
@@ -489,7 +502,12 @@ mod tests {
             for _ in 0..20 {
                 detector.ingest(
                     &space,
-                    &sample(1, base.offset(line * 64), AccessKind::Write, PhaseKind::Parallel),
+                    &sample(
+                        1,
+                        base.offset(line * 64),
+                        AccessKind::Write,
+                        PhaseKind::Parallel,
+                    ),
                 );
                 detector.ingest(
                     &space,

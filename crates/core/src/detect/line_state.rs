@@ -73,8 +73,10 @@ mod tests {
 
     #[test]
     fn detail_allocated_only_above_threshold() {
-        let mut state = LineState::default();
-        state.writes = 2;
+        let mut state = LineState {
+            writes: 2,
+            ..LineState::default()
+        };
         assert!(state.detail_if_hot(2, 64).is_none());
         assert!(!state.is_detailed());
         state.writes = 3;
@@ -84,8 +86,10 @@ mod tests {
 
     #[test]
     fn detail_persists_once_allocated() {
-        let mut state = LineState::default();
-        state.writes = 10;
+        let mut state = LineState {
+            writes: 10,
+            ..LineState::default()
+        };
         state.detail_if_hot(2, 64).unwrap().invalidations = 5;
         assert_eq!(state.detail_if_hot(2, 64).unwrap().invalidations, 5);
     }
@@ -99,8 +103,10 @@ mod tests {
 
     #[test]
     fn zero_threshold_allows_read_heavy_lines_after_first_write() {
-        let mut state = LineState::default();
-        state.writes = 1;
+        let mut state = LineState {
+            writes: 1,
+            ..LineState::default()
+        };
         assert!(state.detail_if_hot(0, 64).is_some());
     }
 }

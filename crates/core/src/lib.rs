@@ -44,4 +44,4 @@ pub use classify::{
 pub use config::{CheetahConfig, DetectorConfig};
 pub use detect::{Detector, ObjectAccum, ObjectKey, ThreadOnObject, TwoEntryTable, WriteOutcome};
 pub use profiler::{CheetahProfiler, Profile};
-pub use report::{format_word_profile, AssessedInstance};
+pub use report::{format_prediction_table, format_word_profile, AssessedInstance, PredictionRow};

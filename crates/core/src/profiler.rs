@@ -237,7 +237,7 @@ mod tests {
     use crate::classify::SharingKind;
     use cheetah_heap::CallStack;
     use cheetah_sim::{
-        Addr, LoopStream, Machine, MachineConfig, Op, OpsStream, ProgramBuilder, ThreadSpec,
+        LoopStream, Machine, MachineConfig, Op, OpsStream, ProgramBuilder, ThreadSpec,
     };
 
     /// Two threads hammering adjacent words of one 64-byte object.
@@ -394,7 +394,10 @@ mod tests {
                     .map(|t| {
                         ThreadSpec::new(
                             format!("r{t}"),
-                            LoopStream::new(vec![Op::Read(a.offset(t * 1024)), Op::Work(1)], 50_000),
+                            LoopStream::new(
+                                vec![Op::Read(a.offset(t * 1024)), Op::Work(1)],
+                                50_000,
+                            ),
                         )
                     })
                     .collect(),

@@ -156,16 +156,106 @@ impl HeapModel {
                         self.wilderness = aligned + SUPERBLOCK;
                         aligned
                     };
-                    let arena = self.arenas.get_mut(&(thread, class)).expect("just inserted");
+                    let arena = self
+                        .arenas
+                        .get_mut(&(thread, class))
+                        .expect("just inserted");
                     arena.cursor = block;
                     arena.limit = block + SUPERBLOCK;
                 }
-                let arena = self.arenas.get_mut(&(thread, class)).expect("just inserted");
+                let arena = self
+                    .arenas
+                    .get_mut(&(thread, class))
+                    .expect("just inserted");
                 let addr = arena.cursor;
                 arena.cursor += class;
                 addr
             }
         };
+        Ok(self.record(start, size, class, thread, callsite, None))
+    }
+
+    /// Allocates `size` bytes aligned to `align` and padded so that the
+    /// reserved extent is a whole number of `align` units — the allocation
+    /// primitive behind synthesized false-sharing fixes: with `align` equal
+    /// to the cache line size, the object starts on a line boundary and no
+    /// later allocation can share its last line.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::ZeroSize`] for `size == 0`;
+    /// [`HeapError::OutOfMemory`] if the modelled segment is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc_aligned(
+        &mut self,
+        thread: ThreadId,
+        size: u64,
+        align: u64,
+        callsite: CallStack,
+    ) -> Result<Addr, HeapError> {
+        if size == 0 {
+            return Err(HeapError::ZeroSize);
+        }
+        let (start, reserved) = self.reserve_aligned(size, align)?;
+        Ok(self.record(start, size, reserved, thread, callsite, None))
+    }
+
+    /// Reserves `size` bytes aligned to `align` and padded to a multiple of
+    /// `align` from the wilderness; returns (start, reserved bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    fn reserve_aligned(&mut self, size: u64, align: u64) -> Result<(u64, u64), HeapError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let reserved = align_up(size, align);
+        let start = align_up(self.wilderness, align);
+        if start + reserved > HEAP_END.0 {
+            return Err(HeapError::OutOfMemory);
+        }
+        self.wilderness = start + reserved;
+        Ok((start, reserved))
+    }
+
+    /// Relocates object `id` into fresh storage aligned to `align` and
+    /// padded to a multiple of `align` (see [`HeapModel::alloc_aligned`]).
+    /// The clone keeps the original's owner and callsite and records the
+    /// provenance in [`ObjectInfo::relocated_from`]; the original stays
+    /// live (layout rewrites redirect accesses, they do not free).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::OutOfMemory`] if the modelled segment is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this heap or `align` is not a
+    /// power of two.
+    pub fn relocate(&mut self, id: ObjectId, align: u64) -> Result<Addr, HeapError> {
+        assert!(
+            (id.0 as usize) < self.objects.len(),
+            "relocate of unknown object {id}"
+        );
+        let (size, owner, callsite) = {
+            let object = &self.objects[id.0 as usize];
+            (object.size, object.owner, object.callsite.clone())
+        };
+        let (start, reserved) = self.reserve_aligned(size, align)?;
+        Ok(self.record(start, size, reserved, owner, callsite, Some(id)))
+    }
+
+    fn record(
+        &mut self,
+        start: u64,
+        size: u64,
+        class: u64,
+        thread: ThreadId,
+        callsite: CallStack,
+        relocated_from: Option<ObjectId>,
+    ) -> Addr {
         let id = ObjectId(self.objects.len() as u64);
         self.objects.push(ObjectInfo {
             id,
@@ -175,12 +265,13 @@ impl HeapModel {
             owner: thread,
             callsite,
             live: true,
+            relocated_from,
         });
         self.live_by_addr.insert(start, id);
         self.last_by_addr.insert(start, id);
         self.live_bytes += class;
         self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
-        Ok(Addr(start))
+        Addr(start)
     }
 
     fn bump(&mut self, bytes: u64) -> Result<u64, HeapError> {
@@ -393,10 +484,51 @@ mod tests {
     }
 
     #[test]
+    fn aligned_allocations_are_aligned_and_padded() {
+        let mut heap = HeapModel::new();
+        let a = heap.alloc_aligned(ThreadId(1), 100, 64, site()).unwrap();
+        assert_eq!(a.0 % 64, 0);
+        let info = heap.object_at(a).unwrap();
+        assert_eq!(info.size, 100);
+        assert_eq!(info.class_size, 128, "padded to a line multiple");
+        // The next allocation, aligned or not, cannot share the last line.
+        let b = heap.alloc(ThreadId(2), 16, site()).unwrap();
+        assert!(b.0 / 64 > (a.0 + 127) / 64);
+        assert_eq!(
+            heap.alloc_aligned(ThreadId(1), 0, 64, site()),
+            Err(HeapError::ZeroSize)
+        );
+    }
+
+    #[test]
+    fn relocation_keeps_identity_and_records_provenance() {
+        let mut heap = HeapModel::new();
+        let original = heap
+            .alloc(ThreadId(3), 56, CallStack::single("app.c", 139))
+            .unwrap();
+        let original_id = heap.object_at(original).unwrap().id;
+        let moved = heap.relocate(original_id, 64).unwrap();
+        assert_ne!(moved, original);
+        assert_eq!(moved.0 % 64, 0);
+        let clone = heap.object_at(moved).unwrap();
+        assert_eq!(clone.size, 56);
+        assert_eq!(clone.owner, ThreadId(3));
+        assert_eq!(clone.relocated_from, Some(original_id));
+        assert_eq!(clone.callsite.to_string(), "app.c: 139");
+        // The original object stays attributable.
+        assert_eq!(heap.object_at(original).unwrap().id, original_id);
+        assert_eq!(heap.object_at(original).unwrap().relocated_from, None);
+    }
+
+    #[test]
     fn callsites_preserved() {
         let mut heap = HeapModel::new();
         let addr = heap
-            .alloc(ThreadId(0), 4000, CallStack::single("linear_regression-pthread.c", 139))
+            .alloc(
+                ThreadId(0),
+                4000,
+                CallStack::single("linear_regression-pthread.c", 139),
+            )
             .unwrap();
         let object = heap.object_at(addr).unwrap();
         assert_eq!(

@@ -33,6 +33,11 @@ pub struct ObjectInfo {
     pub callsite: CallStack,
     /// Whether the object is still allocated.
     pub live: bool,
+    /// For objects created by a layout repair: the object this one replaces
+    /// (the repair crate relocates falsely shared objects into padded,
+    /// line-aligned storage and records the provenance here so reports can
+    /// chain a repaired object back to its original callsite).
+    pub relocated_from: Option<ObjectId>,
 }
 
 impl ObjectInfo {
@@ -78,6 +83,7 @@ mod tests {
             owner: ThreadId(0),
             callsite: CallStack::single("a.c", 10),
             live: true,
+            relocated_from: None,
         }
     }
 

@@ -94,7 +94,10 @@ impl<T: Default + Clone> ShadowMap<T> {
     ///
     /// Panics if `line_size` is not a power of two.
     pub fn new(line_size: u64) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         ShadowMap {
             line_size,
             heap: PageTable::new(HEAP_BASE.0, HEAP_END.0, line_size),

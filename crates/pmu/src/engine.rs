@@ -87,11 +87,12 @@ impl SamplingEngine {
         x ^= x >> 7;
         x ^= x << 17;
         *rng = x;
-        if config.jitter_div == 0 {
-            config.period
-        } else {
-            let span = (config.period / config.jitter_div).max(1);
-            config.period - (x % span)
+        match config.period.checked_div(config.jitter_div) {
+            None => config.period,
+            Some(raw_span) => {
+                let span = raw_span.max(1);
+                config.period - (x % span)
+            }
         }
     }
 
@@ -133,7 +134,7 @@ impl SamplingEngine {
             perturbation += self.config.trap_cost;
         }
         self.total_trap_cycles += perturbation;
-        let sample = sampled.then(|| Sample {
+        let sample = sampled.then_some(Sample {
             thread: record.thread,
             addr: record.addr,
             kind: record.kind,
@@ -263,7 +264,11 @@ mod tests {
         }
         // Expected tags over 1M instructions: ~1000; nearly all dropped.
         assert!(samples <= 5, "few tags land exactly on accesses: {samples}");
-        assert!(engine.total_dropped() >= 990, "dropped {}", engine.total_dropped());
+        assert!(
+            engine.total_dropped() >= 990,
+            "dropped {}",
+            engine.total_dropped()
+        );
         assert_eq!(
             charged,
             trap * (samples + engine.total_dropped()),

@@ -170,10 +170,10 @@ impl PerfSampler {
             libc::syscall(
                 libc::SYS_perf_event_open,
                 &attr as *const PerfEventAttr,
-                0,        // this thread
-                -1,       // any cpu
-                -1,       // no group
-                0u64,     // no flags
+                0,    // this thread
+                -1,   // any cpu
+                -1,   // no group
+                0u64, // no flags
             )
         } as i32;
         if fd < 0 {

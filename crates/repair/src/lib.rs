@@ -1,0 +1,57 @@
+//! # cheetah-repair — automated fix synthesis and prediction validation
+//!
+//! Cheetah's headline claim (§3 of the paper) is that it can predict the
+//! payoff of fixing a false-sharing instance *without fixing it*, with
+//! under 10% average error. `cheetah-core` reproduces the prediction; this
+//! crate closes the loop by **actually fixing** the instances and
+//! measuring how right the prediction was:
+//!
+//! 1. **Synthesis** ([`plan`]): each detected [`SharingInstance`] is
+//!    turned into a [`RepairPlan`] — pad-to-line, align-to-line, or a
+//!    per-thread split — chosen from the instance's per-thread word map,
+//!    the same evidence a programmer would read off the paper's Fig. 5
+//!    report before editing the source.
+//! 2. **Rewrite** ([`rewrite`]): the plan allocates padded, line-aligned
+//!    target storage from the workload's own heap and becomes a
+//!    [`cheetah_sim::LayoutMap`]; [`cheetah_sim::Program::with_layout`]
+//!    then redirects the program's memory accesses through it. Op streams,
+//!    op counts and the fork-join phase structure are preserved exactly —
+//!    the repaired program is the same program with a better data layout.
+//! 3. **Validation** ([`validate`]): the [`ValidationHarness`] runs broken
+//!    and repaired builds on the same deterministic machine and emits a
+//!    per-instance *predicted vs. actual* table (the paper's Table 2
+//!    shape) through [`cheetah_core::format_prediction_table`].
+//!
+//! ## Example: validating the Fig. 1 microbenchmark
+//!
+//! ```
+//! use cheetah_core::CheetahConfig;
+//! use cheetah_repair::ValidationHarness;
+//! use cheetah_sim::{Machine, MachineConfig};
+//! use cheetah_workloads::{find, AppConfig};
+//!
+//! let app = find("microbench").unwrap();
+//! let config = AppConfig::with_threads(8).scaled(0.05);
+//! let harness = ValidationHarness::new(
+//!     Machine::new(MachineConfig::with_cores(8)),
+//!     CheetahConfig::scaled(256),
+//! );
+//! let outcome = harness.validate("microbench", || app.build(&config)).unwrap();
+//! assert_eq!(outcome.instances.len(), 1, "the one array instance");
+//! assert!(outcome.instances[0].actual > 2.0, "repair must really help");
+//! println!("{}", outcome.render_table());
+//! ```
+//!
+//! [`SharingInstance`]: cheetah_core::SharingInstance
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod plan;
+pub mod rewrite;
+pub mod validate;
+
+pub use plan::{synthesize, RepairPlan, RepairStrategy, ThreadCluster};
+pub use rewrite::{apply, repair_program, RepairError};
+pub use validate::{InstanceValidation, ValidationHarness, ValidationOutcome};

@@ -310,7 +310,10 @@ mod tests {
         tracker.on_thread_created(ThreadId(1), 10);
         tracker.finish(100);
         assert!(!tracker.is_fork_join());
-        assert_eq!(tracker.intervals().last().unwrap().kind, PhaseKind::Parallel);
+        assert_eq!(
+            tracker.intervals().last().unwrap().kind,
+            PhaseKind::Parallel
+        );
     }
 
     #[test]

@@ -199,7 +199,10 @@ impl Directory {
         // invalidations above still stand; only the visible cost changes.
         if wait == 0
             && prefetchable(outcome)
-            && self.last_line.get(&core).is_some_and(|last| last.0 + 1 == line.0)
+            && self
+                .last_line
+                .get(&core)
+                .is_some_and(|last| last.0 + 1 == line.0)
         {
             outcome = AccessOutcome::Prefetched;
         }
@@ -400,7 +403,10 @@ mod tests {
     fn read_after_remote_write_is_dirty_transfer() {
         let mut d = Driver::new();
         d.access(C0, L, AccessKind::Write);
-        assert_eq!(d.access(C1, L, AccessKind::Read), AccessOutcome::RemoteDirty);
+        assert_eq!(
+            d.access(C1, L, AccessKind::Read),
+            AccessOutcome::RemoteDirty
+        );
         // Both now share; further reads hit locally.
         assert_eq!(d.access(C0, L, AccessKind::Read), AccessOutcome::L1Hit);
         assert_eq!(d.access(C1, L, AccessKind::Read), AccessOutcome::L1Hit);
@@ -411,8 +417,14 @@ mod tests {
         let mut d = Driver::new();
         d.access(C0, L, AccessKind::Write); // cold
         for _ in 0..10 {
-            assert_eq!(d.access(C1, L, AccessKind::Write), AccessOutcome::RemoteDirty);
-            assert_eq!(d.access(C0, L, AccessKind::Write), AccessOutcome::RemoteDirty);
+            assert_eq!(
+                d.access(C1, L, AccessKind::Write),
+                AccessOutcome::RemoteDirty
+            );
+            assert_eq!(
+                d.access(C0, L, AccessKind::Write),
+                AccessOutcome::RemoteDirty
+            );
         }
         assert_eq!(d.dir.stats().invalidations, 20);
     }
@@ -446,7 +458,10 @@ mod tests {
     fn exclusive_read_by_other_core_is_clean_transfer() {
         let mut d = Driver::new();
         d.access(C0, L, AccessKind::Read); // E on C0
-        assert_eq!(d.access(C1, L, AccessKind::Read), AccessOutcome::RemoteClean);
+        assert_eq!(
+            d.access(C1, L, AccessKind::Read),
+            AccessOutcome::RemoteClean
+        );
     }
 
     #[test]
@@ -505,7 +520,7 @@ mod tests {
         let mut dir = Directory::default();
         let lat = LatencyModel::default();
         dir.access(C0, L, AccessKind::Write, 0); // cold fill, busy until `memory`
-        // C1 requests 10 cycles in: must wait out the remaining fill.
+                                                 // C1 requests 10 cycles in: must wait out the remaining fill.
         let result = dir.access(C1, L, AccessKind::Write, 10);
         assert_eq!(result.outcome, AccessOutcome::RemoteDirty);
         assert_eq!(result.wait, lat.memory - 10);

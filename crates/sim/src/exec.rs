@@ -344,9 +344,7 @@ impl<'a> Execution<'a> {
                     AccessKind::Read
                 };
                 let line = addr.line(self.config.cache_line_size);
-                let result = self
-                    .directory
-                    .access(thread.core, line, kind, thread.clock);
+                let result = self.directory.access(thread.core, line, kind, thread.clock);
                 let outcome = result.outcome;
                 let latency = result.latency();
                 let record = AccessRecord {
@@ -413,7 +411,11 @@ mod tests {
         let program = ProgramBuilder::new("serial")
             .serial(ThreadSpec::new(
                 "s",
-                OpsStream::new(vec![Op::Work(100), Op::Write(Addr(0x1000)), Op::Read(Addr(0x1000))]),
+                OpsStream::new(vec![
+                    Op::Work(100),
+                    Op::Write(Addr(0x1000)),
+                    Op::Read(Addr(0x1000)),
+                ]),
             ))
             .build();
         let report = m.run(program, &mut NullObserver);
@@ -509,7 +511,10 @@ mod tests {
     fn observer_sees_every_event() {
         let m = machine(4);
         let program = ProgramBuilder::new("events")
-            .serial(ThreadSpec::new("init", OpsStream::new(vec![Op::Write(Addr(0x40))])))
+            .serial(ThreadSpec::new(
+                "init",
+                OpsStream::new(vec![Op::Write(Addr(0x40))]),
+            ))
             .parallel(vec![
                 ThreadSpec::new("a", OpsStream::new(vec![Op::Read(Addr(0x40))])),
                 ThreadSpec::new("b", OpsStream::new(vec![Op::Read(Addr(0x80))])),
@@ -563,7 +568,10 @@ mod tests {
         let m = machine(4);
         let build = || {
             ProgramBuilder::new("setup")
-                .parallel(vec![ThreadSpec::new("w", OpsStream::new(vec![Op::Work(10)]))])
+                .parallel(vec![ThreadSpec::new(
+                    "w",
+                    OpsStream::new(vec![Op::Work(10)]),
+                )])
                 .build()
         };
         let clean = m.run(build(), &mut NullObserver);

@@ -55,16 +55,16 @@ pub mod observer;
 pub mod program;
 pub mod report;
 pub mod stats;
-pub mod util;
 pub mod types;
+pub mod util;
 
 pub use coherence::{Directory, SharerSet, MAX_CORES};
 pub use exec::{ConfigError, Machine, MachineConfig};
 pub use latency::{AccessOutcome, LatencyModel};
+pub use layout::{LayoutError, LayoutMap, Remapping};
 pub use observer::{AccessRecord, CountingObserver, ExecObserver, NullObserver};
 pub use program::{
-    AccessStream, IterStream, LoopStream, Op, OpsStream, Phase, Program, ProgramBuilder,
-    ThreadSpec,
+    AccessStream, IterStream, LoopStream, Op, OpsStream, Phase, Program, ProgramBuilder, ThreadSpec,
 };
 pub use report::{PhaseReport, RunReport, ThreadReport};
 pub use stats::CoherenceStats;

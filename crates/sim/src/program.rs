@@ -9,7 +9,9 @@
 //! Streams are consumed destructively — running a program uses it up, so
 //! workload generators hand out a fresh `Program` per run.
 
+use crate::layout::LayoutMap;
 use crate::types::{AccessKind, Addr};
+use std::sync::Arc;
 
 /// One operation of a simulated thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +174,17 @@ impl ThreadSpec {
     pub(crate) fn into_parts(self) -> (String, Box<dyn AccessStream>) {
         (self.name, self.body)
     }
+
+    /// Wraps the thread's stream so its addresses go through `map`.
+    pub fn with_layout(self, map: Arc<LayoutMap>) -> ThreadSpec {
+        ThreadSpec {
+            name: self.name,
+            body: Box::new(RemappedStream {
+                inner: self.body,
+                map,
+            }),
+        }
+    }
 }
 
 impl std::fmt::Debug for ThreadSpec {
@@ -265,6 +278,71 @@ impl Program {
     pub(crate) fn into_parts(self) -> (String, Vec<Phase>) {
         (self.name, self.phases)
     }
+
+    /// Rewrites the program's data layout: every memory operation's address
+    /// is translated through `map`; op order, op counts, compute work and
+    /// the phase structure are preserved exactly. This is how synthesized
+    /// false-sharing repairs (padding, alignment, per-thread splits) are
+    /// applied without touching workload source.
+    ///
+    /// An identity map returns the program unchanged (no wrapper overhead).
+    ///
+    /// ```
+    /// use cheetah_sim::layout::{LayoutMap, Remapping};
+    /// use cheetah_sim::{Addr, Op, OpsStream, ProgramBuilder, ThreadSpec};
+    ///
+    /// let program = ProgramBuilder::new("p")
+    ///     .serial(ThreadSpec::new("s", OpsStream::new(vec![Op::Write(Addr(0x100))])))
+    ///     .build();
+    /// let map = LayoutMap::new(vec![Remapping::new(Addr(0x100), 4, Addr(0x4000))])?;
+    /// let repaired = program.with_layout(map.shared());
+    /// assert_eq!(repaired.total_threads(), 1);
+    /// # Ok::<(), cheetah_sim::layout::LayoutError>(())
+    /// ```
+    pub fn with_layout(self, map: Arc<LayoutMap>) -> Program {
+        if map.is_identity() {
+            return self;
+        }
+        let (name, phases) = self.into_parts();
+        let phases = phases
+            .into_iter()
+            .map(|phase| match phase {
+                Phase::Serial(spec) => Phase::Serial(spec.with_layout(Arc::clone(&map))),
+                Phase::Parallel(specs) => Phase::Parallel(
+                    specs
+                        .into_iter()
+                        .map(|spec| spec.with_layout(Arc::clone(&map)))
+                        .collect(),
+                ),
+            })
+            .collect();
+        Program::new(name, phases)
+    }
+}
+
+/// Stream adapter that translates every memory address through a
+/// [`LayoutMap`]; see [`Program::with_layout`].
+struct RemappedStream {
+    inner: Box<dyn AccessStream>,
+    map: Arc<LayoutMap>,
+}
+
+impl std::fmt::Debug for RemappedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemappedStream")
+            .field("map", &self.map)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AccessStream for RemappedStream {
+    fn next_op(&mut self) -> Option<Op> {
+        self.inner.next_op().map(|op| match op {
+            Op::Work(n) => Op::Work(n),
+            Op::Read(addr) => Op::Read(self.map.translate(addr)),
+            Op::Write(addr) => Op::Write(self.map.translate(addr)),
+        })
+    }
 }
 
 /// Fluent builder for [`Program`]s; the main entry point for workloads.
@@ -327,7 +405,10 @@ mod tests {
         assert_eq!(Op::Read(Addr(8)).instructions(), 1);
         assert_eq!(Op::Write(Addr(8)).instructions(), 1);
         assert_eq!(Op::Work(5).mem_ref(), None);
-        assert_eq!(Op::Read(Addr(8)).mem_ref(), Some((Addr(8), AccessKind::Read)));
+        assert_eq!(
+            Op::Read(Addr(8)).mem_ref(),
+            Some((Addr(8), AccessKind::Read))
+        );
         assert_eq!(
             Op::Write(Addr(8)).mem_ref(),
             Some((Addr(8), AccessKind::Write))
@@ -375,6 +456,78 @@ mod tests {
         assert_eq!(program.phases().len(), 3);
         assert_eq!(program.phases()[0].thread_count(), 1);
         assert_eq!(program.phases()[1].thread_count(), 2);
+    }
+
+    #[test]
+    fn with_layout_translates_only_mapped_addresses() {
+        use crate::layout::{LayoutMap, Remapping};
+        let program = ProgramBuilder::new("p")
+            .serial(ThreadSpec::new(
+                "s",
+                OpsStream::new(vec![
+                    Op::Read(Addr(0x100)),
+                    Op::Write(Addr(0x104)),
+                    Op::Work(7),
+                    Op::Write(Addr(0x200)),
+                ]),
+            ))
+            .build();
+        let map = LayoutMap::new(vec![Remapping::new(Addr(0x100), 8, Addr(0x9000))])
+            .unwrap()
+            .shared();
+        let (_, phases) = program.with_layout(map).into_parts();
+        let Phase::Serial(spec) = phases.into_iter().next().unwrap() else {
+            panic!("expected serial phase");
+        };
+        let (_, mut stream) = spec.into_parts();
+        let mut ops = Vec::new();
+        while let Some(op) = stream.next_op() {
+            ops.push(op);
+        }
+        assert_eq!(
+            ops,
+            vec![
+                Op::Read(Addr(0x9000)),
+                Op::Write(Addr(0x9004)),
+                Op::Work(7),
+                Op::Write(Addr(0x200)),
+            ]
+        );
+    }
+
+    #[test]
+    fn with_layout_preserves_phase_structure() {
+        use crate::layout::{LayoutMap, Remapping};
+        let build = || {
+            ProgramBuilder::new("p")
+                .serial(ThreadSpec::new("s", OpsStream::new(vec![Op::Work(1)])))
+                .parallel(vec![
+                    ThreadSpec::new("a", OpsStream::new(vec![Op::Read(Addr(0x40))])),
+                    ThreadSpec::new("b", OpsStream::new(vec![Op::Read(Addr(0x80))])),
+                ])
+                .build()
+        };
+        let map = LayoutMap::new(vec![Remapping::new(Addr(0x40), 4, Addr(0x7000))])
+            .unwrap()
+            .shared();
+        let repaired = build().with_layout(map);
+        let original = build();
+        assert_eq!(repaired.total_threads(), original.total_threads());
+        assert_eq!(repaired.phases().len(), original.phases().len());
+        for (a, b) in repaired.phases().iter().zip(original.phases()) {
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.thread_count(), b.thread_count());
+        }
+    }
+
+    #[test]
+    fn identity_layout_is_free() {
+        use crate::layout::LayoutMap;
+        let program = ProgramBuilder::new("p")
+            .serial(ThreadSpec::new("s", OpsStream::new(vec![Op::Work(1)])))
+            .build();
+        let same = program.with_layout(LayoutMap::identity().shared());
+        assert_eq!(same.name(), "p");
     }
 
     #[test]

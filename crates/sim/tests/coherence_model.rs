@@ -1,8 +1,6 @@
 //! Property tests of the MESI directory against a naive reference model.
 
-use cheetah_sim::{
-    AccessKind, AccessOutcome, Addr, CacheLineId, CoreId, Directory, LatencyModel,
-};
+use cheetah_sim::{AccessKind, AccessOutcome, CacheLineId, CoreId, Directory, LatencyModel};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -145,7 +145,7 @@ impl cheetah_sim::AccessStream for LinRegStream {
         if self.rep >= self.reps {
             return None;
         }
-        let header = self.point % HEADER_EVERY == 0;
+        let header = self.point.is_multiple_of(HEADER_EVERY);
         // Step layout: [R ptr, R num]? then R x, R y, W SXX, W SYY, Work.
         let base_steps: u8 = if header { 2 } else { 0 };
         let op = if header && self.step < 2 {
@@ -198,7 +198,9 @@ mod tests {
         };
         let machine = Machine::new(MachineConfig::default());
         let instance = build(&config);
-        machine.run(instance.program, &mut NullObserver).total_cycles
+        machine
+            .run(instance.program, &mut NullObserver)
+            .total_cycles
     }
 
     #[test]
@@ -227,7 +229,11 @@ mod tests {
         // line in the packed layout.
         let t0_sy = struct_addr(base, 0, false).offset(ACCUM_FIELDS[1]);
         let t1_ptr = struct_addr(base, 1, false).offset(HEADER_FIELDS[0]);
-        assert_eq!(t0_sy.line(64), t1_ptr.line(64), "packed structs must straddle");
+        assert_eq!(
+            t0_sy.line(64),
+            t1_ptr.line(64),
+            "packed structs must straddle"
+        );
     }
 
     #[test]

@@ -73,9 +73,7 @@ pub fn build(config: &AppConfig) -> WorkloadInstance {
         })
         .collect();
 
-    let program = ProgramBuilder::new("microbench")
-        .parallel(workers)
-        .build();
+    let program = ProgramBuilder::new("microbench").parallel(workers).build();
     WorkloadInstance::new(program, space)
 }
 
@@ -93,7 +91,9 @@ mod tests {
         };
         let machine = Machine::new(MachineConfig::with_cores(8));
         let instance = build(&config);
-        machine.run(instance.program, &mut NullObserver).total_cycles
+        machine
+            .run(instance.program, &mut NullObserver)
+            .total_cycles
     }
 
     #[test]
@@ -123,9 +123,6 @@ mod tests {
         let one = run(1, true);
         let eight = run(8, true);
         // Fixed build should get most of the linear speedup.
-        assert!(
-            (eight as f64) < one as f64 / 4.0,
-            "one={one} eight={eight}"
-        );
+        assert!((eight as f64) < one as f64 / 4.0, "one={one} eight={eight}");
     }
 }

@@ -71,8 +71,7 @@ pub fn bodytrack(config: &AppConfig) -> WorkloadInstance {
         262,
     );
     let init = SegmentsStream::new(vec![Segment::sweep(model, 256 * 1024, 8, true, 0)]);
-    let mut builder =
-        ProgramBuilder::new("bodytrack").serial(ThreadSpec::new("load_model", init));
+    let mut builder = ProgramBuilder::new("bodytrack").serial(ThreadSpec::new("load_model", init));
     for frame in 0..FRAMES {
         let workers = (0..config.threads)
             .map(|t| {
@@ -187,9 +186,8 @@ pub fn fluidanimate(config: &AppConfig) -> WorkloadInstance {
         .map(|t| {
             let mine = grid.offset(u64::from(t) * cells_per_thread * cell_bytes);
             // Neighbour's first border cell: genuinely the same words.
-            let neighbour = grid.offset(
-                (u64::from((t + 1) % config.threads)) * cells_per_thread * cell_bytes,
-            );
+            let neighbour =
+                grid.offset((u64::from((t + 1) % config.threads)) * cells_per_thread * cell_bytes);
             let body = vec![
                 OpTemplate::Read {
                     base: mine,
@@ -337,14 +335,13 @@ mod tests {
         let run = |threads| {
             let machine = Machine::new(MachineConfig::default());
             let instance = blackscholes(&AppConfig::with_threads(threads).scaled(0.05));
-            machine.run(instance.program, &mut NullObserver).parallel_cycles()
+            machine
+                .run(instance.program, &mut NullObserver)
+                .parallel_cycles()
         };
         let one = run(1);
         let eight = run(8);
-        assert!(
-            (eight as f64) < one as f64 / 3.0,
-            "one={one} eight={eight}"
-        );
+        assert!((eight as f64) < one as f64 / 3.0, "one={one} eight={eight}");
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl MapStream {
 impl AccessStream for MapStream {
     fn next_op(&mut self) -> Option<Op> {
         self.counter += 1;
-        if self.counter % self.ratio == 0 {
+        if self.counter.is_multiple_of(self.ratio) {
             if let Some(op) = self.results.next_op() {
                 return Some(op);
             }
@@ -61,6 +61,7 @@ impl AccessStream for MapStream {
 /// Shared builder for the three minor-FS map-reduce apps: threads stream
 /// over private input and update per-thread result buffers whose packing
 /// stride leaves boundary lines shared.
+#[allow(clippy::too_many_arguments)]
 fn map_reduce_minor_fs(
     name: &'static str,
     file: &'static str,
@@ -92,9 +93,8 @@ fn map_reduce_minor_fs(
     let workers = (0..config.threads)
         .map(|t| {
             let my_input = input.offset(u64::from(t) * per_thread);
-            let sweep = SegmentsStream::new(vec![Segment::sweep(
-                my_input, per_thread, 4, false, work,
-            )]);
+            let sweep =
+                SegmentsStream::new(vec![Segment::sweep(my_input, per_thread, 4, false, work)]);
             let results = RandomStream::new(
                 config.seed ^ (u64::from(t) << 32) ^ 0x1234,
                 buffers.offset(u64::from(t) * stride),
@@ -337,7 +337,10 @@ mod tests {
     use super::*;
     use cheetah_sim::{Machine, MachineConfig, NullObserver, PhaseKind};
 
-    fn quick(config: &AppConfig, build: fn(&AppConfig) -> WorkloadInstance) -> cheetah_sim::RunReport {
+    fn quick(
+        config: &AppConfig,
+        build: fn(&AppConfig) -> WorkloadInstance,
+    ) -> cheetah_sim::RunReport {
         let machine = Machine::new(MachineConfig::default());
         machine.run(build(config).program, &mut NullObserver)
     }
@@ -367,7 +370,10 @@ mod tests {
     #[test]
     fn clean_apps_have_low_coherence_traffic() {
         for (name, build) in [
-            ("matrix_multiply", matrix_multiply as fn(&AppConfig) -> WorkloadInstance),
+            (
+                "matrix_multiply",
+                matrix_multiply as fn(&AppConfig) -> WorkloadInstance,
+            ),
             ("pca", pca),
             ("string_match", string_match),
         ] {

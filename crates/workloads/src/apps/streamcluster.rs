@@ -31,7 +31,11 @@ const PHASES: usize = 3;
 /// Builds streamcluster.
 pub fn build(config: &AppConfig) -> WorkloadInstance {
     let mut space = AddressSpace::new();
-    let block = if config.fixed { ACTUAL_LINE } else { ASSUMED_LINE };
+    let block = if config.fixed {
+        ACTUAL_LINE
+    } else {
+        ASSUMED_LINE
+    };
     let points_per_thread = config.iters(BASE_POINTS);
     let total_points = points_per_thread * u64::from(config.threads);
 
@@ -51,14 +55,13 @@ pub fn build(config: &AppConfig) -> WorkloadInstance {
         Segment::sweep(centers, 64 * DIM * 8, 8, true, 1),
     ]);
 
-    let mut builder = ProgramBuilder::new("streamcluster")
-        .serial(ThreadSpec::new("read_input", init));
+    let mut builder =
+        ProgramBuilder::new("streamcluster").serial(ThreadSpec::new("read_input", init));
 
     for phase in 0..PHASES {
         let workers = (0..config.threads)
             .map(|t| {
-                let my_points =
-                    points.offset(u64::from(t) * points_per_thread * DIM * 8);
+                let my_points = points.offset(u64::from(t) * points_per_thread * DIM * 8);
                 let my_scratch = work_mem.offset(u64::from(t) * block);
                 // A "round" is UPDATES_EVERY distance computations (each
                 // reading one point coordinate run plus a center) followed
@@ -66,8 +69,7 @@ pub fn build(config: &AppConfig) -> WorkloadInstance {
                 let rounds = points_per_thread / UPDATES_EVERY;
                 let mut segments = Vec::with_capacity(2 * rounds as usize);
                 for round in 0..rounds {
-                    let round_points =
-                        my_points.offset(round * UPDATES_EVERY * DIM * 8);
+                    let round_points = my_points.offset(round * UPDATES_EVERY * DIM * 8);
                     segments.push(Segment::new(
                         vec![
                             OpTemplate::Read {
@@ -113,7 +115,9 @@ mod tests {
         };
         let machine = Machine::new(MachineConfig::default());
         let instance = build(&config);
-        machine.run(instance.program, &mut NullObserver).total_cycles
+        machine
+            .run(instance.program, &mut NullObserver)
+            .total_cycles
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod registry;
 pub use config::AppConfig;
 pub use instance::WorkloadInstance;
 pub use patterns::{OpTemplate, RandomStream, Segment, SegmentsStream};
-pub use registry::{evaluated_apps, find, App, Expectation, APPS};
+pub use registry::{evaluated_apps, find, repair_targets, App, Expectation, APPS};

@@ -197,6 +197,16 @@ pub fn evaluated_apps() -> impl Iterator<Item = &'static App> {
     APPS.iter().filter(|a| a.suite != "micro")
 }
 
+/// The applications whose broken builds carry significant false sharing —
+/// the targets automated repair (`cheetah-repair`) is validated against.
+/// Their hand-written `fixed` builds remain available as a reference, but
+/// repair experiments should prefer the synthesized fix: it is derived
+/// from the profile alone, which is the claim under test.
+pub fn repair_targets() -> impl Iterator<Item = &'static App> {
+    APPS.iter()
+        .filter(|a| a.expectation == Expectation::SignificantFalseSharing)
+}
+
 /// Looks an application up by name.
 pub fn find(name: &str) -> Option<&'static App> {
     APPS.iter().find(|a| a.name == name)
@@ -214,7 +224,10 @@ mod tests {
 
     #[test]
     fn find_by_name() {
-        assert_eq!(find("linear_regression").unwrap().name(), "linear_regression");
+        assert_eq!(
+            find("linear_regression").unwrap().name(),
+            "linear_regression"
+        );
         assert_eq!(
             find("linear_regression").unwrap().expectation(),
             Expectation::SignificantFalseSharing
@@ -228,6 +241,15 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), APPS.len());
+    }
+
+    #[test]
+    fn repair_targets_are_the_significant_fs_apps() {
+        let names: Vec<&str> = repair_targets().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["linear_regression", "streamcluster", "microbench"]
+        );
     }
 
     #[test]

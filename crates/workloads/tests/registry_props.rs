@@ -27,7 +27,10 @@ fn fixed_builds_never_slower_for_fs_apps() {
             .run(app.build(&config).program, &mut NullObserver)
             .total_cycles as f64;
         let fixed = machine
-            .run(app.build(&config.clone().fixed()).program, &mut NullObserver)
+            .run(
+                app.build(&config.clone().fixed()).program,
+                &mut NullObserver,
+            )
             .total_cycles as f64;
         assert!(
             fixed <= broken * 1.01,

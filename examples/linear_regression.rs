@@ -36,7 +36,10 @@ fn main() {
         .run(app.build(&config).program, &mut NullObserver)
         .total_cycles;
     let fixed = machine
-        .run(app.build(&config.clone().fixed()).program, &mut NullObserver)
+        .run(
+            app.build(&config.clone().fixed()).program,
+            &mut NullObserver,
+        )
         .total_cycles;
     let predicted = profile
         .false_sharing()

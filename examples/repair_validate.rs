@@ -1,0 +1,44 @@
+//! Profile -> synthesize fix -> validate prediction, end to end, for every
+//! workload with known significant false sharing.
+//!
+//! ```text
+//! cargo run --release --example repair_validate
+//! ```
+//!
+//! Prints the paper's Table-2-style predicted-vs-actual table per
+//! workload, produced entirely from the broken build: the fix applied is
+//! the one `cheetah-repair` synthesizes from the profile, not the
+//! hand-written `fixed` build.
+
+use cheetah::core::CheetahConfig;
+use cheetah::repair::ValidationHarness;
+use cheetah::sim::{Machine, MachineConfig};
+use cheetah::workloads::{find, AppConfig};
+
+fn main() {
+    let cases = [
+        ("microbench", 8u32, 0.05, 256u64, 8u32),
+        ("linear_regression", 8, 0.25, 128, 48),
+        ("linear_regression", 16, 0.25, 128, 48),
+        ("streamcluster", 8, 0.5, 64, 48),
+    ];
+    for (name, threads, scale, period, cores) in cases {
+        let app = find(name).expect("registered app");
+        let config = AppConfig {
+            threads,
+            scale,
+            fixed: false,
+            seed: 1,
+        };
+        let harness = ValidationHarness::calibrated(
+            Machine::new(MachineConfig::with_cores(cores)),
+            CheetahConfig::scaled(period),
+        );
+        let outcome = harness
+            .validate(&format!("{name} ({threads} threads)"), || {
+                app.build(&config)
+            })
+            .expect("synthesized repair must apply");
+        println!("{outcome}");
+    }
+}

@@ -26,7 +26,10 @@ fn main() {
         .run(app.build(&config).program, &mut NullObserver)
         .total_cycles;
     let fixed = machine
-        .run(app.build(&config.clone().fixed()).program, &mut NullObserver)
+        .run(
+            app.build(&config.clone().fixed()).program,
+            &mut NullObserver,
+        )
         .total_cycles;
     println!(
         "fixing the CACHE_LINE macro: real improvement {:.3}x (paper: ~1.02x at 8 threads)",

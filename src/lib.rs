@@ -22,7 +22,10 @@
 //! * [`core`] — detection, classification, assessment, reporting,
 //! * [`workloads`] — the paper's 17 evaluation applications plus the
 //!   Fig. 1 microbenchmark, each with broken and fixed builds,
-//! * [`baselines`] — Predator-like and ownership-bitmap comparators.
+//! * [`baselines`] — Predator-like and ownership-bitmap comparators,
+//! * [`repair`] — automated fix synthesis (pad / align / per-thread
+//!   split) and the predicted-vs-actual validation harness that closes
+//!   the loop on contribution 1.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use cheetah_baselines as baselines;
 pub use cheetah_core as core;
 pub use cheetah_heap as heap;
 pub use cheetah_pmu as pmu;
+pub use cheetah_repair as repair;
 pub use cheetah_runtime as runtime;
 pub use cheetah_sim as sim;
 pub use cheetah_workloads as workloads;

@@ -54,9 +54,7 @@ fn streamcluster_detected_as_mild() {
         improvement > 1.0 && improvement < 1.3,
         "streamcluster is mild: {improvement}"
     );
-    assert!(profile
-        .render_report()
-        .contains("streamcluster.cpp: 985"));
+    assert!(profile.render_report().contains("streamcluster.cpp: 985"));
 }
 
 #[test]
@@ -158,7 +156,10 @@ fn prediction_tracks_reality_on_the_case_study() {
         .run(app.build(&config).program, &mut NullObserver)
         .total_cycles;
     let fixed = machine
-        .run(app.build(&config.clone().fixed()).program, &mut NullObserver)
+        .run(
+            app.build(&config.clone().fixed()).program,
+            &mut NullObserver,
+        )
         .total_cycles;
     let real = broken as f64 / fixed as f64;
     let instance = app.build(&config);

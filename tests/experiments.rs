@@ -71,13 +71,19 @@ fn table1_shape_ladders() {
             .run(app.build(&config).program, &mut NullObserver)
             .total_cycles;
         let fixed = machine
-            .run(app.build(&config.clone().fixed()).program, &mut NullObserver)
+            .run(
+                app.build(&config.clone().fixed()).program,
+                &mut NullObserver,
+            )
             .total_cycles;
         broken as f64 / fixed as f64
     };
     let lr2 = improvement("linear_regression", 2);
     let lr16 = improvement("linear_regression", 16);
-    assert!(lr2 > 1.5 && lr16 > lr2, "lreg ladder grows: {lr2:.2} -> {lr16:.2}");
+    assert!(
+        lr2 > 1.5 && lr16 > lr2,
+        "lreg ladder grows: {lr2:.2} -> {lr16:.2}"
+    );
     let sc2 = improvement("streamcluster", 2);
     let sc16 = improvement("streamcluster", 16);
     assert!(

@@ -27,13 +27,15 @@ enum Event {
 
 fn events() -> impl Strategy<Value = Vec<Event>> {
     proptest::collection::vec(
-        (0u8..4, proptest::bool::ANY).prop_map(|(t, w)| {
-            if w {
-                Event::Write(t)
-            } else {
-                Event::Read(t)
-            }
-        }),
+        (0u8..4, proptest::bool::ANY).prop_map(
+            |(t, w)| {
+                if w {
+                    Event::Write(t)
+                } else {
+                    Event::Read(t)
+                }
+            },
+        ),
         0..200,
     )
 }

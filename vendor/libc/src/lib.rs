@@ -1,0 +1,74 @@
+//! Minimal offline stand-in for the `libc` crate: exactly the symbols the
+//! optional `linux-pmu` perf backend uses, for x86_64 and aarch64 Linux.
+
+#![allow(non_camel_case_types)]
+#![cfg(target_os = "linux")]
+#![allow(non_upper_case_globals)]
+
+/// Equivalent of C `void`.
+pub type c_void = std::ffi::c_void;
+/// Equivalent of C `char`.
+pub type c_char = std::ffi::c_char;
+/// Equivalent of C `int`.
+pub type c_int = i32;
+/// Equivalent of C `unsigned int`.
+pub type c_uint = u32;
+/// Equivalent of C `long`.
+pub type c_long = i64;
+/// Equivalent of C `unsigned long`.
+pub type c_ulong = u64;
+/// File sizes and offsets.
+pub type off_t = i64;
+/// Memory sizes.
+pub type size_t = usize;
+
+/// `perf_event_open(2)` syscall number.
+#[cfg(target_arch = "x86_64")]
+pub const SYS_perf_event_open: c_long = 298;
+/// `perf_event_open(2)` syscall number.
+#[cfg(target_arch = "aarch64")]
+pub const SYS_perf_event_open: c_long = 241;
+
+/// Pages may be read.
+pub const PROT_READ: c_int = 1;
+/// Pages may be written.
+pub const PROT_WRITE: c_int = 2;
+/// Share the mapping with the kernel.
+pub const MAP_SHARED: c_int = 1;
+/// `mmap` failure sentinel.
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+/// `sysconf` name for the page size.
+pub const _SC_PAGESIZE: c_int = 30;
+
+extern "C" {
+    /// Indirect system call.
+    pub fn syscall(num: c_long, ...) -> c_long;
+    /// Maps files or devices into memory.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// Unmaps a memory region.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    /// Device control.
+    pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    /// Closes a file descriptor.
+    pub fn close(fd: c_int) -> c_int;
+    /// Queries system configuration values.
+    pub fn sysconf(name: c_int) -> c_long;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_sane() {
+        let page = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(page >= 4096, "page size {page}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Test execution support: configuration, RNG, case errors.
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+    /// An assertion failed; the test fails.
+    Fail(String),
+}
+
+/// Deterministic per-test random source (SplitMix64 seeded from the test
+/// name), so failures reproduce without recorded seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Current internal state (reported on failure for reproduction).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn config_cases() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(8).cases, 8);
+    }
+}
