@@ -28,7 +28,8 @@ fn main() {
         };
         let instance = app.build(&config);
         let mut samples: Vec<Sample> = Vec::new();
-        let mut pmu = SimPmu::new(SamplerConfig::scaled_to_period(256), |s| samples.push(s));
+        let mut pmu = SimPmu::new(SamplerConfig::scaled_to_period(256), |s| samples.push(s))
+            .expect("nonzero period");
         machine.run(instance.program, &mut pmu);
 
         let mut table = Detector::new(DetectorConfig::default());

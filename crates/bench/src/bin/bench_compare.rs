@@ -1,0 +1,148 @@
+//! Regression gate for the prediction-validation matrix.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--tolerance-points 5]
+//! ```
+//!
+//! Matches `BENCH_repair.json` cells between a committed baseline and a
+//! freshly generated file by `(workload, threads, period, instance)` and
+//! exits nonzero if any cell's relative prediction error regressed by more
+//! than the tolerance (percentage points), or if a baseline cell vanished
+//! from the fresh matrix. New cells (matrix growth) only warn.
+//!
+//! The parser is deliberately minimal — the emitter writes one record per
+//! line with scalar fields only — so the workspace stays free of a JSON
+//! dependency.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts a scalar field's raw text from a single-line JSON record.
+fn field<'a>(record: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\": ");
+    let start = record.find(&key)? + key.len();
+    let rest = &record[start..];
+    if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.split('"').next()
+    } else {
+        rest.split([',', '}']).next().map(str::trim)
+    }
+}
+
+/// Parses the records of a BENCH_repair.json file into
+/// `(cell key -> prediction_error)`.
+fn parse(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut cells = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"workload\"") {
+            continue;
+        }
+        let workload = field(line, "workload").ok_or("record without workload")?;
+        let threads = field(line, "threads").ok_or("record without threads")?;
+        let period = field(line, "period").unwrap_or("-");
+        let instance = field(line, "instance").unwrap_or("-");
+        let error: f64 = field(line, "prediction_error")
+            .ok_or("record without prediction_error")?
+            .parse()
+            .map_err(|e| format!("bad prediction_error in {path}: {e}"))?;
+        // Gate on the cell's worst convergence step when recorded (older
+        // baselines carry only the first-fix error): a multi-iteration
+        // cell must not regress in a later step unnoticed.
+        let worst: f64 = field(line, "worst_step_error")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(error);
+        cells.insert(
+            format!("{workload} t{threads} p{period} [{instance}]"),
+            error.max(worst),
+        );
+    }
+    if cells.is_empty() {
+        return Err(format!("{path}: no benchmark records found"));
+    }
+    Ok(cells)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(f)) => (b.clone(), f.clone()),
+        _ => {
+            eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--tolerance-points N]");
+            return ExitCode::from(2);
+        }
+    };
+    // Remaining arguments must parse exactly; a typo that silently fell
+    // back to the default would loosen the CI gate without anyone noticing.
+    let mut tolerance_points = 5.0f64;
+    let mut rest = args[2..].iter();
+    while let Some(arg) = rest.next() {
+        let value = match (arg.as_str(), arg.strip_prefix("--tolerance-points=")) {
+            ("--tolerance-points", _) => rest.next().map(String::as_str),
+            (_, Some(inline)) => Some(inline),
+            _ => None,
+        };
+        match value.and_then(|v| v.parse::<f64>().ok()) {
+            Some(points) => tolerance_points = points,
+            None => {
+                eprintln!("bench_compare: bad argument {arg:?} (want --tolerance-points N)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let tolerance = tolerance_points / 100.0;
+
+    let (baseline, fresh) = match (parse(&baseline_path), parse(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    for (key, &old_error) in &baseline {
+        match fresh.get(key) {
+            None => {
+                eprintln!("MISSING  {key}: cell present in baseline but not regenerated");
+                failures += 1;
+            }
+            Some(&new_error) => {
+                let delta = new_error - old_error;
+                let status = if delta > tolerance {
+                    failures += 1;
+                    "REGRESS"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{status:8} {key}: {:.1}% -> {:.1}% ({:+.1} points)",
+                    old_error * 100.0,
+                    new_error * 100.0,
+                    delta * 100.0
+                );
+            }
+        }
+    }
+    for key in fresh.keys() {
+        if !baseline.contains_key(key) {
+            println!("NEW      {key}: not in baseline (matrix grew)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_compare: {failures} cell(s) regressed beyond {:.0} points or went missing",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_compare: all {} baseline cells within {:.0} points",
+            baseline.len(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

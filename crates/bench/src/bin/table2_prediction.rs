@@ -1,180 +1,144 @@
-//! Table 2 — predicted vs. actual improvement of *synthesized* fixes.
+//! Table 2, scaled up — the prediction-validation *matrix*.
 //!
-//! For every repair target (the apps with significant false sharing), the
-//! harness profiles the broken build, synthesizes a fix from the profile
-//! alone, applies it, and measures the real speedup next to Cheetah's
-//! prediction. Also measures the detector's runtime overhead at the
-//! experiment's sampling rate.
+//! The paper validates predicted vs. real improvement at one configuration
+//! per workload; this harness sweeps every cell of
+//! [`cheetah_workloads::table2_matrix`] (workload × thread count ×
+//! sampling period) and, in each cell, runs the full fixpoint repair loop
+//! ([`cheetah_repair::converge`]): profile, apply the top-ranked
+//! synthesized fix, re-profile, repeat to convergence. Each cell records
+//! the loop's first fix (predicted vs. measured improvement of that step),
+//! how many iterations convergence took, and the detector's runtime
+//! overhead at the cell's sampling rate.
 //!
-//! Emits a human table on stdout and machine-readable numbers to
-//! `BENCH_repair.json` (current directory) so future changes can be
-//! compared against this baseline.
+//! Emits a human table on stdout and machine-readable records to
+//! `BENCH_repair.json` (current directory); CI regenerates the file and
+//! compares per-cell prediction errors against the committed baseline via
+//! the `bench_compare` bin.
 
 use cheetah_core::{CheetahConfig, CheetahProfiler};
-use cheetah_repair::{InstanceValidation, ValidationHarness};
+use cheetah_repair::{converge, ConvergeConfig, ConvergenceTrace, ValidationHarness};
 use cheetah_sim::{Machine, MachineConfig, NullObserver};
-use cheetah_workloads::{repair_targets, AppConfig};
+use cheetah_workloads::{table2_matrix, SweepCell};
 use std::fmt::Write as _;
 use std::io::Write as _;
 
-struct Case {
-    name: &'static str,
-    threads: u32,
-    scale: f64,
-    period: u64,
-    cores: u32,
-}
-
 struct Row {
-    case: Case,
-    /// One entry per validated instance; empty when nothing was detected.
-    instances: Vec<InstanceValidation>,
-    combined_actual: f64,
+    cell: SweepCell,
+    trace: ConvergenceTrace,
     detector_overhead: f64,
-    broken_cycles: u64,
-    samples: u64,
 }
 
-fn measure(case: Case) -> Row {
-    let app = cheetah_workloads::find(case.name).expect("registered app");
-    let config = AppConfig {
-        threads: case.threads,
-        scale: case.scale,
-        fixed: false,
-        seed: 1,
-    };
-    let machine = Machine::new(MachineConfig::with_cores(case.cores));
-    let cheetah = CheetahConfig::scaled(case.period);
+fn measure(cell: SweepCell) -> Row {
+    let config = cell.app_config();
+    let machine = Machine::new(MachineConfig::with_cores(cell.cores));
+    let cheetah = CheetahConfig::scaled(cell.period);
 
-    // Detector overhead: profiled vs. native runtime of the broken build.
+    // Detector overhead: profiled (with real trap/setup costs) vs. native
+    // runtime of the broken build.
     let native = machine
-        .run(app.build(&config).program, &mut NullObserver)
+        .run(cell.app.build(&config).program, &mut NullObserver)
         .total_cycles;
-    let instance = app.build(&config);
+    let instance = cell.app.build(&config);
     let mut profiler = CheetahProfiler::new(cheetah.clone(), &instance.space);
     let profiled = machine.run(instance.program, &mut profiler).total_cycles;
     drop(profiler);
     let detector_overhead = profiled as f64 / native as f64 - 1.0;
 
-    // Prediction validation through the synthesized repair.
+    // The fixpoint loop: fix, re-profile, repeat until nothing significant
+    // remains.
     let harness = ValidationHarness::calibrated(machine, cheetah);
-    let outcome = harness
-        .validate(case.name, || app.build(&config))
-        .expect("synthesized repair must apply");
+    let trace = converge(
+        &harness,
+        cell.app.name(),
+        || cell.app.build(&config),
+        &ConvergeConfig::default(),
+    )
+    .expect("synthesized repairs must apply");
     Row {
-        case,
-        combined_actual: outcome.combined_actual(),
-        instances: outcome.instances,
+        cell,
+        trace,
         detector_overhead,
-        broken_cycles: outcome.broken_cycles,
-        samples: outcome.total_samples,
     }
 }
 
 fn main() {
-    let cases: Vec<Case> = repair_targets()
-        .map(|app| match app.name() {
-            "microbench" => Case {
-                name: "microbench",
-                threads: 8,
-                scale: 0.05,
-                period: 256,
-                cores: 8,
-            },
-            "linear_regression" => Case {
-                name: "linear_regression",
-                threads: 16,
-                scale: 0.25,
-                period: 128,
-                cores: 48,
-            },
-            other => Case {
-                name: other,
-                threads: 8,
-                scale: 0.5,
-                period: 64,
-                cores: 48,
-            },
-        })
-        .collect();
+    let rows: Vec<Row> = table2_matrix().into_iter().map(measure).collect();
 
-    let rows: Vec<Row> = cases.into_iter().map(measure).collect();
-
-    println!("Table 2: predicted vs. actual improvement of synthesized fixes\n");
+    println!("Table 2 matrix: fixpoint repair, predicted vs. measured per cell\n");
     println!(
         "{}",
         cheetah_bench::row(&[
             "workload".into(),
             "threads".into(),
+            "period".into(),
+            "iters".into(),
             "instance".into(),
             "predicted".into(),
             "actual".into(),
             "error".into(),
+            "total".into(),
             "overhead".into(),
         ])
     );
     for row in &rows {
-        if row.instances.is_empty() {
-            println!(
-                "{}",
-                cheetah_bench::row(&[
-                    row.case.name.into(),
-                    row.case.threads.to_string(),
-                    "(none)".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    format!("{:.1}%", row.detector_overhead * 100.0),
-                ])
-            );
-        }
-        for instance in &row.instances {
-            println!(
-                "{}",
-                cheetah_bench::row(&[
-                    row.case.name.into(),
-                    row.case.threads.to_string(),
-                    instance.plan.label.clone(),
-                    format!("{:.2}x", instance.predicted),
-                    format!("{:.2}x", instance.actual),
-                    format!("{:.1}%", instance.relative_error() * 100.0),
-                    format!("{:.1}%", row.detector_overhead * 100.0),
-                ])
-            );
-        }
+        let first = row.trace.iterations.first();
+        println!(
+            "{}",
+            cheetah_bench::row(&[
+                row.cell.app.name().into(),
+                row.cell.threads.to_string(),
+                row.cell.period.to_string(),
+                row.trace.iterations.len().to_string(),
+                first.map_or("(none)".into(), |i| i.label.clone()),
+                first.map_or("-".into(), |i| format!("{:.2}x", i.predicted)),
+                first.map_or("-".into(), |i| format!("{:.2}x", i.measured)),
+                first.map_or("-".into(), |i| format!(
+                    "{:.1}%",
+                    i.relative_error() * 100.0
+                )),
+                format!("{:.2}x", row.trace.total_improvement()),
+                format!("{:.1}%", row.detector_overhead * 100.0),
+            ])
+        );
     }
 
-    // One JSON record per validated instance, plus per-workload context,
-    // so cross-PR tracking never loses instances behind the top one.
+    // One JSON record per matrix cell.
     let mut records: Vec<String> = Vec::new();
     for row in &rows {
-        for instance in &row.instances {
-            let mut record = String::new();
-            let _ = write!(
-                record,
-                "    {{\"workload\": \"{}\", \"threads\": {}, \"scale\": {}, \"period\": {}, \
-                 \"instance\": \"{}\", \"strategy\": \"{}\", \
-                 \"predicted_speedup\": {:.6}, \"actual_speedup\": {:.6}, \
-                 \"prediction_error\": {:.6}, \"combined_actual_speedup\": {:.6}, \
-                 \"detector_overhead\": {:.6}, \"broken_cycles\": {}, \
-                 \"repaired_cycles\": {}, \"samples\": {}}}",
-                row.case.name,
-                row.case.threads,
-                row.case.scale,
-                row.case.period,
-                instance.plan.label,
-                instance.plan.strategy,
-                instance.predicted,
-                instance.actual,
-                instance.relative_error(),
-                row.combined_actual,
-                row.detector_overhead,
-                row.broken_cycles,
-                instance.repaired_cycles,
-                row.samples,
-            );
-            records.push(record);
-        }
+        let first = row.trace.iterations.first();
+        let mut record = String::new();
+        let _ = write!(
+            record,
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"scale\": {}, \"period\": {}, \
+             \"iterations\": {}, \"converged\": {}, \"residual\": {}, \
+             \"instance\": \"{}\", \"strategy\": \"{}\", \
+             \"predicted_speedup\": {:.6}, \"actual_speedup\": {:.6}, \
+             \"prediction_error\": {:.6}, \"worst_step_error\": {:.6}, \
+             \"total_measured_speedup\": {:.6}, \
+             \"detector_overhead\": {:.6}, \"broken_cycles\": {}, \
+             \"repaired_cycles\": {}, \"samples\": {}}}",
+            row.cell.app.name(),
+            row.cell.threads,
+            row.cell.scale,
+            row.cell.period,
+            row.trace.iterations.len(),
+            row.trace.converged,
+            row.trace.residual_significant,
+            first.map_or("(none)".to_string(), |i| i.label.clone()),
+            first.map_or("-".to_string(), |i| i.strategy.to_string()),
+            first.map_or(0.0, |i| i.predicted),
+            first.map_or(0.0, |i| i.measured),
+            // First-fix error matches the predicted/actual pair above;
+            // worst_step_error covers every iteration of the cell's loop.
+            first.map_or(0.0, |i| i.relative_error()),
+            row.trace.worst_error(),
+            row.trace.total_improvement(),
+            row.detector_overhead,
+            row.trace.initial_cycles,
+            row.trace.final_cycles,
+            row.trace.initial_samples,
+        );
+        records.push(record);
     }
     let mut json = String::from("{\n  \"benchmark\": \"repair\",\n  \"results\": [\n");
     json.push_str(&records.join(",\n"));

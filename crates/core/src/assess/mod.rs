@@ -10,10 +10,16 @@
 //!    latency of serial-phase samples:
 //!    `PredCycles_O = AverCycles_nofs × Accesses_O`.
 //! 2. **Threads** (Eq. 2–3): each related thread's sampled cycles shrink by
-//!    the object's share, and runtime is assumed proportional to sampled
-//!    access cycles:
-//!    `PredCycles_t = Cycles_t − Cycles_O(t) + PredCycles_O(t)`,
-//!    `PredRT_t = RT_t × PredCycles_t / Cycles_t`.
+//!    the object's share:
+//!    `PredCycles_t = Cycles_t − Cycles_O(t) + PredCycles_O(t)`.
+//!    The paper then assumes runtime proportional to sampled access cycles
+//!    (`PredRT_t = RT_t × PredCycles_t / Cycles_t`); this reproduction
+//!    refines that with the thread's retired-instruction counter, splitting
+//!    `RT_t` into compute (constant under a layout fix) and memory-stall
+//!    time, and scaling only the stall:
+//!    `PredRT_t = Compute_t + (RT_t − Compute_t) × PredCycles_t / Cycles_t`.
+//!    Pure proportionality over-credits fixes whenever compute dilutes the
+//!    contention (the Fig. 1 microbenchmark at 2 threads, for instance).
 //! 3. **Application** (Eq. 4, fork-join model): each parallel phase is
 //!    re-timed as the maximum predicted runtime among its threads (keeping
 //!    each thread's spawn offset within the phase, so an unchanged profile
@@ -36,6 +42,11 @@ pub struct AssessContext<'a> {
     pub aver_cycles_nofs: f64,
     /// Measured application runtime `RT_App`.
     pub app_runtime: Cycles,
+    /// Cycles per retired non-memory instruction (see
+    /// [`crate::DetectorConfig::cycles_per_instruction`]). With no
+    /// recorded instruction counts the compute estimate is zero and Eq. 3
+    /// reduces to the paper's pure proportionality.
+    pub cycles_per_instruction: f64,
 }
 
 /// Predicted effect of a fix on one thread.
@@ -97,6 +108,13 @@ impl fmt::Display for Assessment {
 /// Threads without samples are predicted to keep their measured runtime;
 /// phases whose threads are unknown to the registry keep their measured
 /// duration.
+///
+/// All quantities are attributed *per phase interval*: a thread active in
+/// several parallel phases contributes each phase only the sampled cycles,
+/// object traffic and lifetime segment that fall inside that interval.
+/// Using whole-run totals here would subtract the thread's object cycles
+/// from every phase it appears in and scale each phase's runtime by a
+/// ratio mixing in the other phases' samples.
 pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment {
     let mut predicted_app = 0.0f64;
     let mut per_thread = Vec::new();
@@ -107,27 +125,42 @@ pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment
             PhaseKind::Parallel => {
                 let mut phase_len = 0.0f64;
                 for &thread in &phase.threads {
-                    let (runtime, start_offset, cycles_t) = match ctx.threads.get(thread) {
-                        Some(stats) => {
-                            let end = stats.end.unwrap_or(phase.end);
-                            (
-                                end.saturating_sub(stats.start),
-                                stats.start.saturating_sub(phase.start),
-                                stats.sampled_cycles,
-                            )
-                        }
-                        None => (phase.duration(), 0, 0),
-                    };
-                    let on_object = instance.thread(thread).unwrap_or_default();
-                    // Eq. 1, applied to this thread's share of the object.
+                    let (runtime, start_offset, cycles_t, instructions) =
+                        match ctx.threads.get(thread) {
+                            Some(stats) => {
+                                // The thread's lifetime clipped to this phase.
+                                let seg_start = stats.start.max(phase.start);
+                                let seg_end = stats.end.unwrap_or(phase.end).min(phase.end);
+                                (
+                                    seg_end.saturating_sub(seg_start),
+                                    seg_start.saturating_sub(phase.start),
+                                    stats.in_phase(phase.index).cycles,
+                                    stats.instructions_in_phase(phase.index),
+                                )
+                            }
+                            None => (phase.duration(), 0, 0, 0),
+                        };
+                    let on_object = instance
+                        .thread_in_phase(thread, phase.index)
+                        .unwrap_or_default();
+                    // Eq. 1, applied to this thread's share of the object
+                    // within this phase.
                     let pred_cycles_o = ctx.aver_cycles_nofs * on_object.accesses as f64;
                     // Eq. 2.
-                    let pred_cycles_t = cycles_t as f64 - on_object.cycles as f64 + pred_cycles_o;
-                    // Eq. 3.
+                    let pred_cycles_t =
+                        (cycles_t as f64 - on_object.cycles as f64 + pred_cycles_o).max(0.0);
+                    // Eq. 3, refined: the retired-instruction counter splits
+                    // RT_t into compute (which a layout fix cannot shrink)
+                    // and memory-stall time; only the stall time scales with
+                    // the sampled access cycles. With no instruction counts
+                    // compute is 0 and this is the paper's proportionality.
+                    let compute =
+                        (instructions as f64 * ctx.cycles_per_instruction).min(runtime as f64);
+                    let stall = runtime as f64 - compute;
                     let pred_rt = if cycles_t == 0 {
                         runtime as f64
                     } else {
-                        runtime as f64 * pred_cycles_t / cycles_t as f64
+                        compute + stall * pred_cycles_t / cycles_t as f64
                     };
                     phase_len = phase_len.max(start_offset as f64 + pred_rt);
                     per_thread.push(ThreadAssessment {
@@ -208,19 +241,28 @@ mod tests {
 
     fn registry(cycles: &[(u32, u64, u64)]) -> ThreadRegistry {
         // (thread, sampled_cycles spread over `n` accesses of equal
-        // latency, accesses)
+        // latency, accesses) — all sampled within phase 1.
         let mut registry = ThreadRegistry::new();
         for &(t, total_cycles, accesses) in cycles {
             registry.on_start(ThreadId(t), "w", 100, 1);
             for _ in 0..accesses {
-                registry.record_sample(ThreadId(t), total_cycles / accesses.max(1));
+                registry.record_sample(ThreadId(t), 1, total_cycles / accesses.max(1));
             }
             registry.on_exit(ThreadId(t), 1100);
         }
         registry
     }
 
+    /// Instance whose per-thread traffic all happened in phase 1.
     fn instance(per_thread: Vec<(ThreadId, ThreadOnObject)>) -> SharingInstance {
+        let per_thread_phase = per_thread.iter().map(|&(t, s)| ((t, 1u32), s)).collect();
+        instance_in_phases(per_thread, per_thread_phase)
+    }
+
+    fn instance_in_phases(
+        per_thread: Vec<(ThreadId, ThreadOnObject)>,
+        per_thread_phase: Vec<((ThreadId, u32), ThreadOnObject)>,
+    ) -> SharingInstance {
         SharingInstance {
             key: ObjectKey::Heap(ObjectId(0)),
             object: ObjectDescriptor {
@@ -237,6 +279,7 @@ mod tests {
             invalidations: 100,
             latency: per_thread.iter().map(|(_, s)| s.cycles).sum(),
             per_thread,
+            per_thread_phase,
             truly_shared_accesses: 0,
             words: vec![],
         }
@@ -252,6 +295,7 @@ mod tests {
             threads: &registry,
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
+            cycles_per_instruction: 1.0,
         };
         let result = assess(&inst, &ctx);
         assert!(
@@ -280,6 +324,7 @@ mod tests {
             threads: &registry,
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
+            cycles_per_instruction: 1.0,
         };
         let result = assess(&inst, &ctx);
         // Predicted: serial 100 + parallel 100 + serial 100 = 300.
@@ -310,6 +355,7 @@ mod tests {
             threads: &registry,
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
+            cycles_per_instruction: 1.0,
         };
         let result = assess(&inst, &ctx);
         assert!(
@@ -334,11 +380,106 @@ mod tests {
             threads: &registry,
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
+            cycles_per_instruction: 1.0,
         };
         let result = assess(&inst, &ctx);
         assert!((result.improvement - 1.0).abs() < 1e-9);
         assert_eq!(result.per_thread.len(), 2);
         assert_eq!(result.per_thread[0].predicted_runtime, 1000.0);
+    }
+
+    /// Regression test for whole-run cycle attribution: a thread active in
+    /// TWO parallel phases, with all its object traffic in the first one.
+    /// The old code used `stats.sampled_cycles` (whole-run) as `Cycles_t`
+    /// for both phases, so the object's cycles were subtracted from each
+    /// phase and both phases' runtimes were scaled by a mixed ratio; the
+    /// second phase — which never touches the object — must be predicted
+    /// unchanged.
+    #[test]
+    fn thread_spanning_two_parallel_phases_is_attributed_per_phase() {
+        let phases = vec![
+            PhaseInterval {
+                index: 0,
+                kind: PhaseKind::Serial,
+                start: 0,
+                end: 100,
+                threads: vec![],
+            },
+            PhaseInterval {
+                index: 1,
+                kind: PhaseKind::Parallel,
+                start: 100,
+                end: 1100,
+                threads: vec![ThreadId(1), ThreadId(2)],
+            },
+            PhaseInterval {
+                index: 2,
+                kind: PhaseKind::Serial,
+                start: 1100,
+                end: 1200,
+                threads: vec![],
+            },
+            PhaseInterval {
+                index: 3,
+                kind: PhaseKind::Parallel,
+                start: 1200,
+                end: 2200,
+                threads: vec![ThreadId(1)],
+            },
+        ];
+        let mut registry = ThreadRegistry::new();
+        // Thread 1 lives through both parallel phases; thread 2 only the
+        // first.
+        registry.on_start(ThreadId(1), "w", 100, 1);
+        registry.on_start(ThreadId(2), "w", 100, 1);
+        registry.on_exit(ThreadId(2), 1100);
+        // Phase 1: all of thread 1's and 2's samples are object ping-pong
+        // at 100 cycles/access.
+        for _ in 0..100 {
+            registry.record_sample(ThreadId(1), 1, 100);
+            registry.record_sample(ThreadId(2), 1, 100);
+        }
+        // Phase 3: thread 1 samples private traffic only, at 10 cycles.
+        for _ in 0..100 {
+            registry.record_sample(ThreadId(1), 3, 10);
+        }
+        registry.on_exit(ThreadId(1), 2200);
+
+        let on_obj = ThreadOnObject {
+            accesses: 100,
+            cycles: 10_000,
+        };
+        let inst = instance_in_phases(
+            vec![(ThreadId(1), on_obj), (ThreadId(2), on_obj)],
+            vec![((ThreadId(1), 1), on_obj), ((ThreadId(2), 1), on_obj)],
+        );
+        let ctx = AssessContext {
+            phases: &phases,
+            threads: &registry,
+            aver_cycles_nofs: 10.0,
+            app_runtime: 2200,
+            cycles_per_instruction: 1.0,
+        };
+        let result = assess(&inst, &ctx);
+        // Phase 1 shrinks 10x (1000 -> 100); phase 3 must stay at 1000.
+        // Predicted: 100 + 100 + 100 + 1000 = 1300.
+        assert!(
+            (result.predicted_runtime - 1300.0).abs() < 1.0,
+            "predicted {}",
+            result.predicted_runtime
+        );
+        let phase3 = result
+            .per_thread
+            .iter()
+            .find(|t| t.thread == ThreadId(1) && t.cycles == 1_000)
+            .expect("thread 1's phase-3 entry");
+        assert_eq!(phase3.runtime, 1000, "lifetime clipped to the phase");
+        assert!(
+            (phase3.predicted_runtime - 1000.0).abs() < 1e-6,
+            "phase without object traffic must be unchanged, got {}",
+            phase3.predicted_runtime
+        );
+        assert!((result.improvement - 2200.0 / 1300.0).abs() < 1e-3);
     }
 
     #[test]
@@ -355,6 +496,7 @@ mod tests {
             threads: &registry,
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
+            cycles_per_instruction: 1.0,
         };
         let result = assess(&inst, &ctx);
         assert!((result.improvement_rate_percent() - result.improvement * 100.0).abs() < 1e-9);

@@ -98,6 +98,9 @@ pub struct SharingInstance {
     pub latency: Cycles,
     /// Per-thread traffic on the object, first-touch order.
     pub per_thread: Vec<(ThreadId, ThreadOnObject)>,
+    /// Per-(thread, phase) slices of the same traffic, first-touch order —
+    /// what the assessment charges against each phase's `Cycles_t`.
+    pub per_thread_phase: Vec<((ThreadId, u32), ThreadOnObject)>,
     /// Accesses that landed on truly shared words.
     pub truly_shared_accesses: u64,
     /// Word-granularity profile (touched words only) — the padding guide.
@@ -115,6 +118,14 @@ impl SharingInstance {
         self.per_thread
             .iter()
             .find(|(t, _)| *t == thread)
+            .map(|(_, s)| *s)
+    }
+
+    /// Per-thread counters restricted to one phase interval.
+    pub fn thread_in_phase(&self, thread: ThreadId, phase: u32) -> Option<ThreadOnObject> {
+        self.per_thread_phase
+            .iter()
+            .find(|((t, p), _)| *t == thread && *p == phase)
             .map(|(_, s)| *s)
     }
 
@@ -218,6 +229,7 @@ pub fn collect_instances(detector: &Detector, space: &AddressSpace) -> Vec<Shari
             invalidations: accum.invalidations,
             latency: accum.latency,
             per_thread: accum.threads().collect(),
+            per_thread_phase: accum.thread_phases().collect(),
             truly_shared_accesses,
             words,
         });

@@ -19,6 +19,12 @@ pub struct DetectorConfig {
     /// Fallback for `AverCycles_serial` when no serial-phase samples were
     /// collected ("a default value learned from experience", §3.1).
     pub default_serial_latency: f64,
+    /// Cycles a retired non-memory instruction costs on the profiled
+    /// machine. The assessment splits each thread's runtime into compute
+    /// (instructions × this) and memory-stall time, and predicts only the
+    /// latter to shrink after a fix; like the serial-latency fallback it is
+    /// a machine constant known ahead of profiling.
+    pub cycles_per_instruction: f64,
 }
 
 impl Default for DetectorConfig {
@@ -29,6 +35,7 @@ impl Default for DetectorConfig {
             min_invalidations: 10,
             true_share_fraction: 0.05,
             default_serial_latency: 12.0,
+            cycles_per_instruction: 1.0,
         }
     }
 }
@@ -52,6 +59,10 @@ impl DetectorConfig {
         assert!(
             self.default_serial_latency > 0.0,
             "default serial latency must be positive"
+        );
+        assert!(
+            self.cycles_per_instruction >= 0.0,
+            "cycles per instruction must be non-negative"
         );
     }
 }

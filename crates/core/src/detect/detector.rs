@@ -9,7 +9,7 @@
 //! instead feed the `AverCycles_serial` estimate the assessment needs.
 
 use crate::config::DetectorConfig;
-use crate::detect::line_state::LineState;
+use crate::detect::line_state::{LineState, StagedSample};
 use cheetah_heap::{AddressSpace, Location, ShadowMap};
 use cheetah_pmu::Sample;
 use cheetah_sim::util::{FastMap, FastSet};
@@ -47,8 +47,13 @@ pub struct ObjectAccum {
     pub invalidations: u64,
     /// Total sampled latency on the object.
     pub latency: Cycles,
-    /// Per-thread breakdown.
-    per_thread: FastMap<ThreadId, ThreadOnObject>,
+    /// Per-(thread, phase) breakdown — the `Cycles_O(t)` slices the
+    /// assessment subtracts from each phase's `Cycles_t` (a thread active
+    /// in two parallel phases must not have its whole-run object cycles
+    /// charged against both). Whole-run per-thread totals are derived from
+    /// these slices on demand, so the two views cannot drift apart.
+    per_thread_phase: FastMap<(ThreadId, u32), ThreadOnObject>,
+    thread_phase_order: Vec<(ThreadId, u32)>,
     thread_order: Vec<ThreadId>,
     /// Cache lines of this object that reached detailed tracking.
     lines: FastSet<CacheLineId>,
@@ -63,7 +68,8 @@ impl ObjectAccum {
             writes: 0,
             invalidations: 0,
             latency: 0,
-            per_thread: FastMap::default(),
+            per_thread_phase: FastMap::default(),
+            thread_phase_order: Vec::new(),
             thread_order: Vec::new(),
             lines: FastSet::default(),
             line_order: Vec::new(),
@@ -73,6 +79,7 @@ impl ObjectAccum {
     fn record(
         &mut self,
         thread: ThreadId,
+        phase: u32,
         kind: AccessKind,
         latency: Cycles,
         invalidation: bool,
@@ -86,12 +93,15 @@ impl ObjectAccum {
             self.invalidations += 1;
         }
         self.latency += latency;
-        if !self.per_thread.contains_key(&thread) {
-            self.thread_order.push(thread);
+        if !self.per_thread_phase.contains_key(&(thread, phase)) {
+            self.thread_phase_order.push((thread, phase));
+            if !self.thread_order.contains(&thread) {
+                self.thread_order.push(thread);
+            }
         }
-        let entry = self.per_thread.entry(thread).or_default();
-        entry.accesses += 1;
-        entry.cycles += latency;
+        let slice = self.per_thread_phase.entry((thread, phase)).or_default();
+        slice.accesses += 1;
+        slice.cycles += latency;
         if self.lines.insert(line) {
             self.line_order.push(line);
         }
@@ -102,16 +112,39 @@ impl ObjectAccum {
         self.reads + self.writes
     }
 
-    /// Per-thread counters in first-touch order.
+    /// Per-thread counters in first-touch order, summed over phases.
     pub fn threads(&self) -> impl Iterator<Item = (ThreadId, ThreadOnObject)> + '_ {
-        self.thread_order
-            .iter()
-            .map(move |t| (*t, self.per_thread[t]))
+        self.thread_order.iter().map(move |&thread| {
+            (
+                thread,
+                self.thread(thread).expect("ordered threads have slices"),
+            )
+        })
     }
 
-    /// Counters of a single thread.
+    /// Counters of a single thread, summed over phases.
     pub fn thread(&self, thread: ThreadId) -> Option<ThreadOnObject> {
-        self.per_thread.get(&thread).copied()
+        let mut total: Option<ThreadOnObject> = None;
+        for ((t, _), slice) in self.thread_phases() {
+            if t == thread {
+                let entry = total.get_or_insert_with(ThreadOnObject::default);
+                entry.accesses += slice.accesses;
+                entry.cycles += slice.cycles;
+            }
+        }
+        total
+    }
+
+    /// Per-(thread, phase) counters in first-touch order.
+    pub fn thread_phases(&self) -> impl Iterator<Item = ((ThreadId, u32), ThreadOnObject)> + '_ {
+        self.thread_phase_order
+            .iter()
+            .map(move |key| (*key, self.per_thread_phase[key]))
+    }
+
+    /// Counters of one thread within one phase.
+    pub fn thread_in_phase(&self, thread: ThreadId, phase: u32) -> Option<ThreadOnObject> {
+        self.per_thread_phase.get(&(thread, phase)).copied()
     }
 
     /// Cache lines of the object that reached detailed tracking, in
@@ -201,7 +234,7 @@ impl Detector {
             return;
         };
         if sample.kind.is_write() {
-            state.writes += 1;
+            state.record_write();
         }
         if !sample.in_parallel_phase() {
             // Serial-phase samples only contribute the no-false-sharing
@@ -212,9 +245,83 @@ impl Detector {
         }
         let threshold = self.config.write_threshold;
         let line_size = self.config.line_size;
+        if state.detail.is_none() && state.writes <= threshold {
+            // Pre-filter: the line is still cold. Stage (not drop) the
+            // sample so that, if the line does go hot, the accounting is
+            // not short exactly the samples that made it hot — a loss the
+            // assessment would amplify by the sampling rate. Writes have
+            // priority: a full buffer evicts its oldest read rather than
+            // drop a threshold-tripping write (a read-mostly line can
+            // otherwise fill every slot before the writer shows up).
+            let staged = StagedSample {
+                thread: sample.thread,
+                addr: sample.addr,
+                kind: sample.kind,
+                latency: sample.latency,
+                phase: sample.phase_index,
+            };
+            if state.staged.len() < LineState::stage_capacity(threshold) {
+                state.staged.push(staged);
+            } else if sample.kind.is_write() {
+                if let Some(read) = state
+                    .staged
+                    .iter()
+                    .position(|held| held.kind == AccessKind::Read)
+                {
+                    state.staged.remove(read);
+                    state.staged.push(staged);
+                }
+            }
+            return;
+        }
+        let staged = std::mem::take(&mut state.staged);
         let Some(detail) = state.detail_if_hot(threshold, line_size) else {
             return;
         };
+        for held in &staged {
+            Self::record_detail(
+                detail,
+                &mut self.objects,
+                &mut self.object_order,
+                &mut self.unattributed_samples,
+                space,
+                line,
+                line_size,
+                held,
+            );
+        }
+        let current = StagedSample {
+            thread: sample.thread,
+            addr: sample.addr,
+            kind: sample.kind,
+            latency: sample.latency,
+            phase: sample.phase_index,
+        };
+        Self::record_detail(
+            detail,
+            &mut self.objects,
+            &mut self.object_order,
+            &mut self.unattributed_samples,
+            space,
+            line,
+            line_size,
+            &current,
+        );
+    }
+
+    /// Records one (possibly replayed) parallel-phase sample into the
+    /// line's detail state and its object's accumulator.
+    #[allow(clippy::too_many_arguments)]
+    fn record_detail(
+        detail: &mut crate::detect::line_state::LineDetail,
+        objects: &mut FastMap<ObjectKey, ObjectAccum>,
+        object_order: &mut Vec<ObjectKey>,
+        unattributed_samples: &mut u64,
+        space: &AddressSpace,
+        line: CacheLineId,
+        line_size: u64,
+        sample: &StagedSample,
+    ) {
         match sample.kind {
             AccessKind::Read => detail.reads += 1,
             AccessKind::Write => detail.writes += 1,
@@ -224,7 +331,7 @@ impl Detector {
         detail.words.record(
             word,
             sample.thread,
-            sample.phase_index,
+            sample.phase,
             sample.kind,
             sample.latency,
         );
@@ -245,18 +352,19 @@ impl Detector {
             Location::HeapObject(id) => ObjectKey::Heap(id),
             Location::Global(index) => ObjectKey::Global(index),
             Location::Unattributed(_) | Location::Unmonitored => {
-                self.unattributed_samples += 1;
+                *unattributed_samples += 1;
                 return;
             }
         };
-        if !self.objects.contains_key(&key) {
-            self.object_order.push(key);
+        if !objects.contains_key(&key) {
+            object_order.push(key);
         }
-        self.objects
+        objects
             .entry(key)
             .or_insert_with(|| ObjectAccum::new(key))
             .record(
                 sample.thread,
+                sample.phase,
                 sample.kind,
                 sample.latency,
                 invalidation,
@@ -485,12 +593,72 @@ mod tests {
         let accum = detector.objects().next().unwrap();
         let t1 = accum.thread(ThreadId(1)).unwrap();
         let t2 = accum.thread(ThreadId(2)).unwrap();
-        // Thread 1's first two writes warm the pre-filter (threshold 2);
-        // its third write trips it and is recorded.
-        assert_eq!(t1.accesses, 8);
+        // Thread 1's first two writes warm the pre-filter (threshold 2) and
+        // are staged; the third write trips detail and replays them, so no
+        // sampled traffic is lost.
+        assert_eq!(t1.accesses, 10);
         assert_eq!(t2.accesses, 5);
         assert_eq!(t2.cycles, 5 * 90);
         assert!(accum.thread(ThreadId(3)).is_none());
+    }
+
+    #[test]
+    fn per_thread_phase_breakdown_splits_by_phase() {
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        // Warm the pre-filter, then traffic from thread 1 in phases 1 and 3.
+        for phase in [1u32, 1, 1, 3, 3] {
+            let mut s = sample(1, base, AccessKind::Write, PhaseKind::Parallel);
+            s.phase_index = phase;
+            detector.ingest(&space, &s);
+            let mut s = sample(2, base.offset(4), AccessKind::Write, PhaseKind::Parallel);
+            s.phase_index = phase;
+            detector.ingest(&space, &s);
+        }
+        let accum = detector.objects().next().unwrap();
+        let whole = accum.thread(ThreadId(1)).unwrap();
+        let p1 = accum.thread_in_phase(ThreadId(1), 1).unwrap();
+        let p3 = accum.thread_in_phase(ThreadId(1), 3).unwrap();
+        assert_eq!(p1.accesses + p3.accesses, whole.accesses);
+        assert_eq!(p1.cycles + p3.cycles, whole.cycles);
+        assert_eq!(p1.accesses, 3, "staged warm-up samples are replayed");
+        assert_eq!(p3.accesses, 2);
+        assert!(accum.thread_in_phase(ThreadId(1), 2).is_none());
+        assert_eq!(accum.thread_phases().count(), 4);
+    }
+
+    #[test]
+    fn staged_writes_survive_a_read_filled_buffer() {
+        // A read-mostly line: enough sampled reads to fill the staging
+        // buffer before the writers show up. The threshold-tripping writes
+        // must evict staged reads, not be dropped, so both writers appear
+        // in the object's per-thread accounting.
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        for _ in 0..6 {
+            detector.ingest(
+                &space,
+                &sample(3, base.offset(8), AccessKind::Read, PhaseKind::Parallel),
+            );
+        }
+        for _ in 0..3 {
+            detector.ingest(
+                &space,
+                &sample(1, base, AccessKind::Write, PhaseKind::Parallel),
+            );
+            detector.ingest(
+                &space,
+                &sample(2, base.offset(4), AccessKind::Write, PhaseKind::Parallel),
+            );
+        }
+        let accum = detector.objects().next().unwrap();
+        assert_eq!(
+            accum.thread(ThreadId(1)).map(|t| t.accesses),
+            Some(3),
+            "every staged write must be replayed"
+        );
+        assert_eq!(accum.thread(ThreadId(2)).map(|t| t.accesses), Some(3));
+        assert!(accum.thread(ThreadId(3)).is_some(), "some reads survive");
     }
 
     #[test]

@@ -8,7 +8,29 @@
 
 use crate::detect::table::TwoEntryTable;
 use crate::detect::words::WordMap;
-use cheetah_sim::Cycles;
+use cheetah_sim::{AccessKind, Addr, Cycles, ThreadId};
+
+/// A parallel-phase sample held back by the write-count pre-filter.
+///
+/// Dropping the first samples of a line outright would leave the detail
+/// accounting short exactly the samples that made the line hot; since the
+/// threshold is tiny (the paper's "more than two writes"), staging them in
+/// a bounded buffer and replaying on activation keeps the per-line state
+/// constant-size while preserving every staged write (a full buffer
+/// evicts its oldest read before it would drop a write).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedSample {
+    /// Accessing thread.
+    pub thread: ThreadId,
+    /// Sampled address.
+    pub addr: Addr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Sampled latency.
+    pub latency: Cycles,
+    /// Parallel phase of the access.
+    pub phase: u32,
+}
 
 /// Detailed state for a susceptible line (allocated lazily).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,11 +69,28 @@ pub struct LineState {
     /// Total sampled writes (the pre-filter counter; counted in every
     /// phase).
     pub writes: u32,
+    /// Samples seen while the line was still cold, replayed into the
+    /// detail state on activation. Bounded by
+    /// [`LineState::stage_capacity`].
+    pub staged: Vec<StagedSample>,
     /// Detailed state, present once `writes` exceeds the threshold.
     pub detail: Option<Box<LineDetail>>,
 }
 
 impl LineState {
+    /// How many cold-line samples are staged for replay: the threshold's
+    /// worth of writes plus a couple of reads, capped so a misconfigured
+    /// threshold cannot grow per-line state.
+    pub fn stage_capacity(threshold: u32) -> usize {
+        (threshold as usize + 2).min(8)
+    }
+    /// Counts one sampled write into the pre-filter, saturating at
+    /// `u32::MAX`: on very long runs the counter must pin at "hot", not
+    /// wrap around and silently drop the line below the detail threshold.
+    pub fn record_write(&mut self) {
+        self.writes = self.writes.saturating_add(1);
+    }
+
     /// Whether detailed tracking has started.
     pub fn is_detailed(&self) -> bool {
         self.detail.is_some()
@@ -98,7 +137,32 @@ mod tests {
     fn default_state_is_cold() {
         let state = LineState::default();
         assert_eq!(state.writes, 0);
+        assert!(state.staged.is_empty());
         assert!(!state.is_detailed());
+    }
+
+    #[test]
+    fn stage_capacity_tracks_threshold_with_a_cap() {
+        assert_eq!(LineState::stage_capacity(2), 4);
+        assert_eq!(LineState::stage_capacity(0), 2);
+        assert_eq!(LineState::stage_capacity(1_000), 8);
+    }
+
+    #[test]
+    fn write_counter_saturates_instead_of_wrapping() {
+        let mut state = LineState {
+            writes: u32::MAX - 1,
+            ..LineState::default()
+        };
+        state.record_write();
+        assert_eq!(state.writes, u32::MAX);
+        // One more write must NOT wrap to 0 and reset the line to cold.
+        state.record_write();
+        assert_eq!(state.writes, u32::MAX);
+        assert!(
+            state.detail_if_hot(2, 64).is_some(),
+            "a saturated line stays above the detail threshold"
+        );
     }
 
     #[test]

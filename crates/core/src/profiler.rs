@@ -84,6 +84,7 @@ impl<'a> CheetahProfiler<'a> {
             threads: &self.threads,
             aver_cycles_nofs: aver_cycles_serial,
             app_runtime: self.end_time,
+            cycles_per_instruction: self.detector.config().cycles_per_instruction,
         };
         let mut assessed: Vec<AssessedInstance> = instances
             .into_iter()
@@ -153,8 +154,26 @@ impl ExecObserver for CheetahProfiler<'_> {
 
     fn on_access(&mut self, record: &AccessRecord) -> Cycles {
         let (sample, cost) = self.engine.observe(record);
-        if let Some(sample) = sample {
-            self.threads.record_sample(sample.thread, sample.latency);
+        if let Some(mut sample) = sample {
+            // Piggyback the thread's retired-instruction counter on sample
+            // delivery (a real handler reads it in the same trap): the
+            // assessment uses it to split runtime into compute and memory
+            // stalls. Reading it only on samples keeps the per-access hot
+            // path untouched and undercounts each phase by at most one
+            // sampling interval — noise next to the phase's total.
+            self.threads.record_progress(
+                record.thread,
+                self.phases.current_index(),
+                record.instrs_before + 1,
+            );
+            // Re-stamp the sample with the *reconstructed* phase index so
+            // every downstream consumer (thread registry, word maps,
+            // per-phase object slices) shares one numbering with the
+            // assessment's phase intervals. The simulator's own numbering
+            // can differ by one when a program opens with a parallel phase.
+            sample.phase_index = self.phases.current_index();
+            self.threads
+                .record_sample(sample.thread, sample.phase_index, sample.latency);
             self.detector.ingest(self.space, &sample);
         }
         cost

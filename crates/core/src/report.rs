@@ -222,6 +222,13 @@ mod tests {
                         cycles: 102_988,
                     },
                 )],
+                per_thread_phase: vec![(
+                    (ThreadId(1), 1),
+                    ThreadOnObject {
+                        accesses: 1263,
+                        cycles: 102_988,
+                    },
+                )],
                 truly_shared_accesses: 0,
                 words: vec![WordReport {
                     addr: Addr(0x4000_04b8),

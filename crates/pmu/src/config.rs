@@ -1,6 +1,30 @@
 //! Sampler configuration and overhead model.
 
 use cheetah_sim::Cycles;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from validating a [`SamplerConfig`].
+///
+/// Returned (rather than panicking) so that sweep harnesses iterating over
+/// many sampling configurations can skip a bad cell gracefully instead of
+/// aborting the whole experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The sampling period is zero — that would sample every instruction,
+    /// which is instrumentation, not sampling.
+    ZeroPeriod,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPeriod => f.write_str("sampling period must be nonzero"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// The paper's default sampling period: one sample per 64K instructions.
 pub const DEFAULT_PERIOD: u64 = 64 * 1024;
@@ -69,12 +93,14 @@ impl SamplerConfig {
 
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `period` is zero — a zero period would sample every
-    /// instruction, which is instrumentation, not sampling.
-    pub fn validate(&self) {
-        assert!(self.period > 0, "sampling period must be nonzero");
+    /// [`ConfigError::ZeroPeriod`] if `period` is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.period == 0 {
+            return Err(ConfigError::ZeroPeriod);
+        }
+        Ok(())
     }
 }
 
@@ -92,7 +118,7 @@ mod tests {
     fn paper_default_uses_64k_period() {
         let config = SamplerConfig::paper_default();
         assert_eq!(config.period, 65_536);
-        config.validate();
+        config.validate().unwrap();
     }
 
     #[test]
@@ -115,8 +141,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonzero")]
-    fn zero_period_rejected() {
-        SamplerConfig::with_period(0).validate();
+    fn zero_period_rejected_gracefully() {
+        let err = SamplerConfig::with_period(0).validate().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroPeriod);
+        assert!(err.to_string().contains("nonzero"));
     }
 }

@@ -7,7 +7,7 @@
 //! back to the profiled thread. Composite observers (Cheetah's profiler, the
 //! standalone [`crate::SimPmu`]) embed it and forward their callbacks.
 
-use crate::config::SamplerConfig;
+use crate::config::{ConfigError, SamplerConfig};
 use crate::sample::Sample;
 use cheetah_sim::util::FastMap;
 use cheetah_sim::{AccessRecord, Cycles, ThreadId};
@@ -45,17 +45,27 @@ impl SamplingEngine {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (zero period).
+    /// Panics if the configuration is invalid (zero period); use
+    /// [`SamplingEngine::try_new`] to handle that gracefully.
     pub fn new(config: SamplerConfig) -> Self {
-        config.validate();
-        SamplingEngine {
+        SamplingEngine::try_new(config).expect("invalid sampler config")
+    }
+
+    /// Creates an engine, rejecting invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if the configuration is invalid (zero period).
+    pub fn try_new(config: SamplerConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(SamplingEngine {
             config,
             threads: FastMap::default(),
             total_samples: 0,
             total_dropped: 0,
             total_trap_cycles: 0,
             total_setup_cycles: 0,
-        }
+        })
     }
 
     /// The engine's configuration.
@@ -190,6 +200,14 @@ mod tests {
             phase_index: 0,
             phase_kind: PhaseKind::Parallel,
         }
+    }
+
+    #[test]
+    fn zero_period_config_rejected() {
+        assert_eq!(
+            SamplingEngine::try_new(SamplerConfig::with_period(0)).unwrap_err(),
+            crate::config::ConfigError::ZeroPeriod
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod sim_pmu;
 #[cfg(feature = "linux-pmu")]
 pub mod perf;
 
-pub use config::{SamplerConfig, DEFAULT_PERIOD};
+pub use config::{ConfigError, SamplerConfig, DEFAULT_PERIOD};
 pub use engine::SamplingEngine;
 pub use sample::Sample;
 pub use sim_pmu::SimPmu;

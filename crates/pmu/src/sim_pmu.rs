@@ -1,6 +1,6 @@
 //! The standalone simulated PMU observer.
 
-use crate::config::SamplerConfig;
+use crate::config::{ConfigError, SamplerConfig};
 use crate::engine::SamplingEngine;
 use crate::sample::Sample;
 use cheetah_sim::{AccessRecord, Cycles, ExecObserver, ThreadId};
@@ -26,7 +26,7 @@ use cheetah_sim::{AccessRecord, Cycles, ExecObserver, ThreadId};
 ///     )])
 ///     .build();
 /// let mut samples: Vec<Sample> = Vec::new();
-/// let mut pmu = SimPmu::new(SamplerConfig::with_period(4096), |s| samples.push(s));
+/// let mut pmu = SimPmu::new(SamplerConfig::with_period(4096), |s| samples.push(s)).unwrap();
 /// machine.run(program, &mut pmu);
 /// assert!(!samples.is_empty());
 /// ```
@@ -38,14 +38,16 @@ pub struct SimPmu<F> {
 impl<F: FnMut(Sample)> SimPmu<F> {
     /// Creates a simulated PMU delivering samples to `sink`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` is invalid (zero period).
-    pub fn new(config: SamplerConfig, sink: F) -> Self {
-        SimPmu {
-            engine: SamplingEngine::new(config),
+    /// [`ConfigError`] if `config` is invalid (zero period), so a swept
+    /// experiment cell with a bad period fails gracefully instead of
+    /// aborting the whole harness.
+    pub fn new(config: SamplerConfig, sink: F) -> Result<Self, ConfigError> {
+        Ok(SimPmu {
+            engine: SamplingEngine::try_new(config)?,
             sink,
-        }
+        })
     }
 
     /// The embedded sampling engine (counters, configuration).
@@ -107,7 +109,7 @@ mod tests {
     fn collects_samples_from_all_threads() {
         let machine = Machine::new(MachineConfig::with_cores(4));
         let mut samples = Vec::new();
-        let mut pmu = SimPmu::new(SamplerConfig::with_period(1024), |s| samples.push(s));
+        let mut pmu = SimPmu::new(SamplerConfig::with_period(1024), |s| samples.push(s)).unwrap();
         machine.run(workload(), &mut pmu);
         assert!(pmu.engine().total_samples() > 10);
         let t1 = samples.iter().filter(|s| s.thread == ThreadId(1)).count();
@@ -119,7 +121,7 @@ mod tests {
     fn sampling_perturbs_runtime() {
         let machine = Machine::new(MachineConfig::with_cores(4));
         let clean = machine.run(workload(), &mut NullObserver);
-        let mut pmu = SimPmu::new(SamplerConfig::with_period(1024), |_| {});
+        let mut pmu = SimPmu::new(SamplerConfig::with_period(1024), |_| {}).unwrap();
         let profiled = machine.run(workload(), &mut pmu);
         assert!(profiled.total_cycles > clean.total_cycles);
         let overhead = profiled.total_cycles as f64 / clean.total_cycles as f64;
@@ -130,10 +132,18 @@ mod tests {
     }
 
     #[test]
+    fn zero_period_is_a_graceful_error() {
+        assert_eq!(
+            SimPmu::new(SamplerConfig::with_period(0), |_| {}).unwrap_err(),
+            ConfigError::ZeroPeriod
+        );
+    }
+
+    #[test]
     fn sparse_period_means_low_overhead() {
         let machine = Machine::new(MachineConfig::with_cores(4));
         let clean = machine.run(workload(), &mut NullObserver);
-        let mut pmu = SimPmu::new(SamplerConfig::paper_default(), |_| {});
+        let mut pmu = SimPmu::new(SamplerConfig::paper_default(), |_| {}).unwrap();
         let profiled = machine.run(workload(), &mut pmu);
         let overhead = profiled.total_cycles as f64 / clean.total_cycles as f64 - 1.0;
         assert!(

@@ -1,0 +1,374 @@
+//! Fixpoint repair: profile, fix the top-ranked instance, re-profile the
+//! repaired program, repeat.
+//!
+//! [`ValidationHarness::validate`] measures each synthesized fix against
+//! the *original* profile — one shot. A programmer using a false-sharing
+//! tool works differently (the LASER / Predator workflow): fix the worst
+//! instance, re-run the profiler on the patched binary, and keep going
+//! until the report comes back clean. [`converge`] automates that loop on
+//! the simulator:
+//!
+//! 1. profile the current build (original layout plus every fix applied so
+//!    far) with the Cheetah profiler;
+//! 2. collect the *significant* false-sharing instances — predicted
+//!    improvement at least [`ConvergeConfig::min_predicted_improvement`] —
+//!    and rank their synthesized plans ([`crate::plan::rank`]);
+//! 3. if none remain, the loop has converged; otherwise apply the
+//!    top-ranked plan, measure the repaired runtime, record the iteration,
+//!    and go back to 1 — unless [`ConvergeConfig::max_iterations`] is hit.
+//!
+//! The returned [`ConvergenceTrace`] carries one [`IterationRecord`] per
+//! applied fix: which instance was fixed, the predicted vs. measured
+//! improvement of that single step, and how many significant instances
+//! remained afterwards. Everything downstream of a deterministic workload
+//! builder is deterministic, so traces are bit-identical across runs — a
+//! property the test suite asserts.
+
+use crate::plan::{rank, synthesize, RepairPlan, RepairStrategy};
+use crate::rewrite::{apply_iterations, RepairError};
+use crate::validate::ValidationHarness;
+use cheetah_core::CheetahProfiler;
+use cheetah_sim::Cycles;
+use cheetah_workloads::WorkloadInstance;
+use std::fmt;
+
+/// Bounds and thresholds of the fixpoint loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergeConfig {
+    /// Hard cap on applied fixes; the loop stops unconverged beyond it.
+    pub max_iterations: u32,
+    /// An instance is *significant* — worth an iteration — only if its
+    /// predicted improvement reaches this factor. `1.0` fixes everything
+    /// the detector reports; the default skips noise-level instances.
+    pub min_predicted_improvement: f64,
+}
+
+impl Default for ConvergeConfig {
+    fn default() -> Self {
+        ConvergeConfig {
+            max_iterations: 8,
+            min_predicted_improvement: 1.005,
+        }
+    }
+}
+
+impl ConvergeConfig {
+    /// A config that repairs every reported false-sharing instance,
+    /// however small its predicted payoff (used for workloads — like
+    /// inter-object sharing — whose per-instance predictions are
+    /// structurally conservative).
+    pub fn exhaustive(max_iterations: u32) -> Self {
+        ConvergeConfig {
+            max_iterations,
+            min_predicted_improvement: 0.0,
+        }
+    }
+}
+
+/// One applied fix of the loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: u32,
+    /// Label of the fixed instance (callsite / symbol).
+    pub label: String,
+    /// Strategy of the applied plan.
+    pub strategy: RepairStrategy,
+    /// Cheetah's predicted improvement for fixing this instance, taken
+    /// from the profile of the build this iteration started from.
+    pub predicted: f64,
+    /// Measured improvement of this single step: runtime before this fix
+    /// over runtime after it (both unprofiled).
+    pub measured: f64,
+    /// Unprofiled runtime entering the iteration.
+    pub cycles_before: Cycles,
+    /// Unprofiled runtime after applying the fix.
+    pub cycles_after: Cycles,
+    /// Significant instances seen by the profile that chose this fix.
+    pub significant_before: usize,
+    /// Significant instances remaining in the *next* profile (0 on the
+    /// iteration that converged the loop).
+    pub significant_after: usize,
+}
+
+impl IterationRecord {
+    /// Relative prediction error `|predicted/measured - 1|` of this step.
+    pub fn relative_error(&self) -> f64 {
+        if self.measured == 0.0 {
+            return 0.0;
+        }
+        (self.predicted / self.measured - 1.0).abs()
+    }
+}
+
+/// The complete per-iteration trace of one [`converge`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceTrace {
+    /// Workload name.
+    pub workload: String,
+    /// Unprofiled runtime of the unrepaired build.
+    pub initial_cycles: Cycles,
+    /// Samples the initial profile collected (diagnostic).
+    pub initial_samples: u64,
+    /// Unprofiled runtime after every applied fix.
+    pub final_cycles: Cycles,
+    /// Applied fixes, in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Significant instances still present when the loop stopped.
+    pub residual_significant: usize,
+    /// Whether the loop stopped because no significant instance remained
+    /// (as opposed to hitting `max_iterations`).
+    pub converged: bool,
+}
+
+impl ConvergenceTrace {
+    /// Total measured improvement across all applied fixes.
+    pub fn total_improvement(&self) -> f64 {
+        if self.final_cycles == 0 {
+            return 1.0;
+        }
+        self.initial_cycles as f64 / self.final_cycles as f64
+    }
+
+    /// Worst single-step relative prediction error (0 with no iterations).
+    pub fn worst_error(&self) -> f64 {
+        self.iterations
+            .iter()
+            .map(|i| i.relative_error())
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the trace as a small table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} iteration(s), {:.2}x total, {} residual ({})",
+            self.workload,
+            self.iterations.len(),
+            self.total_improvement(),
+            self.residual_significant,
+            if self.converged {
+                "converged"
+            } else {
+                "bound hit"
+            }
+        );
+        for it in &self.iterations {
+            let _ = writeln!(
+                out,
+                "  #{} {} [{}] predicted {:.2}x measured {:.2}x ({} -> {} cycles, {} left)",
+                it.iteration,
+                it.label,
+                it.strategy,
+                it.predicted,
+                it.measured,
+                it.cycles_before,
+                it.cycles_after,
+                it.significant_after
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConvergenceTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Runs the fixpoint repair loop for one workload.
+///
+/// `build` must produce identically laid-out instances on every call (true
+/// for all registry workloads under a fixed
+/// [`cheetah_workloads::AppConfig`]); the loop calls it once per profile
+/// and once per measurement run.
+///
+/// # Errors
+///
+/// [`RepairError`] if a synthesized plan cannot be applied.
+pub fn converge<F>(
+    harness: &ValidationHarness,
+    workload: &str,
+    build: F,
+    config: &ConvergeConfig,
+) -> Result<ConvergenceTrace, RepairError>
+where
+    F: Fn() -> WorkloadInstance,
+{
+    let machine = harness.machine();
+    let line_size = machine.config().cache_line_size;
+
+    // Profiling runs are perturbation-free (see
+    // [`ValidationHarness::non_perturbing_config`]), so one run per
+    // iteration serves as both the profile the next fix is chosen from and
+    // the runtime measurement of the previous fix — predicted and measured
+    // improvements share one baseline.
+    let cheetah = harness.non_perturbing_config();
+
+    let profile_with = |plans: &[RepairPlan]| -> Result<_, RepairError> {
+        let (program, mut space) = build().into_parts();
+        let repaired = apply_iterations(program, plans, &mut space)?;
+        let mut profiler = CheetahProfiler::new(cheetah.clone(), &space);
+        machine.run(repaired, &mut profiler);
+        Ok(profiler.finish())
+    };
+
+    let mut plans: Vec<RepairPlan> = Vec::new();
+    let mut profile = profile_with(&plans)?;
+    let initial_cycles = profile.total_cycles;
+    let initial_samples = profile.total_samples;
+    let mut iterations: Vec<IterationRecord> = Vec::new();
+    let (residual_significant, converged) = loop {
+        // Significant instances, with synthesized plans, ranked best-first.
+        let significant: Vec<_> = profile
+            .significant_false_sharing(config.min_predicted_improvement)
+            .into_iter()
+            .collect();
+        let mut candidates: Vec<(RepairPlan, f64)> = significant
+            .iter()
+            .filter_map(|assessed| {
+                synthesize(&assessed.instance, line_size).map(|plan| (plan, assessed.improvement()))
+            })
+            .collect();
+        rank(&mut candidates);
+
+        if let Some(last) = iterations.last_mut() {
+            last.significant_after = significant.len();
+        }
+        if candidates.is_empty() {
+            // Converged if nothing significant remains; significant
+            // instances no plan can fix (pure word evidence missing) also
+            // end the loop, but count as residue.
+            break (significant.len(), significant.is_empty());
+        }
+        if iterations.len() as u32 >= config.max_iterations {
+            break (significant.len(), false);
+        }
+
+        let (plan, predicted) = candidates.swap_remove(0);
+        let label = plan.label.clone();
+        let strategy = plan.strategy;
+        let cycles_before = profile.total_cycles;
+        plans.push(plan);
+        let next = profile_with(&plans)?;
+        let cycles_after = next.total_cycles;
+        let measured = if cycles_after == 0 {
+            1.0
+        } else {
+            cycles_before as f64 / cycles_after as f64
+        };
+        iterations.push(IterationRecord {
+            iteration: iterations.len() as u32 + 1,
+            label,
+            strategy,
+            predicted,
+            measured,
+            cycles_before,
+            cycles_after,
+            significant_before: significant.len(),
+            significant_after: 0,
+        });
+        profile = next;
+    };
+
+    Ok(ConvergenceTrace {
+        workload: workload.to_string(),
+        initial_cycles,
+        initial_samples,
+        final_cycles: profile.total_cycles,
+        iterations,
+        residual_significant,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::CheetahConfig;
+    use cheetah_sim::{Machine, MachineConfig};
+    use cheetah_workloads::{find, AppConfig};
+
+    fn harness(cores: u32, period: u64) -> ValidationHarness {
+        ValidationHarness::calibrated(
+            Machine::new(MachineConfig::with_cores(cores)),
+            CheetahConfig::scaled(period),
+        )
+    }
+
+    #[test]
+    fn microbench_converges_in_one_iteration() {
+        let app = find("microbench").unwrap();
+        let config = AppConfig {
+            threads: 8,
+            scale: 0.05,
+            fixed: false,
+            seed: 1,
+        };
+        let trace = converge(
+            &harness(8, 256),
+            "microbench",
+            || app.build(&config),
+            &ConvergeConfig::default(),
+        )
+        .unwrap();
+        assert!(trace.converged, "{trace}");
+        assert_eq!(trace.iterations.len(), 1, "{trace}");
+        assert_eq!(trace.residual_significant, 0);
+        assert_eq!(trace.iterations[0].significant_after, 0);
+        assert!(trace.total_improvement() > 2.0, "{trace}");
+        assert!(trace.worst_error() < 0.20, "{trace}");
+        assert!(trace.render().contains("converged"));
+    }
+
+    #[test]
+    fn clean_app_converges_immediately() {
+        let app = find("blackscholes").unwrap();
+        let config = AppConfig {
+            threads: 8,
+            scale: 0.1,
+            fixed: false,
+            seed: 1,
+        };
+        let trace = converge(
+            &harness(48, 512),
+            "blackscholes",
+            || app.build(&config),
+            &ConvergeConfig::default(),
+        )
+        .unwrap();
+        assert!(trace.converged);
+        assert!(trace.iterations.is_empty());
+        assert_eq!(trace.initial_cycles, trace.final_cycles);
+        assert!((trace.total_improvement() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_iterations_bounds_the_loop() {
+        let app = find("linear_regression").unwrap();
+        let config = AppConfig {
+            threads: 8,
+            scale: 0.25,
+            fixed: false,
+            seed: 1,
+        };
+        // Zero iterations allowed: the loop must stop unconverged with the
+        // instance still outstanding.
+        let trace = converge(
+            &harness(48, 128),
+            "linear_regression",
+            || app.build(&config),
+            &ConvergeConfig {
+                max_iterations: 0,
+                min_predicted_improvement: 1.005,
+            },
+        )
+        .unwrap();
+        assert!(!trace.converged);
+        assert!(trace.iterations.is_empty());
+        assert!(trace.residual_significant >= 1);
+    }
+}

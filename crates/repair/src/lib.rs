@@ -21,6 +21,11 @@
 //!    and repaired builds on the same deterministic machine and emits a
 //!    per-instance *predicted vs. actual* table (the paper's Table 2
 //!    shape) through [`cheetah_core::format_prediction_table`].
+//! 4. **Convergence** ([`converge`]): the fixpoint loop a programmer would
+//!    run by hand — profile, apply the top-ranked fix, re-profile the
+//!    repaired program, repeat until no significant instance remains (or a
+//!    bound is hit) — returning a per-iteration trace of predicted vs.
+//!    measured improvement and residual instances.
 //!
 //! ## Example: validating the Fig. 1 microbenchmark
 //!
@@ -48,10 +53,12 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod converge;
 pub mod plan;
 pub mod rewrite;
 pub mod validate;
 
-pub use plan::{synthesize, RepairPlan, RepairStrategy, ThreadCluster};
-pub use rewrite::{apply, repair_program, RepairError};
+pub use converge::{converge, ConvergeConfig, ConvergenceTrace, IterationRecord};
+pub use plan::{rank, synthesize, RepairPlan, RepairStrategy, ThreadCluster};
+pub use rewrite::{apply, apply_iterations, repair_program, RepairError};
 pub use validate::{InstanceValidation, ValidationHarness, ValidationOutcome};

@@ -125,6 +125,18 @@ impl fmt::Display for RepairPlan {
     }
 }
 
+/// Ranks repair candidates best-first: predicted improvement descending,
+/// with deterministic tie-breaks (object start address, then label) so
+/// iterative repair fixes instances in a reproducible order even when the
+/// assessment predicts identical payoffs.
+pub fn rank(candidates: &mut [(RepairPlan, f64)]) {
+    candidates.sort_by(|(a, pa), (b, pb)| {
+        pb.total_cmp(pa)
+            .then_with(|| a.object_start.cmp(&b.object_start))
+            .then_with(|| a.label.cmp(&b.label))
+    });
+}
+
 /// Whether the clusters' spans are pairwise disjoint (so each can be
 /// relocated as one contiguous range).
 pub(crate) fn spans_disjoint(clusters: &[ThreadCluster]) -> bool {
@@ -274,6 +286,7 @@ mod tests {
             invalidations: 50,
             latency: 10_000,
             per_thread: vec![],
+            per_thread_phase: vec![],
             truly_shared_accesses: 0,
             words,
         }
@@ -349,6 +362,28 @@ mod tests {
             .flat_map(|c| c.word_offsets.iter().copied())
             .collect();
         assert!(!all_offsets.contains(&8), "shared word must stay in place");
+    }
+
+    #[test]
+    fn rank_orders_by_improvement_with_deterministic_ties() {
+        let plan = |start: u64, label: &str| RepairPlan {
+            key: ObjectKey::Heap(ObjectId(0)),
+            label: label.into(),
+            strategy: RepairStrategy::PadToLine,
+            object_start: Addr(start),
+            object_size: 64,
+            line_size: 64,
+            clusters: vec![],
+            pinned_word_offsets: vec![],
+        };
+        let mut candidates = vec![
+            (plan(0x300, "c"), 1.0),
+            (plan(0x100, "a"), 4.0),
+            (plan(0x200, "b"), 1.0),
+        ];
+        rank(&mut candidates);
+        let labels: Vec<&str> = candidates.iter().map(|(p, _)| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["a", "b", "c"], "ties break by start address");
     }
 
     #[test]

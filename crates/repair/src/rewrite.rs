@@ -160,6 +160,32 @@ pub fn repair_program(
     Ok((program.with_layout(Arc::clone(&shared)), shared))
 }
 
+/// Applies plans from *successive repair iterations* to one space,
+/// rewriting `program` through each resulting map in order.
+///
+/// Unlike [`repair_program`] — which merges the plans of one profile into a
+/// single disjoint map — this composes the maps: plan `k` was synthesized
+/// from a profile of the program *after* plans `1..k` were applied, so its
+/// source addresses refer to the already-rewritten layout (possibly even to
+/// storage an earlier fix allocated). Because workload builds and heap
+/// allocation are deterministic, replaying the plans in synthesis order
+/// against a fresh space reproduces the exact addresses each plan saw.
+///
+/// # Errors
+///
+/// [`RepairError`] if any plan fails to apply.
+pub fn apply_iterations(
+    mut program: Program,
+    plans: &[RepairPlan],
+    space: &mut AddressSpace,
+) -> Result<Program, RepairError> {
+    for plan in plans {
+        let map = apply(plan, space)?;
+        program = program.with_layout(map.shared());
+    }
+    Ok(program)
+}
+
 fn relocate_whole(plan: &RepairPlan, space: &mut AddressSpace) -> Result<Addr, RepairError> {
     match plan.key {
         ObjectKey::Heap(id) => {

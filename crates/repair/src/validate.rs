@@ -114,21 +114,41 @@ impl ValidationHarness {
         ValidationHarness { machine, config }
     }
 
-    /// Creates a harness whose `AverCycles_nofs` fallback is calibrated to
-    /// the machine: programs without a serial phase give Cheetah no
-    /// serial-phase samples, so the assessment falls back to "a default
-    /// value learned from experience" (§3.1 of the paper). On this
-    /// simulator the experience is exact — after a fix, a hot thread's
-    /// accesses hit its private cache — so the fallback is set to the
-    /// machine's private-cache hit latency.
+    /// Creates a harness whose machine constants are calibrated: programs
+    /// without a serial phase give Cheetah no serial-phase samples, so the
+    /// assessment falls back to "a default value learned from experience"
+    /// (§3.1 of the paper). On this simulator the experience is exact —
+    /// after a fix, a hot thread's accesses hit its private cache — so the
+    /// fallback is set to the machine's private-cache hit latency, and the
+    /// compute/stall split uses the machine's true cycles-per-instruction.
     pub fn calibrated(machine: Machine, mut config: CheetahConfig) -> Self {
         config.detector.default_serial_latency = machine.config().latency.l1_hit as f64;
+        config.detector.cycles_per_instruction =
+            machine.config().latency.cycles_per_instruction as f64;
         ValidationHarness { machine, config }
     }
 
     /// The machine programs run on.
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// The profiler configuration runs use.
+    pub fn cheetah_config(&self) -> &CheetahConfig {
+        &self.config
+    }
+
+    /// The harness configuration with sampling perturbation zeroed (no
+    /// trap or setup cost). Prediction runs use this so their baseline is
+    /// the same runtime measured improvements are taken against: at the
+    /// paper's native 64K period the distinction is a few percent, but at
+    /// the dense periods scaled-down experiments need, trap costs would
+    /// de-synchronise the very contention being measured.
+    pub fn non_perturbing_config(&self) -> CheetahConfig {
+        let mut config = self.config.clone();
+        config.sampler.trap_cost = 0;
+        config.sampler.setup_cost = 0;
+        config
     }
 
     /// Profiles the workload, synthesizes a fix per reported false-sharing
@@ -155,9 +175,11 @@ impl ValidationHarness {
             .run(instance.program, &mut NullObserver)
             .total_cycles;
 
-        // Profiled run: detection + per-instance predictions.
+        // Profiled run: detection + per-instance predictions, with the
+        // perturbation-free config so prediction and measurement share a
+        // baseline (see [`ValidationHarness::non_perturbing_config`]).
         let instance = build();
-        let mut profiler = CheetahProfiler::new(self.config.clone(), &instance.space);
+        let mut profiler = CheetahProfiler::new(self.non_perturbing_config(), &instance.space);
         self.machine.run(instance.program, &mut profiler);
         let profile = profiler.finish();
 

@@ -1,0 +1,133 @@
+//! Properties of the fixpoint repair loop:
+//!
+//! (a) `converge` terminates within its iteration bound for arbitrary
+//!     workload configurations;
+//! (b) it is deterministic — bit-identical iteration traces across runs;
+//! (c) the inter-object workload (two small objects per cache line)
+//!     reaches zero residual instances through the pad-to-line path.
+
+use cheetah_core::CheetahConfig;
+use cheetah_repair::{converge, ConvergeConfig, RepairStrategy, ValidationHarness};
+use cheetah_sim::{Machine, MachineConfig};
+use cheetah_workloads::{find, AppConfig};
+use proptest::prelude::*;
+
+fn harness(cores: u32, period: u64) -> ValidationHarness {
+    ValidationHarness::calibrated(
+        Machine::new(MachineConfig::with_cores(cores)),
+        CheetahConfig::scaled(period),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// (a) + (b): the loop terminates within the bound and the trace is
+    /// bit-identical across runs, for arbitrary thread counts, scales and
+    /// iteration bounds on the inter-object workload (the one that takes
+    /// several iterations to converge).
+    #[test]
+    fn converge_is_bounded_and_deterministic(
+        threads in 2u32..9,
+        scale_milli in 40u64..120,
+        max_iterations in 1u32..6,
+    ) {
+        let app = find("inter_object").unwrap();
+        let config = AppConfig {
+            threads,
+            scale: scale_milli as f64 / 1000.0,
+            fixed: false,
+            seed: 1,
+        };
+        let cfg = ConvergeConfig {
+            max_iterations,
+            min_predicted_improvement: 0.0,
+        };
+        let run = || {
+            converge(
+                &harness(16, 64),
+                "inter_object",
+                || app.build(&config),
+                &cfg,
+            )
+            .expect("plans apply")
+        };
+        let first = run();
+        prop_assert!(first.iterations.len() as u32 <= max_iterations);
+        // Stopping because the bound was hit must be reported as such.
+        prop_assert!(first.converged || first.iterations.len() as u32 == max_iterations
+            || first.residual_significant > 0);
+        let second = run();
+        prop_assert_eq!(first, second, "traces must be bit-identical");
+    }
+}
+
+/// (c): the ROADMAP's inter-object case end to end — every fix the loop
+/// applies is a pad-to-line relocation, and the loop reaches zero residual
+/// significant instances within the bound.
+#[test]
+fn inter_object_pads_to_zero_residual() {
+    let app = find("inter_object").unwrap();
+    let config = AppConfig {
+        threads: 8,
+        scale: 0.1,
+        fixed: false,
+        seed: 1,
+    };
+    let trace = converge(
+        &harness(16, 64),
+        "inter_object",
+        || app.build(&config),
+        &ConvergeConfig::exhaustive(16),
+    )
+    .expect("plans apply");
+    assert!(trace.converged, "{trace}");
+    assert_eq!(trace.residual_significant, 0);
+    assert!(
+        !trace.iterations.is_empty(),
+        "the broken build must need repair"
+    );
+    for it in &trace.iterations {
+        assert_eq!(
+            it.strategy,
+            RepairStrategy::PadToLine,
+            "single-owner objects must take the pad path: {trace}"
+        );
+        assert!(it.label.starts_with("inter_object.c:"), "{}", it.label);
+    }
+    assert_eq!(trace.iterations.last().unwrap().significant_after, 0);
+    assert!(
+        trace.total_improvement() > 2.0,
+        "padding away the shared lines must pay off: {trace}"
+    );
+}
+
+/// Iteration records chain: each step's `cycles_after` is the next step's
+/// `cycles_before`, and the ends match the trace's totals.
+#[test]
+fn iteration_records_chain() {
+    let app = find("inter_object").unwrap();
+    let config = AppConfig {
+        threads: 4,
+        scale: 0.08,
+        fixed: false,
+        seed: 1,
+    };
+    let trace = converge(
+        &harness(16, 64),
+        "inter_object",
+        || app.build(&config),
+        &ConvergeConfig::exhaustive(8),
+    )
+    .unwrap();
+    assert!(!trace.iterations.is_empty());
+    assert_eq!(trace.iterations[0].cycles_before, trace.initial_cycles);
+    for pair in trace.iterations.windows(2) {
+        assert_eq!(pair[0].cycles_after, pair[1].cycles_before);
+        assert_eq!(pair[0].iteration + 1, pair[1].iteration);
+    }
+    assert_eq!(
+        trace.iterations.last().unwrap().cycles_after,
+        trace.final_cycles
+    );
+}

@@ -22,4 +22,4 @@ pub mod phase;
 pub mod threads;
 
 pub use phase::{PhaseInterval, PhaseTracker};
-pub use threads::{ThreadRegistry, ThreadStats};
+pub use threads::{PhaseSamples, ThreadRegistry, ThreadStats};

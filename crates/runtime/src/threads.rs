@@ -10,6 +10,26 @@
 use cheetah_sim::util::FastMap;
 use cheetah_sim::{Cycles, ThreadId};
 
+/// Sampled-access totals of one thread within one phase interval.
+///
+/// The assessment equations (§3.2) work phase by phase: `Cycles_t` must be
+/// the cycles the thread's samples accumulated *within that phase*, not
+/// over its whole life — a thread spanning two parallel phases would
+/// otherwise have its whole-run cycles double-counted against each phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSamples {
+    /// Phase index (the tracker's reconstructed numbering).
+    pub phase: u32,
+    /// Sampled accesses within the phase.
+    pub accesses: u64,
+    /// Total latency of those samples.
+    pub cycles: Cycles,
+    /// Highest retired-instruction count observed during the phase (the
+    /// thread's PMU instruction counter, read whenever a sample for the
+    /// thread is delivered).
+    pub instructions: u64,
+}
+
 /// Statistics for one tracked thread.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadStats {
@@ -27,6 +47,11 @@ pub struct ThreadStats {
     pub sampled_accesses: u64,
     /// Total latency (cycles) of those sampled accesses.
     pub sampled_cycles: Cycles,
+    /// Retired instructions over the thread's whole life (the per-thread
+    /// hardware instruction counter, read for free at thread exit).
+    pub instructions: u64,
+    /// Per-phase breakdown of the sampled totals, in first-sample order.
+    pub phase_samples: Vec<PhaseSamples>,
 }
 
 impl ThreadStats {
@@ -44,6 +69,47 @@ impl ThreadStats {
             Some(self.sampled_cycles as f64 / self.sampled_accesses as f64)
         }
     }
+
+    /// Sampled totals within one phase (zeros if the thread had no samples
+    /// there).
+    pub fn in_phase(&self, phase: u32) -> PhaseSamples {
+        self.phase_samples
+            .iter()
+            .find(|p| p.phase == phase)
+            .copied()
+            .unwrap_or(PhaseSamples {
+                phase,
+                accesses: 0,
+                cycles: 0,
+                instructions: 0,
+            })
+    }
+
+    /// Retired instructions within one phase: the counter's highest
+    /// reading up to that phase minus its highest value in any earlier
+    /// *recorded* phase. A phase with no recorded reading at all folds its
+    /// instructions into the thread's next recorded phase; with
+    /// sample-delivery recording that can only happen for a thread active
+    /// in several parallel phases yet sampled in none of the earlier ones
+    /// (the fork-join tracker places each worker in exactly one parallel
+    /// interval, so the profiler pipeline never produces that shape).
+    pub fn instructions_in_phase(&self, phase: u32) -> u64 {
+        let at_end = self
+            .phase_samples
+            .iter()
+            .filter(|p| p.phase <= phase)
+            .map(|p| p.instructions)
+            .max()
+            .unwrap_or(0);
+        let before = self
+            .phase_samples
+            .iter()
+            .filter(|p| p.phase < phase)
+            .map(|p| p.instructions)
+            .max()
+            .unwrap_or(0);
+        at_end - before
+    }
 }
 
 /// Registry of every thread seen during a profile.
@@ -54,11 +120,13 @@ impl ThreadStats {
 ///
 /// let mut registry = ThreadRegistry::new();
 /// registry.on_start(ThreadId(1), "worker", 100, 1);
-/// registry.record_sample(ThreadId(1), 150);
+/// registry.record_sample(ThreadId(1), 1, 150);
 /// registry.on_exit(ThreadId(1), 5_100);
 /// let stats = registry.get(ThreadId(1)).unwrap();
 /// assert_eq!(stats.runtime(), Some(5_000));
 /// assert_eq!(stats.sampled_cycles, 150);
+/// assert_eq!(stats.in_phase(1).cycles, 150);
+/// assert_eq!(stats.in_phase(2).cycles, 0);
 /// ```
 #[derive(Debug, Default)]
 pub struct ThreadRegistry {
@@ -88,6 +156,8 @@ impl ThreadRegistry {
                 creation_phase,
                 sampled_accesses: 0,
                 sampled_cycles: 0,
+                instructions: 0,
+                phase_samples: Vec::new(),
             },
         );
     }
@@ -100,11 +170,43 @@ impl ThreadRegistry {
         }
     }
 
-    /// Attributes one sampled access of `latency` cycles to `id`.
-    pub fn record_sample(&mut self, id: ThreadId, latency: Cycles) {
+    /// Attributes one sampled access of `latency` cycles to `id`, taken
+    /// while `phase` was the open phase interval.
+    pub fn record_sample(&mut self, id: ThreadId, phase: u32, latency: Cycles) {
         if let Some(stats) = self.by_id.get_mut(&id) {
             stats.sampled_accesses += 1;
             stats.sampled_cycles += latency;
+            match stats.phase_samples.iter_mut().find(|p| p.phase == phase) {
+                Some(entry) => {
+                    entry.accesses += 1;
+                    entry.cycles += latency;
+                }
+                None => stats.phase_samples.push(PhaseSamples {
+                    phase,
+                    accesses: 1,
+                    cycles: latency,
+                    instructions: 0,
+                }),
+            }
+        }
+    }
+
+    /// Records the thread's retired-instruction counter reading `retired`,
+    /// observed while `phase` was open. Monotonic (keeps the maximum); the
+    /// assessment uses the per-phase readings to split each thread's
+    /// runtime into compute and memory-stall time.
+    pub fn record_progress(&mut self, id: ThreadId, phase: u32, retired: u64) {
+        if let Some(stats) = self.by_id.get_mut(&id) {
+            stats.instructions = stats.instructions.max(retired);
+            match stats.phase_samples.iter_mut().find(|p| p.phase == phase) {
+                Some(entry) => entry.instructions = entry.instructions.max(retired),
+                None => stats.phase_samples.push(PhaseSamples {
+                    phase,
+                    accesses: 0,
+                    cycles: 0,
+                    instructions: retired,
+                }),
+            }
         }
     }
 
@@ -143,8 +245,8 @@ mod tests {
         let mut registry = ThreadRegistry::new();
         registry.on_start(ThreadId(0), "main", 0, 0);
         registry.on_start(ThreadId(1), "w0", 100, 1);
-        registry.record_sample(ThreadId(1), 150);
-        registry.record_sample(ThreadId(1), 4);
+        registry.record_sample(ThreadId(1), 1, 150);
+        registry.record_sample(ThreadId(1), 1, 4);
         registry.on_exit(ThreadId(1), 1_100);
         let w0 = registry.get(ThreadId(1)).unwrap();
         assert_eq!(w0.runtime(), Some(1_000));
@@ -157,10 +259,29 @@ mod tests {
     #[test]
     fn unknown_ids_ignored() {
         let mut registry = ThreadRegistry::new();
-        registry.record_sample(ThreadId(7), 10);
+        registry.record_sample(ThreadId(7), 1, 10);
         registry.on_exit(ThreadId(7), 10);
         assert!(registry.get(ThreadId(7)).is_none());
         assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn progress_tracks_per_phase_instruction_deltas() {
+        let mut registry = ThreadRegistry::new();
+        registry.on_start(ThreadId(1), "w", 0, 1);
+        registry.record_progress(ThreadId(1), 1, 500);
+        registry.record_progress(ThreadId(1), 1, 400); // stale, ignored
+        registry.record_progress(ThreadId(1), 3, 900);
+        let stats = registry.get(ThreadId(1)).unwrap();
+        assert_eq!(stats.instructions, 900);
+        assert_eq!(stats.instructions_in_phase(1), 500);
+        assert_eq!(stats.instructions_in_phase(3), 400);
+        assert_eq!(stats.instructions_in_phase(2), 0);
+        // Samples and progress share the per-phase slots.
+        registry.record_sample(ThreadId(1), 3, 150);
+        let stats = registry.get(ThreadId(1)).unwrap();
+        assert_eq!(stats.in_phase(3).accesses, 1);
+        assert_eq!(stats.in_phase(3).instructions, 900);
     }
 
     #[test]

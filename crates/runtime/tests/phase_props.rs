@@ -38,21 +38,36 @@ proptest! {
     }
 
     #[test]
-    fn registry_aggregates_are_sums(samples in proptest::collection::vec((0u32..5, 1u64..500), 0..200)) {
+    fn registry_aggregates_are_sums(samples in proptest::collection::vec((0u32..5, 1u32..4, 1u64..500), 0..200)) {
         let mut registry = ThreadRegistry::new();
         for t in 0..5u32 {
             registry.on_start(ThreadId(t), "w", 0, 1);
         }
         let mut expected = [(0u64, 0u64); 5];
-        for (t, latency) in samples {
-            registry.record_sample(ThreadId(t), latency);
+        let mut expected_by_phase = std::collections::BTreeMap::<(u32, u32), (u64, u64)>::new();
+        for (t, phase, latency) in samples {
+            registry.record_sample(ThreadId(t), phase, latency);
             expected[t as usize].0 += 1;
             expected[t as usize].1 += latency;
+            let slot = expected_by_phase.entry((t, phase)).or_default();
+            slot.0 += 1;
+            slot.1 += latency;
         }
         for t in 0..5u32 {
             let stats = registry.get(ThreadId(t)).unwrap();
             prop_assert_eq!(stats.sampled_accesses, expected[t as usize].0);
             prop_assert_eq!(stats.sampled_cycles, expected[t as usize].1);
+            // Per-phase slices partition the totals.
+            let phase_total: u64 = stats.phase_samples.iter().map(|p| p.cycles).sum();
+            prop_assert_eq!(phase_total, stats.sampled_cycles);
+            for (phase, (accesses, cycles)) in expected_by_phase
+                .iter()
+                .filter(|((tt, _), _)| *tt == t)
+                .map(|((_, p), v)| (*p, *v))
+            {
+                prop_assert_eq!(stats.in_phase(phase).accesses, accesses);
+                prop_assert_eq!(stats.in_phase(phase).cycles, cycles);
+            }
         }
     }
 }

@@ -1,0 +1,173 @@
+//! Inter-object false sharing: two small heap objects on one cache line.
+//!
+//! Every other workload here shares lines *within* one object (an array of
+//! per-thread structs, a block-carved scratch buffer). This one reproduces
+//! the other classic shape: separately allocated objects so small that the
+//! allocator packs two of them into a single 64-byte line. Each worker
+//! thread owns one object outright — all of an object's words have exactly
+//! one accessing thread — yet neighbouring owners still invalidate each
+//! other through the shared line.
+//!
+//! ```c
+//! typedef struct { long hits; long misses; long pad_to_24[1]; } counter_t;
+//! counter_t *counters[NTHREADS];           // counters[t] = malloc(24)
+//! void worker(int t) {                      // hot loop, own counter only
+//!     for (i = 0; i < N; i++) { counters[t]->hits++; ... }
+//! }
+//! ```
+//!
+//! Because each detected instance has a single thread cluster, the repair
+//! planner must take the [`PadToLine`] path — relocating the object to
+//! exclusive, padded lines — which no intra-object workload exercises. The
+//! `fixed` build models the manual fix of padding the struct to a full
+//! line (allocations land in the 64-byte size class, one per line).
+//!
+//! Note a structural property the validation suite leans on: Cheetah's
+//! per-object assessment (§3.2) only credits threads that touch *the
+//! object being fixed*, so fixing one half of a shared line is predicted
+//! to gain ~nothing even though it frees the neighbour too. The iterative
+//! repair loop still drives the workload to zero residual instances — via
+//! [`ConvergeConfig::exhaustive`]-style thresholds — making this the
+//! stress case for fixpoint repair rather than for prediction accuracy.
+//!
+//! [`PadToLine`]: https://docs.rs/cheetah-repair (RepairStrategy::PadToLine)
+//! [`ConvergeConfig::exhaustive`]: https://docs.rs/cheetah-repair
+
+use crate::apps::alloc_main;
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use crate::patterns::{OpTemplate, Segment, SegmentsStream};
+use cheetah_heap::AddressSpace;
+use cheetah_sim::{ProgramBuilder, ThreadSpec};
+
+/// Unpadded counter struct size; the 32-byte size class packs two per
+/// 64-byte line.
+const STRUCT_BYTES: u64 = 24;
+/// The padded (fixed) struct occupies the 64-byte class: one per line.
+const FIXED_STRUCT_BYTES: u64 = 64;
+/// Updates per worker, before scaling.
+const BASE_UPDATES: u64 = 30_000;
+
+/// Builds the inter-object workload: one tiny counter object per thread.
+pub fn build(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let size = if config.fixed {
+        FIXED_STRUCT_BYTES
+    } else {
+        STRUCT_BYTES
+    };
+    let updates = config.iters(BASE_UPDATES);
+
+    // One allocation per worker, as if each came from its own malloc call
+    // in the source (distinct lines of inter_object.c).
+    let counters: Vec<_> = (0..config.threads)
+        .map(|t| alloc_main(&mut space, size, "inter_object.c", 20 + t))
+        .collect();
+
+    // Serial phase: zero every counter a few times — gives the profiler
+    // serial-phase samples for its AverCycles_serial baseline, like the
+    // input-reading phases of the bigger apps.
+    let init = SegmentsStream::new(
+        counters
+            .iter()
+            .map(|&c| {
+                Segment::new(
+                    vec![
+                        OpTemplate::write_fixed(c),
+                        OpTemplate::write_fixed(c.offset(8)),
+                        OpTemplate::Work(6),
+                    ],
+                    64,
+                )
+            })
+            .collect(),
+    );
+
+    let workers = counters
+        .iter()
+        .enumerate()
+        .map(|(t, &counter)| {
+            ThreadSpec::new(
+                format!("worker-{t}"),
+                SegmentsStream::new(vec![Segment::new(
+                    vec![
+                        // counters[t]->hits++ : read-modify-write word 0,
+                        // then the misses field at offset 8.
+                        OpTemplate::read_fixed(counter),
+                        OpTemplate::write_fixed(counter),
+                        OpTemplate::write_fixed(counter.offset(8)),
+                        OpTemplate::Work(10),
+                    ],
+                    updates,
+                )]),
+            )
+        })
+        .collect();
+
+    let program = ProgramBuilder::new("inter_object")
+        .serial(ThreadSpec::new("init", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::{Machine, MachineConfig, NullObserver};
+
+    fn run(threads: u32, fixed: bool) -> u64 {
+        let config = AppConfig {
+            threads,
+            scale: 0.1,
+            fixed,
+            seed: 1,
+        };
+        let machine = Machine::new(MachineConfig::with_cores(16));
+        let instance = build(&config);
+        machine
+            .run(instance.program, &mut NullObserver)
+            .total_cycles
+    }
+
+    #[test]
+    fn neighbouring_objects_share_lines_when_broken() {
+        let instance = build(&AppConfig::with_threads(4).scaled(0.01));
+        let objects = instance.space.heap().objects();
+        assert_eq!(objects.len(), 4);
+        assert_eq!(
+            objects[0].start.line(64),
+            objects[1].start.line(64),
+            "unpadded neighbours must pack into one line"
+        );
+        assert_ne!(objects[1].start.line(64), objects[2].start.line(64));
+    }
+
+    #[test]
+    fn padded_objects_get_private_lines() {
+        let instance = build(&AppConfig::with_threads(4).scaled(0.01).fixed());
+        let objects = instance.space.heap().objects();
+        for pair in objects.windows(2) {
+            assert_ne!(pair[0].start.line(64), pair[1].start.line(64));
+        }
+    }
+
+    #[test]
+    fn padding_fix_gives_real_speedup() {
+        let broken = run(8, false);
+        let fixed = run(8, true);
+        assert!(
+            broken as f64 > 1.5 * fixed as f64,
+            "broken={broken} fixed={fixed}"
+        );
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let config = AppConfig::with_threads(4).scaled(0.02);
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let a = machine.run(build(&config).program, &mut NullObserver);
+        let b = machine.run(build(&config).program, &mut NullObserver);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+}

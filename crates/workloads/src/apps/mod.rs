@@ -7,6 +7,7 @@
 //! the sharing behaviour the paper reports and the `fixed` builds apply
 //! the paper's padding fixes.
 
+pub mod interobject;
 pub mod linear_regression;
 pub mod microbench;
 pub mod parsec;

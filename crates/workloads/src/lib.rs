@@ -32,8 +32,10 @@ pub mod config;
 pub mod instance;
 pub mod patterns;
 pub mod registry;
+pub mod sweep;
 
 pub use config::AppConfig;
 pub use instance::WorkloadInstance;
 pub use patterns::{OpTemplate, RandomStream, Segment, SegmentsStream};
 pub use registry::{evaluated_apps, find, repair_targets, App, Expectation, APPS};
+pub use sweep::{table2_matrix, SweepCell, SWEEP_THREAD_COUNTS};

@@ -189,6 +189,12 @@ pub const APPS: &[App] = &[
         expectation: Expectation::SignificantFalseSharing,
         builder: apps::microbench::build,
     },
+    App {
+        name: "inter_object",
+        suite: "micro",
+        expectation: Expectation::SignificantFalseSharing,
+        builder: apps::interobject::build,
+    },
 ];
 
 /// The 17 applications of the paper's Fig. 4 (excludes the
@@ -219,7 +225,7 @@ mod tests {
     #[test]
     fn seventeen_evaluated_apps() {
         assert_eq!(evaluated_apps().count(), 17);
-        assert_eq!(APPS.len(), 18); // + microbench
+        assert_eq!(APPS.len(), 19); // + microbench, inter_object
     }
 
     #[test]
@@ -248,7 +254,12 @@ mod tests {
         let names: Vec<&str> = repair_targets().map(|a| a.name()).collect();
         assert_eq!(
             names,
-            vec!["linear_regression", "streamcluster", "microbench"]
+            vec![
+                "linear_regression",
+                "streamcluster",
+                "microbench",
+                "inter_object"
+            ]
         );
     }
 

@@ -1,0 +1,108 @@
+//! The Table-2 validation matrix: which (workload, threads, period) cells
+//! the prediction-validation sweep covers, with per-workload tuning.
+//!
+//! The paper's Table 2 validates predictions at one configuration per
+//! workload; the ROADMAP's scaled-up experiment sweeps thread counts and
+//! sampling periods. This module is the single source of truth for that
+//! matrix so the bench binary, the integration tests and CI all agree on
+//! the cells (and so adding a workload or a period extends everything at
+//! once).
+
+use crate::config::AppConfig;
+use crate::registry::{find, App};
+
+/// Thread counts every matrix workload is swept over (Table 1's axis).
+pub const SWEEP_THREAD_COUNTS: [u32; 4] = [2, 4, 8, 16];
+
+/// One cell of the validation matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCell {
+    /// The workload.
+    pub app: &'static App,
+    /// Worker threads per parallel phase.
+    pub threads: u32,
+    /// Sampling period (instructions between samples, before overhead
+    /// scaling).
+    pub period: u64,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Simulated cores.
+    pub cores: u32,
+}
+
+impl SweepCell {
+    /// The workload configuration of this cell (broken build, fixed seed).
+    pub fn app_config(&self) -> AppConfig {
+        AppConfig {
+            threads: self.threads,
+            scale: self.scale,
+            fixed: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Per-workload sweep tuning: scale and the sampling periods to cover.
+///
+/// Scales keep each run large enough to sample meaningfully at every
+/// swept thread count. The two periods per workload bracket the density
+/// the original single-cell experiment used, avoiding periods that alias
+/// with the workload's loop body (an IBS-jittered interval is only
+/// randomized within `period/8`, so a near-resonant period samples reads
+/// and writes unevenly and skews the latency estimate the assessment
+/// scales by).
+const TUNING: [(&str, f64, [u64; 2], u32); 3] = [
+    ("linear_regression", 0.25, [128, 192], 48),
+    ("streamcluster", 0.5, [32, 64], 48),
+    ("microbench", 0.05, [256, 320], 48),
+];
+
+/// The full validation matrix: every tuned workload × every thread count ×
+/// every period, workloads in registry order.
+pub fn table2_matrix() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for (name, scale, periods, cores) in TUNING {
+        let app = find(name).expect("matrix workload is registered");
+        for threads in SWEEP_THREAD_COUNTS {
+            for period in periods {
+                cells.push(SweepCell {
+                    app,
+                    threads,
+                    period,
+                    scale,
+                    cores,
+                });
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_three_workloads_by_four_thread_counts() {
+        let cells = table2_matrix();
+        assert_eq!(cells.len(), 3 * 4 * 2);
+        for &threads in &SWEEP_THREAD_COUNTS {
+            assert!(cells.iter().filter(|c| c.threads == threads).count() >= 3);
+        }
+        let mut names: Vec<&str> = cells.iter().map(|c| c.app.name()).collect();
+        names.dedup();
+        assert_eq!(
+            names,
+            vec!["linear_regression", "streamcluster", "microbench"]
+        );
+    }
+
+    #[test]
+    fn cells_build_valid_configs() {
+        for cell in table2_matrix() {
+            cell.app_config().validate();
+            assert!(cell.period > 0);
+            assert!(cell.cores >= cell.threads);
+        }
+    }
+}

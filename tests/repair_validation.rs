@@ -6,9 +6,11 @@
 //! reduced experiment scales).
 
 use cheetah::core::CheetahConfig;
-use cheetah::repair::{RepairStrategy, ValidationHarness, ValidationOutcome};
+use cheetah::repair::{
+    converge, ConvergeConfig, RepairStrategy, ValidationHarness, ValidationOutcome,
+};
 use cheetah::sim::{Machine, MachineConfig, NullObserver};
-use cheetah::workloads::{find, repair_targets, AppConfig};
+use cheetah::workloads::{find, repair_targets, table2_matrix, AppConfig};
 
 fn validate(name: &str, threads: u32, scale: f64, period: u64, cores: u32) -> ValidationOutcome {
     let app = find(name).expect("registered app");
@@ -127,6 +129,66 @@ fn repair_is_a_no_op_for_clean_apps() {
         );
         assert_eq!(outcome.all_repaired_cycles, outcome.broken_cycles);
         assert!((outcome.combined_actual() - 1.0).abs() < 1e-12);
+    }
+}
+
+/// A slice of the Table-2 matrix (the extreme thread counts at one period
+/// per workload): every cell must converge to zero residual with its
+/// per-step prediction error under 20%. The full matrix runs in
+/// `table2_prediction` and is gated in CI by `bench_compare`.
+#[test]
+fn matrix_extremes_converge_with_bounded_error() {
+    let picked = [
+        ("linear_regression", 128),
+        ("streamcluster", 64),
+        ("microbench", 256),
+    ];
+    let cells: Vec<_> = table2_matrix()
+        .into_iter()
+        .filter(|c| {
+            (c.threads == 2 || c.threads == 16) && picked.contains(&(c.app.name(), c.period))
+        })
+        .collect();
+    assert_eq!(
+        cells.len(),
+        picked.len() * 2,
+        "picked (workload, period) pairs must exist in the sweep matrix"
+    );
+    for cell in cells {
+        let config = cell.app_config();
+        let harness = ValidationHarness::calibrated(
+            Machine::new(MachineConfig::with_cores(cell.cores)),
+            CheetahConfig::scaled(cell.period),
+        );
+        let trace = converge(
+            &harness,
+            cell.app.name(),
+            || cell.app.build(&config),
+            &ConvergeConfig::default(),
+        )
+        .expect("synthesized repairs apply");
+        assert!(
+            trace.converged && trace.residual_significant == 0,
+            "{} t{} p{} must reach fixpoint: {trace}",
+            cell.app.name(),
+            cell.threads,
+            cell.period
+        );
+        assert!(
+            !trace.iterations.is_empty(),
+            "{} t{} p{}: the broken build must need at least one fix",
+            cell.app.name(),
+            cell.threads,
+            cell.period
+        );
+        assert!(
+            trace.worst_error() < 0.20,
+            "{} t{} p{}: worst step error {:.1}% — {trace}",
+            cell.app.name(),
+            cell.threads,
+            cell.period,
+            trace.worst_error() * 100.0
+        );
     }
 }
 
