@@ -1,0 +1,268 @@
+//! Simulator throughput: single- vs. multi-shard wall-clock on the
+//! Table-2 matrix rows.
+//!
+//! For every `(workload, threads)` row of the validation matrix this
+//! harness times the core simulation pipeline of one matrix cell — a
+//! native run and a profiled run of both the broken and the repaired
+//! build — at several shard counts, and verifies on the way that every
+//! shard count produces the bit-identical [`cheetah_sim::RunReport`]
+//! (determinism is a hard failure here, not a statistic).
+//!
+//! Emits a human table on stdout and machine-readable records to
+//! `BENCH_sim.json` (current directory). With `--check`, exits nonzero if
+//! any thread-count row is slower sharded (shards >= 2) than
+//! single-threaded beyond the tolerance — the CI regression gate for the
+//! sharded execution path.
+//!
+//! Usage: `sim_throughput [--shards 1,2,4] [--reps N] [--tolerance 0.10]
+//! [--check]`
+
+use cheetah_core::{CheetahConfig, CheetahProfiler};
+use cheetah_sim::{Machine, MachineConfig, NullObserver, RunReport};
+use cheetah_workloads::{table2_matrix, SweepCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One timed pipeline execution; returns the profiled broken-build report
+/// (the determinism witness) and the wall-clock nanoseconds.
+fn run_cell(cell: &SweepCell, shards: u32) -> (RunReport, u128) {
+    let machine = Machine::new(MachineConfig::with_cores(cell.cores).with_shards(shards));
+    let cheetah = CheetahConfig::scaled(cell.period);
+    let broken = cell.app_config();
+    let fixed = cheetah_workloads::AppConfig {
+        fixed: true,
+        ..broken
+    };
+    let start = Instant::now();
+    let mut witness = None;
+    for (config, profiled) in [
+        (&broken, false),
+        (&broken, true),
+        (&fixed, false),
+        (&fixed, true),
+    ] {
+        let instance = cell.app.build(config);
+        let report = if profiled {
+            let mut profiler = CheetahProfiler::new(cheetah.clone(), &instance.space);
+            machine.run(instance.program, &mut profiler)
+        } else {
+            machine.run(instance.program, &mut NullObserver)
+        };
+        if profiled && !config.fixed {
+            witness = Some(report);
+        }
+    }
+    let wall = start.elapsed().as_nanos();
+    (witness.expect("broken profiled run executed"), wall)
+}
+
+struct Record {
+    workload: &'static str,
+    threads: u32,
+    period: u64,
+    shards: u32,
+    wall_ns: u128,
+    speedup: f64,
+}
+
+fn parse_args() -> (Vec<u32>, u32, f64, bool) {
+    let mut shards = vec![1u32, 2, 4];
+    let mut reps = 3u32;
+    let mut tolerance = 0.10f64;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let list = args.next().expect("--shards needs a list");
+                shards = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("shard count"))
+                    .collect();
+            }
+            "--reps" => reps = args.next().expect("--reps needs N").parse().expect("reps"),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("tolerance")
+            }
+            "--check" => check = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(
+        shards.contains(&1),
+        "--shards must include 1 (the baseline)"
+    );
+    (shards, reps, tolerance, check)
+}
+
+fn main() {
+    let (shard_counts, reps, tolerance, check) = parse_args();
+
+    // One row per (workload, threads): the matrix's first period for the
+    // workload (the second period only re-samples the same simulation).
+    let mut cells: Vec<SweepCell> = Vec::new();
+    for cell in table2_matrix() {
+        if !cells
+            .iter()
+            .any(|c: &SweepCell| c.app.name() == cell.app.name() && c.threads == cell.threads)
+        {
+            cells.push(cell);
+        }
+    }
+
+    let mut records: Vec<Record> = Vec::new();
+    for cell in &cells {
+        // Best-of-reps, rep-major: interleaving shard counts within each
+        // rep keeps slow drift (thermal, noisy neighbours) from biasing
+        // one shard count's measurements against another's.
+        let mut best: Vec<u128> = vec![u128::MAX; shard_counts.len()];
+        let mut baseline_report: Option<RunReport> = None;
+        for _ in 0..reps {
+            for (i, &shards) in shard_counts.iter().enumerate() {
+                let (report, wall) = run_cell(cell, shards);
+                best[i] = best[i].min(wall);
+                match &baseline_report {
+                    None => baseline_report = Some(report),
+                    Some(baseline) => assert_eq!(
+                        baseline,
+                        &report,
+                        "{} threads={} shards={}: sharded report diverged from 1-shard run",
+                        cell.app.name(),
+                        cell.threads,
+                        shards
+                    ),
+                }
+            }
+        }
+        let baseline_wall = best[0];
+        for (i, &shards) in shard_counts.iter().enumerate() {
+            records.push(Record {
+                workload: cell.app.name(),
+                threads: cell.threads,
+                period: cell.period,
+                shards,
+                wall_ns: best[i],
+                speedup: baseline_wall as f64 / best[i] as f64,
+            });
+        }
+    }
+
+    println!("Simulator throughput: matrix-cell pipeline wall-clock by shard count\n");
+    println!(
+        "{}",
+        cheetah_bench::row(&[
+            "workload".into(),
+            "threads".into(),
+            "shards".into(),
+            "wall_ms".into(),
+            "speedup".into(),
+        ])
+    );
+    for r in &records {
+        println!(
+            "{}",
+            cheetah_bench::row(&[
+                r.workload.into(),
+                r.threads.to_string(),
+                r.shards.to_string(),
+                format!("{:.1}", r.wall_ns as f64 / 1e6),
+                format!("{:.2}x", r.speedup),
+            ])
+        );
+    }
+
+    // Aggregate rows by thread count: the matrix-row view of the gate.
+    let mut rows: BTreeMap<(u32, u32), u128> = BTreeMap::new();
+    for r in &records {
+        *rows.entry((r.threads, r.shards)).or_insert(0) += r.wall_ns;
+    }
+    println!("\nPer-row aggregate (all workloads at a thread count):\n");
+    println!(
+        "{}",
+        cheetah_bench::row(&[
+            "threads".into(),
+            "shards".into(),
+            "wall_ms".into(),
+            "speedup".into(),
+        ])
+    );
+    let mut row_records: Vec<(u32, u32, u128, f64)> = Vec::new();
+    let mut regressions: Vec<String> = Vec::new();
+    for (&(threads, shards), &wall) in &rows {
+        let base = rows[&(threads, 1)];
+        let speedup = base as f64 / wall as f64;
+        row_records.push((threads, shards, wall, speedup));
+        println!(
+            "{}",
+            cheetah_bench::row(&[
+                threads.to_string(),
+                shards.to_string(),
+                format!("{:.1}", wall as f64 / 1e6),
+                format!("{:.2}x", speedup),
+            ])
+        );
+        if shards >= 2 && (wall as f64) > base as f64 * (1.0 + tolerance) {
+            regressions.push(format!(
+                "row threads={threads} shards={shards}: {:.1}ms vs {:.1}ms single-threaded \
+                 ({speedup:.2}x, slower beyond {tolerance:.0}% tolerance)",
+                wall as f64 / 1e6,
+                base as f64 / 1e6,
+                tolerance = tolerance * 100.0
+            ));
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"sim\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    json.push_str("  \"results\": [\n");
+    let cell_records: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"threads\": {}, \"period\": {}, \
+                 \"shards\": {}, \"wall_ns\": {}, \"speedup\": {:.4}, \"identical\": true}}",
+                r.workload, r.threads, r.period, r.shards, r.wall_ns, r.speedup
+            )
+        })
+        .collect();
+    json.push_str(&cell_records.join(",\n"));
+    json.push_str("\n  ],\n  \"rows\": [\n");
+    let row_json: Vec<String> = row_records
+        .iter()
+        .map(|(threads, shards, wall, speedup)| {
+            format!(
+                "    {{\"threads\": {threads}, \"shards\": {shards}, \
+                 \"wall_ns\": {wall}, \"speedup\": {speedup:.4}}}"
+            )
+        })
+        .collect();
+    json.push_str(&row_json.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    let path = "BENCH_sim.json";
+    let mut file = std::fs::File::create(path).expect("create BENCH_sim.json");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {path}");
+
+    if !regressions.is_empty() {
+        eprintln!("\nsharded execution slower than single-threaded:");
+        for regression in &regressions {
+            eprintln!("  {regression}");
+        }
+        if check {
+            std::process::exit(1);
+        }
+    } else if check {
+        println!("check passed: no sharded row slower than single-threaded");
+    }
+}

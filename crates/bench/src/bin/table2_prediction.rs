@@ -4,7 +4,7 @@
 //! per workload; this harness sweeps every cell of
 //! [`cheetah_workloads::table2_matrix`] (workload × thread count ×
 //! sampling period) and, in each cell, runs the full fixpoint repair loop
-//! ([`cheetah_repair::converge`]): profile, apply the top-ranked
+//! ([`cheetah_repair::converge()`]): profile, apply the top-ranked
 //! synthesized fix, re-profile, repeat to convergence. Each cell records
 //! the loop's first fix (predicted vs. measured improvement of that step),
 //! how many iterations convergence took, and the detector's runtime
@@ -28,9 +28,9 @@ struct Row {
     detector_overhead: f64,
 }
 
-fn measure(cell: SweepCell) -> Row {
+fn measure(cell: SweepCell, shards: u32) -> Row {
     let config = cell.app_config();
-    let machine = Machine::new(MachineConfig::with_cores(cell.cores));
+    let machine = Machine::new(MachineConfig::with_cores(cell.cores).with_shards(shards));
     let cheetah = CheetahConfig::scaled(cell.period);
 
     // Detector overhead: profiled (with real trap/setup costs) vs. native
@@ -62,7 +62,28 @@ fn measure(cell: SweepCell) -> Row {
 }
 
 fn main() {
-    let rows: Vec<Row> = table2_matrix().into_iter().map(measure).collect();
+    // `--shards N`: host threads for sharded simulator execution (see
+    // `MachineConfig::shards`; 0 = auto, 1 = classic loop). Results are
+    // bit-identical for every value — only wall-clock changes — so the
+    // default exercises the sharded path.
+    let mut shards = 4u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("shard count");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let rows: Vec<Row> = table2_matrix()
+        .into_iter()
+        .map(|cell| measure(cell, shards))
+        .collect();
 
     println!("Table 2 matrix: fixpoint repair, predicted vs. measured per cell\n");
     println!(

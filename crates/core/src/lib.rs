@@ -13,7 +13,7 @@
 //!   disjoint per-thread word sets are *false* sharing; overlapping word
 //!   sets are *true* sharing. Detailed state is only recorded in parallel
 //!   phases so initialisation writes cannot masquerade as sharing.
-//! * **Assessment** ([`assess`]): the first approach to predict the payoff
+//! * **Assessment** ([`assess()`]): the first approach to predict the payoff
 //!   of fixing an instance without fixing it (Eq. 1–4): replace the
 //!   object's sampled latencies with the serial-phase average, scale each
 //!   thread's runtime by its predicted cycle ratio, and re-time the

@@ -17,7 +17,7 @@ use crate::report::AssessedInstance;
 use cheetah_heap::AddressSpace;
 use cheetah_pmu::SamplingEngine;
 use cheetah_runtime::{PhaseInterval, PhaseTracker, ThreadRegistry, ThreadStats};
-use cheetah_sim::{AccessRecord, Cycles, ExecObserver, ThreadId};
+use cheetah_sim::{AccessRecord, Cycles, ExecObserver, SamplerFork, ThreadId};
 
 /// The Cheetah profiler, attached to one program run.
 ///
@@ -177,6 +177,17 @@ impl ExecObserver for CheetahProfiler<'_> {
             self.detector.ingest(self.space, &sample);
         }
         cost
+    }
+
+    // Everything this observer does per access — sampling countdown,
+    // progress reads, sample delivery to the detector — happens only when a
+    // tag fires, and the tag sequence is a pure per-thread function of
+    // retired-instruction indices. Handing out the engine's replica lets
+    // sharded runs skip the callback for the (vast) unsampled majority
+    // while the detector still sees the identical sample stream in merged
+    // order.
+    fn fork_sampler(&mut self, thread: ThreadId) -> SamplerFork {
+        SamplerFork::Replica(Box::new(self.engine.fork_thread(thread)))
     }
 }
 
@@ -433,6 +444,29 @@ mod tests {
         );
         // Serial samples were still useful for the latency baseline.
         assert!(profile.aver_cycles_serial > 0.0);
+    }
+
+    #[test]
+    fn sharded_execution_profiles_identically() {
+        // The profiler's replica path: under sharding only sampled accesses
+        // reach on_access, yet the profile — samples, detector state,
+        // assessed instances, timings — must be bit-identical.
+        let profile_at = |shards: u32| {
+            let (space, program) = fs_setup(60_000);
+            let machine = Machine::new(MachineConfig::with_cores(8).with_shards(shards));
+            let mut profiler = CheetahProfiler::new(CheetahConfig::with_period(512), &space);
+            let report = machine.run(program, &mut profiler);
+            (report, profiler.finish())
+        };
+        let (report1, profile1) = profile_at(1);
+        let (report4, profile4) = profile_at(4);
+        assert_eq!(report1, report4);
+        assert_eq!(profile1.total_cycles, profile4.total_cycles);
+        assert_eq!(profile1.total_samples, profile4.total_samples);
+        assert_eq!(profile1.filtered_samples, profile4.filtered_samples);
+        assert_eq!(profile1.phases, profile4.phases);
+        assert_eq!(profile1.threads, profile4.threads);
+        assert_eq!(profile1.render_report(), profile4.render_report());
     }
 
     #[test]

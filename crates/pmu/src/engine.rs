@@ -10,7 +10,7 @@
 use crate::config::{ConfigError, SamplerConfig};
 use crate::sample::Sample;
 use cheetah_sim::util::FastMap;
-use cheetah_sim::{AccessRecord, Cycles, ThreadId};
+use cheetah_sim::{AccessRecord, Cycles, SampleJudgement, ThreadId, ThreadSampler};
 
 #[derive(Debug)]
 struct ThreadSampling {
@@ -75,20 +75,53 @@ impl SamplingEngine {
 
     /// Registers a thread and returns the PMU setup cost to charge to it.
     pub fn begin_thread(&mut self, thread: ThreadId) -> Cycles {
-        // Seed deterministically per thread; splitmix-style scramble.
-        let mut seed = (u64::from(thread.0) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        seed ^= seed >> 30;
-        seed = seed.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        seed |= 1;
         let mut state = ThreadSampling {
             next_at: 0,
-            rng: seed,
+            rng: Self::thread_seed(thread),
             samples: 0,
         };
         state.next_at = Self::interval(&self.config, &mut state.rng);
         self.threads.insert(thread, state);
         self.total_setup_cycles += self.config.setup_cost;
         self.config.setup_cost
+    }
+
+    /// The deterministic per-thread jitter seed (splitmix-style scramble),
+    /// shared by [`SamplingEngine::begin_thread`] and
+    /// [`SamplingEngine::fork_thread`] so a replica reproduces the engine's
+    /// tag sequence exactly.
+    fn thread_seed(thread: ThreadId) -> u64 {
+        let mut seed = (u64::from(thread.0) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        seed ^= seed >> 30;
+        seed = seed.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        seed | 1
+    }
+
+    /// Forks a deterministic per-thread replica of this engine's sampling
+    /// decision, for [`cheetah_sim::ExecObserver::fork_sampler`].
+    ///
+    /// The replica continues from the thread's *current* sampling state —
+    /// fresh for a thread forked right after [`begin_thread`], mid-stream
+    /// for the main thread re-forked at a later phase — and then
+    /// reproduces, access by access, exactly the tags, samples and
+    /// perturbation the engine computes: the contract sharded execution
+    /// relies on. A thread never registered is replicated as never
+    /// sampled, mirroring [`SamplingEngine::observe`].
+    ///
+    /// [`begin_thread`]: SamplingEngine::begin_thread
+    pub fn fork_thread(&self, thread: ThreadId) -> SamplerReplica {
+        match self.threads.get(&thread) {
+            Some(state) => SamplerReplica {
+                config: self.config.clone(),
+                next_at: state.next_at,
+                rng: state.rng,
+            },
+            None => SamplerReplica {
+                config: self.config.clone(),
+                next_at: u64::MAX,
+                rng: 0,
+            },
+        }
     }
 
     fn interval(config: &SamplerConfig, rng: &mut u64) -> u64 {
@@ -179,6 +212,49 @@ impl SamplingEngine {
     /// Total cycles of perturbation charged through per-thread setup.
     pub fn total_setup_cycles(&self) -> Cycles {
         self.total_setup_cycles
+    }
+}
+
+/// A standalone replica of one thread's sampling countdown, handed to the
+/// simulator's sharded executor (see [`SamplingEngine::fork_thread`]).
+///
+/// Implements [`cheetah_sim::ThreadSampler`]: judged access by access in
+/// program order, it marks exactly the accesses the engine samples and
+/// charges exactly the perturbation the engine's `observe` would return at
+/// each access — tags landing on compute instructions are charged at the
+/// first following access, as IBS delivers them.
+#[derive(Debug, Clone)]
+pub struct SamplerReplica {
+    config: SamplerConfig,
+    next_at: u64,
+    rng: u64,
+}
+
+impl ThreadSampler for SamplerReplica {
+    fn next_tag(&self) -> u64 {
+        // Accesses strictly below the pending tag are untouched: `judge`
+        // would neither charge nor sample them.
+        self.next_at
+    }
+
+    fn judge(&mut self, instrs_before: u64) -> SampleJudgement {
+        let index = instrs_before;
+        let mut perturbation: Cycles = 0;
+        while self.next_at < index {
+            perturbation += self.config.trap_cost;
+            let step = SamplingEngine::interval(&self.config, &mut self.rng);
+            self.next_at += step;
+        }
+        let sampled = self.next_at == index;
+        if sampled {
+            let step = SamplingEngine::interval(&self.config, &mut self.rng);
+            self.next_at += step;
+            perturbation += self.config.trap_cost;
+        }
+        SampleJudgement {
+            perturbation,
+            sampled,
+        }
     }
 }
 
@@ -356,6 +432,29 @@ mod tests {
         assert_eq!(sample.kind, record.kind);
         assert_eq!(sample.latency, record.latency);
         assert_eq!(sample.phase_kind, PhaseKind::Parallel);
+    }
+
+    #[test]
+    fn replica_reproduces_engine_decisions() {
+        // The sharded-execution contract: judging every access in order
+        // marks exactly the accesses the engine samples and charges
+        // exactly the perturbation `observe` returns at each access —
+        // including dropped tags caught up across compute gaps.
+        let mut config = SamplerConfig::with_period(333);
+        config.jitter_div = 4;
+        let mut engine = SamplingEngine::new(config);
+        engine.begin_thread(ThreadId(3));
+        let mut replica = engine.fork_thread(ThreadId(3));
+        let mut index = 0u64;
+        for step in 0..50_000u64 {
+            // Irregular instruction gaps (compute bursts) between accesses.
+            index += 1 + (step * 7) % 23;
+            let (sample, cost) = engine.observe(&record(ThreadId(3), index));
+            let judgement = replica.judge(index);
+            assert_eq!(judgement.sampled, sample.is_some(), "at index {index}");
+            assert_eq!(judgement.perturbation, cost, "at index {index}");
+        }
+        assert!(engine.total_samples() > 100);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   sampling intervals, per-sample trap cost and per-thread counter-setup
 //!   cost (both charged back into simulated time so that Fig. 4's overhead
 //!   experiment is reproducible).
-//! * [`perf::PerfSampler`] *(feature `linux-pmu`)* — real
+//! * `perf::PerfSampler` *(feature `linux-pmu`)* — real
 //!   `perf_event_open(2)` glue that delivers the same [`Sample`] records
 //!   from native hardware, for running the detector outside the simulator.
 //!
@@ -34,6 +34,6 @@ pub mod sim_pmu;
 pub mod perf;
 
 pub use config::{ConfigError, SamplerConfig, DEFAULT_PERIOD};
-pub use engine::SamplingEngine;
+pub use engine::{SamplerReplica, SamplingEngine};
 pub use sample::Sample;
 pub use sim_pmu::SimPmu;

@@ -3,7 +3,7 @@
 use crate::config::{ConfigError, SamplerConfig};
 use crate::engine::SamplingEngine;
 use crate::sample::Sample;
-use cheetah_sim::{AccessRecord, Cycles, ExecObserver, ThreadId};
+use cheetah_sim::{AccessRecord, Cycles, ExecObserver, SamplerFork, ThreadId};
 
 /// An [`ExecObserver`] that samples memory accesses like AMD IBS / Intel
 /// PEBS and forwards each [`Sample`] to a callback.
@@ -75,6 +75,10 @@ impl<F: FnMut(Sample)> ExecObserver for SimPmu<F> {
             (self.sink)(sample);
         }
         cost
+    }
+
+    fn fork_sampler(&mut self, thread: ThreadId) -> SamplerFork {
+        SamplerFork::Replica(Box::new(self.engine.fork_thread(thread)))
     }
 }
 

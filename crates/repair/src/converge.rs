@@ -186,6 +186,31 @@ impl fmt::Display for ConvergenceTrace {
 /// [`cheetah_workloads::AppConfig`]); the loop calls it once per profile
 /// and once per measurement run.
 ///
+/// ```
+/// use cheetah_core::CheetahConfig;
+/// use cheetah_repair::{converge, ConvergeConfig, ValidationHarness};
+/// use cheetah_sim::{Machine, MachineConfig};
+/// use cheetah_workloads::{find, AppConfig};
+///
+/// let app = find("microbench").unwrap();
+/// let config = AppConfig::with_threads(4).scaled(0.03);
+/// // `with_shards(4)`: sharded deterministic execution — the trace is
+/// // bit-identical to a `shards = 1` run, only faster.
+/// let harness = ValidationHarness::calibrated(
+///     Machine::new(MachineConfig::with_cores(8).with_shards(4)),
+///     CheetahConfig::scaled(256),
+/// );
+/// let trace = converge(
+///     &harness,
+///     "microbench",
+///     || app.build(&config),
+///     &ConvergeConfig::default(),
+/// )?;
+/// assert!(trace.converged);
+/// assert!(trace.total_improvement() > 1.5, "padding the array pays off");
+/// # Ok::<(), cheetah_repair::RepairError>(())
+/// ```
+///
 /// # Errors
 ///
 /// [`RepairError`] if a synthesized plan cannot be applied.

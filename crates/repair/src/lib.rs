@@ -21,7 +21,7 @@
 //!    and repaired builds on the same deterministic machine and emits a
 //!    per-instance *predicted vs. actual* table (the paper's Table 2
 //!    shape) through [`cheetah_core::format_prediction_table`].
-//! 4. **Convergence** ([`converge`]): the fixpoint loop a programmer would
+//! 4. **Convergence** ([`converge()`]): the fixpoint loop a programmer would
 //!    run by hand — profile, apply the top-ranked fix, re-profile the
 //!    repaired program, repeat until no significant instance remains (or a
 //!    bound is hit) — returning a per-iteration trace of predicted vs.
@@ -49,7 +49,7 @@
 //!
 //! [`SharingInstance`]: cheetah_core::SharingInstance
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 

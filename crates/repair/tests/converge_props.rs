@@ -131,3 +131,38 @@ fn iteration_records_chain() {
         trace.final_cycles
     );
 }
+
+/// Sharded simulator execution must not change convergence at all: the
+/// full profile → fix → re-profile loop produces a bit-identical trace
+/// whether the machine interleaves threads classically (`shards = 1`) or
+/// merges sharded event streams (`shards = 4`).
+#[test]
+fn converge_identical_under_sharded_execution() {
+    let app = find("linear_regression").unwrap();
+    let config = AppConfig {
+        threads: 4,
+        scale: 0.05,
+        fixed: false,
+        seed: 1,
+    };
+    let trace_at = |shards: u32| {
+        let harness = ValidationHarness::calibrated(
+            Machine::new(MachineConfig::with_cores(16).with_shards(shards)),
+            CheetahConfig::scaled(96),
+        );
+        converge(
+            &harness,
+            "linear_regression",
+            || app.build(&config),
+            &ConvergeConfig::default(),
+        )
+        .expect("plans apply")
+    };
+    let classic = trace_at(1);
+    let sharded = trace_at(4);
+    assert_eq!(classic.iterations, sharded.iterations);
+    assert_eq!(classic.initial_cycles, sharded.initial_cycles);
+    assert_eq!(classic.final_cycles, sharded.final_cycles);
+    assert_eq!(classic.initial_samples, sharded.initial_samples);
+    assert_eq!(classic.converged, sharded.converged);
+}

@@ -81,13 +81,179 @@ impl SharerSet {
 /// MESI state of a tracked line. `Invalid` is represented by absence from the
 /// directory map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LineState {
+pub(crate) enum LineState {
     /// Exactly one core holds a clean, exclusive copy.
     Exclusive(CoreId),
     /// Exactly one core holds a dirty copy.
     Modified(CoreId),
     /// One or more cores hold clean shared copies.
     Shared(SharerSet),
+}
+
+/// Result of applying one access to a line's MESI state, independent of
+/// time: the next state, how the access was satisfied, how many remote
+/// copies were invalidated, and whether the line becomes LLC-resident.
+///
+/// This is the *pure* core of the coherence protocol. [`Directory::access`]
+/// layers the busy-window queueing and prefetch substitution on top; the
+/// sharded executor replays the same function against worker-local state
+/// for lines it has proven private to one core (see [`crate::shard`]), so
+/// both execution paths share one source of protocol truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Transition {
+    pub(crate) state: LineState,
+    pub(crate) outcome: AccessOutcome,
+    pub(crate) invalidated: u64,
+    pub(crate) llc_insert: bool,
+}
+
+/// Applies one access to a line's MESI state.
+///
+/// `prev` is the line's current state (`None` = Invalid / never cached) and
+/// `in_llc` whether the shared LLC holds the line — consulted only when
+/// `prev` is `None`, to distinguish a cold miss from an LLC refill.
+pub(crate) fn transition(
+    prev: Option<LineState>,
+    in_llc: bool,
+    core: CoreId,
+    kind: AccessKind,
+) -> Transition {
+    match kind {
+        AccessKind::Read => match prev {
+            Some(LineState::Modified(owner)) => {
+                if owner == core {
+                    Transition {
+                        state: LineState::Modified(owner),
+                        outcome: AccessOutcome::L1Hit,
+                        invalidated: 0,
+                        llc_insert: false,
+                    }
+                } else {
+                    // Dirty cache-to-cache transfer; owner downgrades to
+                    // Shared and the dirty data reaches the LLC.
+                    let mut sharers = SharerSet::singleton(owner);
+                    sharers.insert(core);
+                    Transition {
+                        state: LineState::Shared(sharers),
+                        outcome: AccessOutcome::RemoteDirty,
+                        invalidated: 0,
+                        llc_insert: true,
+                    }
+                }
+            }
+            Some(LineState::Exclusive(owner)) => {
+                if owner == core {
+                    Transition {
+                        state: LineState::Exclusive(owner),
+                        outcome: AccessOutcome::L1Hit,
+                        invalidated: 0,
+                        llc_insert: false,
+                    }
+                } else {
+                    let mut sharers = SharerSet::singleton(owner);
+                    sharers.insert(core);
+                    Transition {
+                        state: LineState::Shared(sharers),
+                        outcome: AccessOutcome::RemoteClean,
+                        invalidated: 0,
+                        llc_insert: false,
+                    }
+                }
+            }
+            Some(LineState::Shared(sharers)) => {
+                if sharers.contains(core) {
+                    Transition {
+                        state: LineState::Shared(sharers),
+                        outcome: AccessOutcome::L1Hit,
+                        invalidated: 0,
+                        llc_insert: false,
+                    }
+                } else {
+                    // Shared lines are (conservatively) present in the LLC.
+                    let mut sharers = sharers;
+                    sharers.insert(core);
+                    Transition {
+                        state: LineState::Shared(sharers),
+                        outcome: AccessOutcome::LlcHit,
+                        invalidated: 0,
+                        llc_insert: true,
+                    }
+                }
+            }
+            None => Transition {
+                state: LineState::Exclusive(core),
+                outcome: if in_llc {
+                    AccessOutcome::LlcHit
+                } else {
+                    AccessOutcome::Memory
+                },
+                invalidated: 0,
+                llc_insert: true,
+            },
+        },
+        AccessKind::Write => match prev {
+            Some(LineState::Modified(owner)) => {
+                if owner == core {
+                    Transition {
+                        state: LineState::Modified(owner),
+                        outcome: AccessOutcome::L1Hit,
+                        invalidated: 0,
+                        llc_insert: false,
+                    }
+                } else {
+                    // Read-for-ownership of a dirty line: invalidate owner.
+                    Transition {
+                        state: LineState::Modified(core),
+                        outcome: AccessOutcome::RemoteDirty,
+                        invalidated: 1,
+                        llc_insert: false,
+                    }
+                }
+            }
+            Some(LineState::Exclusive(owner)) => {
+                if owner == core {
+                    // Silent E -> M upgrade.
+                    Transition {
+                        state: LineState::Modified(core),
+                        outcome: AccessOutcome::L1Hit,
+                        invalidated: 0,
+                        llc_insert: false,
+                    }
+                } else {
+                    Transition {
+                        state: LineState::Modified(core),
+                        outcome: AccessOutcome::RemoteClean,
+                        invalidated: 1,
+                        llc_insert: false,
+                    }
+                }
+            }
+            Some(LineState::Shared(sharers)) => {
+                let holds_copy = sharers.contains(core);
+                let victims = sharers.len() - u32::from(holds_copy);
+                Transition {
+                    state: LineState::Modified(core),
+                    outcome: if victims == 0 {
+                        AccessOutcome::UpgradeSole
+                    } else {
+                        AccessOutcome::UpgradeInvalidate
+                    },
+                    invalidated: u64::from(victims),
+                    llc_insert: false,
+                }
+            }
+            None => Transition {
+                state: LineState::Modified(core),
+                outcome: if in_llc {
+                    AccessOutcome::LlcHit
+                } else {
+                    AccessOutcome::Memory
+                },
+                invalidated: 0,
+                llc_insert: true,
+            },
+        },
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -185,28 +351,63 @@ impl Directory {
         kind: AccessKind,
         now: Cycles,
     ) -> AccessResult {
+        let sequential = self
+            .last_line
+            .get(&core)
+            .is_some_and(|last| last.0 + 1 == line.0);
+        self.last_line.insert(core, line);
+        self.access_inner(core, line, kind, now, sequential)
+    }
+
+    /// [`Directory::access`] with the next-line-prefetch condition supplied
+    /// by the caller instead of the internal per-core last-line tracker.
+    ///
+    /// The sharded executor routes only a worker's *interacting* accesses
+    /// through the shared directory; the worker's full access sequence —
+    /// which is what the prefetcher observes — is known to its precompute
+    /// pass, so that pass supplies `sequential` and the internal tracker is
+    /// neither consulted nor updated (it is rewritten wholesale when the
+    /// phase's shards merge back).
+    pub(crate) fn access_hinted(
+        &mut self,
+        core: CoreId,
+        line: CacheLineId,
+        kind: AccessKind,
+        now: Cycles,
+        sequential: bool,
+    ) -> AccessResult {
+        self.access_inner(core, line, kind, now, sequential)
+    }
+
+    fn access_inner(
+        &mut self,
+        core: CoreId,
+        line: CacheLineId,
+        kind: AccessKind,
+        now: Cycles,
+        sequential: bool,
+    ) -> AccessResult {
         // Queue behind any in-flight transaction on the line.
         let wait = self
             .lines
             .get(&line)
             .map_or(0, |entry| entry.busy_until.saturating_sub(now));
-        let mut outcome = match kind {
-            AccessKind::Read => self.read(core, line),
-            AccessKind::Write => self.write(core, line),
-        };
+        let prev = self.lines.get(&line).map(|e| e.state);
+        let in_llc = prev.is_none() && self.llc.contains(&line);
+        let t = transition(prev, in_llc, core, kind);
+        self.set_state(line, t.state);
+        if t.llc_insert {
+            self.llc.insert(line);
+        }
+        self.stats.invalidations += t.invalidated;
         // Next-line prefetch: a sequential miss on an uncontended line is
         // hidden by the hardware prefetcher. The state transition and any
         // invalidations above still stand; only the visible cost changes.
-        if wait == 0
-            && prefetchable(outcome)
-            && self
-                .last_line
-                .get(&core)
-                .is_some_and(|last| last.0 + 1 == line.0)
-        {
-            outcome = AccessOutcome::Prefetched;
-        }
-        self.last_line.insert(core, line);
+        let outcome = if wait == 0 && prefetchable(t.outcome) && sequential {
+            AccessOutcome::Prefetched
+        } else {
+            t.outcome
+        };
         let cost = self.latency.cost(outcome);
         // Transactions that move the line occupy it until they complete.
         if occupies_line(outcome) {
@@ -238,106 +439,89 @@ impl Directory {
         }
     }
 
-    fn read(&mut self, core: CoreId, line: CacheLineId) -> AccessOutcome {
-        match self.lines.get(&line).map(|e| e.state) {
-            Some(LineState::Modified(owner)) => {
-                if owner == core {
-                    AccessOutcome::L1Hit
-                } else {
-                    // Dirty cache-to-cache transfer; owner downgrades to
-                    // Shared and the dirty data reaches the LLC.
-                    let mut sharers = SharerSet::singleton(owner);
-                    sharers.insert(core);
-                    self.set_state(line, LineState::Shared(sharers));
-                    self.llc.insert(line);
-                    AccessOutcome::RemoteDirty
-                }
-            }
-            Some(LineState::Exclusive(owner)) => {
-                if owner == core {
-                    AccessOutcome::L1Hit
-                } else {
-                    let mut sharers = SharerSet::singleton(owner);
-                    sharers.insert(core);
-                    self.set_state(line, LineState::Shared(sharers));
-                    AccessOutcome::RemoteClean
-                }
-            }
-            Some(LineState::Shared(sharers)) => {
-                if sharers.contains(core) {
-                    AccessOutcome::L1Hit
-                } else {
-                    // Shared lines are (conservatively) present in the LLC.
-                    let mut sharers = sharers;
-                    sharers.insert(core);
-                    self.set_state(line, LineState::Shared(sharers));
-                    self.llc.insert(line);
-                    AccessOutcome::LlcHit
-                }
+    // --- Sharded-execution hooks (crate-internal; see `crate::shard`). ---
+
+    /// A line's current MESI state (`None` = Invalid / never cached),
+    /// read-only — the seed for a worker-local private-line simulation.
+    /// The busy window is irrelevant to the reader: every pre-phase
+    /// transaction completes before any phase member starts (each thread's
+    /// clock advances past its own transactions, and phase members start
+    /// at or after the previous phase's join).
+    pub(crate) fn line_state_of(&self, line: CacheLineId) -> Option<LineState> {
+        self.lines.get(&line).map(|entry| entry.state)
+    }
+
+    /// Overwrites a line's MESI state after a sharded phase simulated it
+    /// locally (busy window cleared; see [`Directory::line_state_of`]).
+    pub(crate) fn restore_line_state(&mut self, line: CacheLineId, state: LineState) {
+        self.lines.insert(
+            line,
+            LineEntry {
+                state,
+                busy_until: 0,
+            },
+        );
+    }
+
+    /// The last line `core` touched, as seen by the prefetch tracker.
+    pub(crate) fn last_line_for(&self, core: CoreId) -> Option<CacheLineId> {
+        self.last_line.get(&core).copied()
+    }
+
+    /// Overwrites the prefetch tracker's last-line entry for `core`.
+    pub(crate) fn set_last_line(&mut self, core: CoreId, line: Option<CacheLineId>) {
+        match line {
+            Some(line) => {
+                self.last_line.insert(core, line);
             }
             None => {
-                let outcome = if self.llc.contains(&line) {
-                    AccessOutcome::LlcHit
-                } else {
-                    AccessOutcome::Memory
-                };
-                self.set_state(line, LineState::Exclusive(core));
-                self.llc.insert(line);
-                outcome
+                self.last_line.remove(&core);
             }
         }
     }
 
-    fn write(&mut self, core: CoreId, line: CacheLineId) -> AccessOutcome {
-        match self.lines.get(&line).map(|e| e.state) {
-            Some(LineState::Modified(owner)) => {
-                if owner == core {
-                    AccessOutcome::L1Hit
-                } else {
-                    // Read-for-ownership of a dirty line: invalidate owner.
-                    self.stats.invalidations += 1;
-                    self.set_state(line, LineState::Modified(core));
-                    AccessOutcome::RemoteDirty
-                }
-            }
-            Some(LineState::Exclusive(owner)) => {
-                if owner == core {
-                    // Silent E -> M upgrade.
-                    self.set_state(line, LineState::Modified(core));
-                    AccessOutcome::L1Hit
-                } else {
-                    self.stats.invalidations += 1;
-                    self.set_state(line, LineState::Modified(core));
-                    AccessOutcome::RemoteClean
-                }
-            }
-            Some(LineState::Shared(sharers)) => {
-                let holds_copy = sharers.contains(core);
-                let victims = sharers.len() - u32::from(holds_copy);
-                self.set_state(line, LineState::Modified(core));
-                if victims == 0 {
-                    AccessOutcome::UpgradeSole
-                } else {
-                    self.stats.invalidations += u64::from(victims);
-                    AccessOutcome::UpgradeInvalidate
-                }
-            }
-            None => {
-                let outcome = if self.llc.contains(&line) {
-                    AccessOutcome::LlcHit
-                } else {
-                    AccessOutcome::Memory
-                };
-                self.set_state(line, LineState::Modified(core));
-                self.llc.insert(line);
-                outcome
-            }
-        }
+    /// Marks a line LLC-resident (write-back from a worker-local shard).
+    pub(crate) fn llc_insert(&mut self, line: CacheLineId) {
+        self.llc.insert(line);
+    }
+
+    /// Cycles an access issued at `now` would queue behind the line's
+    /// in-flight transaction (0 when the line is idle or untracked).
+    pub(crate) fn busy_wait(&self, line: CacheLineId, now: Cycles) -> Cycles {
+        self.lines
+            .get(&line)
+            .map_or(0, |entry| entry.busy_until.saturating_sub(now))
+    }
+
+    /// Records an access whose outcome was precomputed outside the
+    /// directory (a shard-merged L1 hit that only needed the busy-window
+    /// check): counts the outcome and any queueing delay into the stats.
+    pub(crate) fn record_precomputed(&mut self, outcome: AccessOutcome, wait: Cycles) {
+        self.stats.record(outcome);
+        self.stats.wait_cycles += wait;
+    }
+
+    /// Batch form of [`Directory::record_precomputed`] for `count` L1 hits
+    /// with zero wait (a settled shard-merged hit run).
+    pub(crate) fn record_hit_batch(&mut self, count: u64) {
+        self.stats.l1_hits += count;
+    }
+
+    /// Absolute end of the line's in-flight transaction window (0 when the
+    /// line is idle or untracked).
+    pub(crate) fn busy_until_of(&self, line: CacheLineId) -> Cycles {
+        self.lines.get(&line).map_or(0, |entry| entry.busy_until)
+    }
+
+    /// Adds a worker-local shard's statistics (private-line traffic
+    /// simulated off the shared directory) into this directory's totals.
+    pub(crate) fn absorb_stats(&mut self, stats: &CoherenceStats) {
+        self.stats.absorb(stats);
     }
 }
 
 /// Whether an outcome keeps the line occupied for its duration.
-fn occupies_line(outcome: AccessOutcome) -> bool {
+pub(crate) fn occupies_line(outcome: AccessOutcome) -> bool {
     matches!(
         outcome,
         AccessOutcome::Memory
@@ -349,7 +533,7 @@ fn occupies_line(outcome: AccessOutcome) -> bool {
 }
 
 /// Which misses the next-line prefetcher can hide.
-fn prefetchable(outcome: AccessOutcome) -> bool {
+pub(crate) fn prefetchable(outcome: AccessOutcome) -> bool {
     matches!(
         outcome,
         AccessOutcome::Memory

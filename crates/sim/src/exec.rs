@@ -31,6 +31,15 @@ pub struct MachineConfig {
     pub latency: LatencyModel,
     /// Main-thread cycles consumed by each `pthread_create`.
     pub thread_spawn_cost: Cycles,
+    /// Host threads used to *shard* parallel phases (the `--shards N` knob
+    /// of the bench harnesses). `1` (the default) runs the classic
+    /// single-threaded discrete-event loop; `0` means "auto" (the host's
+    /// available parallelism); `>= 2` executes each parallel phase in two
+    /// passes — per-worker event precomputation fanned out over this many
+    /// host threads, then a deterministic merge ordered by
+    /// `(timestamp, worker, seq)` (see [`crate::shard`]). Reports are
+    /// bit-identical for every value; only wall-clock time changes.
+    pub shards: u32,
 }
 
 impl Default for MachineConfig {
@@ -40,6 +49,7 @@ impl Default for MachineConfig {
             cache_line_size: 64,
             latency: LatencyModel::default(),
             thread_spawn_cost: 3_000,
+            shards: 1,
         }
     }
 }
@@ -50,6 +60,24 @@ impl MachineConfig {
         MachineConfig {
             num_cores,
             ..MachineConfig::default()
+        }
+    }
+
+    /// Returns the configuration with the shard count replaced (builder
+    /// style): `0` = auto, `1` = classic serial loop, `>= 2` = sharded.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count actually used: `shards`, with `0` resolved to the
+    /// host's available parallelism.
+    pub fn resolved_shards(&self) -> u32 {
+        match self.shards {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -135,17 +163,17 @@ impl Machine {
 }
 
 /// Per-thread execution state.
-struct ThreadCtx {
-    id: ThreadId,
-    name: String,
-    core: CoreId,
+pub(crate) struct ThreadCtx {
+    pub(crate) id: ThreadId,
+    pub(crate) name: String,
+    pub(crate) core: CoreId,
     /// Global virtual time of the thread's next instruction.
-    clock: Cycles,
-    start: Cycles,
-    instructions: u64,
-    reads: u64,
-    writes: u64,
-    stream: Box<dyn AccessStream>,
+    pub(crate) clock: Cycles,
+    pub(crate) start: Cycles,
+    pub(crate) instructions: u64,
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) stream: Box<dyn AccessStream>,
 }
 
 struct Execution<'a> {
@@ -153,6 +181,8 @@ struct Execution<'a> {
     observer: &'a mut dyn ExecObserver,
     directory: Directory,
     latency: LatencyModel,
+    /// Resolved shard count; `>= 2` enables the sharded parallel-phase path.
+    shards: u32,
 }
 
 impl<'a> Execution<'a> {
@@ -162,6 +192,7 @@ impl<'a> Execution<'a> {
             observer,
             directory: Directory::new(config.latency.clone()),
             latency: config.latency.clone(),
+            shards: config.resolved_shards(),
         }
     }
 
@@ -194,7 +225,17 @@ impl<'a> Execution<'a> {
                 Phase::Serial(spec) => {
                     let (_, stream) = spec.into_parts();
                     main.stream = stream;
-                    self.run_serial(&mut main, index);
+                    if self.shards >= 2 {
+                        crate::shard::run_serial_sharded(
+                            self.config,
+                            &mut self.directory,
+                            self.observer,
+                            &mut main,
+                            index,
+                        );
+                    } else {
+                        self.run_serial(&mut main, index);
+                    }
                     phase_reports.push(PhaseReport {
                         index,
                         kind,
@@ -225,7 +266,26 @@ impl<'a> Execution<'a> {
                             stream,
                         });
                     }
-                    let ends = self.run_parallel(&mut workers, index);
+                    // Sharded execution requires each phase member to own a
+                    // distinct core: workers sharing a core interleave
+                    // through one private cache, which only the classic
+                    // per-op loop models. Slot-to-core binding is
+                    // `(1 + slot) % num_cores`, so cores are distinct
+                    // exactly when the phase has at most `num_cores`
+                    // workers.
+                    let ends = if self.shards >= 2 && workers.len() as u32 <= self.config.num_cores
+                    {
+                        crate::shard::run_parallel_sharded(
+                            self.config,
+                            &mut self.directory,
+                            self.observer,
+                            &mut workers,
+                            index,
+                            self.shards as usize,
+                        )
+                    } else {
+                        self.run_parallel(&mut workers, index)
+                    };
                     let mut phase_threads = Vec::with_capacity(workers.len());
                     let mut phase_end = main.clock;
                     for (worker, end) in workers.into_iter().zip(ends) {

@@ -44,7 +44,7 @@
 //!
 //! [Cheetah (CGO 2016)]: https://doi.org/10.1145/2854038.2854039
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod coherence;
@@ -54,6 +54,7 @@ pub mod layout;
 pub mod observer;
 pub mod program;
 pub mod report;
+pub mod shard;
 pub mod stats;
 pub mod types;
 pub mod util;
@@ -62,7 +63,10 @@ pub use coherence::{Directory, SharerSet, MAX_CORES};
 pub use exec::{ConfigError, Machine, MachineConfig};
 pub use latency::{AccessOutcome, LatencyModel};
 pub use layout::{LayoutError, LayoutMap, Remapping};
-pub use observer::{AccessRecord, CountingObserver, ExecObserver, NullObserver};
+pub use observer::{
+    AccessRecord, CountingObserver, ExecObserver, NullObserver, SampleJudgement, SamplerFork,
+    ThreadSampler,
+};
 pub use program::{
     AccessStream, IterStream, LoopStream, Op, OpsStream, Phase, Program, ProgramBuilder, ThreadSpec,
 };

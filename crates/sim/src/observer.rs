@@ -37,6 +37,86 @@ pub struct AccessRecord {
     pub phase_kind: PhaseKind,
 }
 
+/// Verdict of a [`ThreadSampler`] for one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleJudgement {
+    /// Perturbation cycles to charge to the thread at this access — trap
+    /// costs of sampling tags that landed on or before it, exactly as the
+    /// observer's `on_access` would have returned for the same access.
+    pub perturbation: Cycles,
+    /// Whether the access is sampled: sharded execution must surface it to
+    /// the observer through `on_access`, in merged global order.
+    pub sampled: bool,
+}
+
+/// A deterministic per-thread replica of an observer's sampling decision,
+/// used by sharded execution (see [`crate::MachineConfig::shards`]).
+///
+/// The sharded engine precomputes each worker's events on a host thread,
+/// where the shared observer cannot be consulted. An observer whose
+/// sampling decision is a pure function of the thread's retired-instruction
+/// index (like an IBS/PEBS model) can hand out a replica per thread; the
+/// precompute pass calls [`ThreadSampler::judge`] for every access, in the
+/// thread's program order, and the engine then invokes `on_access` only for
+/// the accesses judged `sampled` — in exact merged order, so downstream
+/// consumers (detectors) observe the identical sample stream.
+///
+/// # Contract
+///
+/// For the run to be bit-identical to unsharded execution the replica must
+/// agree with the observer: judging every access of a thread in order must
+/// mark exactly the accesses the observer would sample, and report exactly
+/// the perturbation its `on_access` would return at each access. When a
+/// replica is handed out, the engine charges the replica's perturbation and
+/// *ignores* the value returned by `on_access` for surfaced accesses (the
+/// observer may account trap costs at a coarser granularity internally —
+/// totals still match because every tag is charged exactly once).
+pub trait ThreadSampler: Send {
+    /// Judges the access occupying retired-instruction index
+    /// `instrs_before` (the value [`AccessRecord::instrs_before`] would
+    /// carry). Called for accesses in program order; the engine may skip
+    /// the call for accesses below [`ThreadSampler::next_tag`], treating
+    /// them as unsampled and unperturbed.
+    fn judge(&mut self, instrs_before: u64) -> SampleJudgement;
+
+    /// Optimization hint: the smallest instruction index whose judgement
+    /// could be non-trivial. The engine promises to call
+    /// [`ThreadSampler::judge`] for every access with
+    /// `instrs_before >= next_tag()` and may skip earlier accesses, whose
+    /// judgement must be `(perturbation: 0, sampled: false)`. The default
+    /// (`0`) keeps every access judged.
+    fn next_tag(&self) -> u64 {
+        0
+    }
+}
+
+/// How an observer participates in sharded execution; returned by
+/// [`ExecObserver::fork_sampler`].
+pub enum SamplerFork {
+    /// The observer needs to see every access through `on_access` (the
+    /// conservative default): sharding still parallelizes event
+    /// precomputation, but every access is surfaced in merged order and the
+    /// observer's returned perturbation is used as-is.
+    EveryAccess,
+    /// The observer ignores accesses entirely and never perturbs
+    /// ([`NullObserver`]): no access needs surfacing.
+    Transparent,
+    /// The observer's sampling decision for this thread is replicated by
+    /// the given deterministic judge; only judged-sampled accesses are
+    /// surfaced.
+    Replica(Box<dyn ThreadSampler>),
+}
+
+impl std::fmt::Debug for SamplerFork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplerFork::EveryAccess => f.write_str("SamplerFork::EveryAccess"),
+            SamplerFork::Transparent => f.write_str("SamplerFork::Transparent"),
+            SamplerFork::Replica(_) => f.write_str("SamplerFork::Replica(..)"),
+        }
+    }
+}
+
 /// Observer of a simulated execution.
 ///
 /// All methods have no-op defaults so implementors override only what they
@@ -74,6 +154,21 @@ pub trait ExecObserver {
         let _ = record;
         0
     }
+
+    /// Hands sharded execution a per-thread sampling replica (see
+    /// [`ThreadSampler`]). Called at each phase start for every phase
+    /// member (right after the phase's `on_thread_start` callbacks for
+    /// spawned workers; for the main thread of a serial phase it may be
+    /// called repeatedly, and the replica must continue from the thread's
+    /// *current* sampling state). The default keeps the observer fully
+    /// informed ([`SamplerFork::EveryAccess`]), which is always correct;
+    /// observers with a replicable sampling decision should return
+    /// [`SamplerFork::Replica`] so sharded runs skip the per-access
+    /// callback for unsampled accesses.
+    fn fork_sampler(&mut self, thread: ThreadId) -> SamplerFork {
+        let _ = thread;
+        SamplerFork::EveryAccess
+    }
 }
 
 /// The transparent observer: observes nothing, perturbs nothing.
@@ -83,7 +178,11 @@ pub trait ExecObserver {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
-impl ExecObserver for NullObserver {}
+impl ExecObserver for NullObserver {
+    fn fork_sampler(&mut self, _thread: ThreadId) -> SamplerFork {
+        SamplerFork::Transparent
+    }
+}
 
 /// An observer that simply counts events; handy in tests and as a cheap
 /// sanity probe.

@@ -1,0 +1,1204 @@
+//! Sharded deterministic execution of parallel phases.
+//!
+//! The classic engine ([`crate::exec`]) interleaves every thread of a
+//! parallel phase through one discrete-event loop: each memory access takes
+//! a heap scheduling step, a shared-directory lookup and an observer
+//! callback, all on one host thread. This module executes the same phase in
+//! two passes whose result is **bit-identical** to the classic loop:
+//!
+//! 1. **Precompute** (fanned out over host threads): each worker's access
+//!    stream is materialised and replayed *locally*. Three facts make most
+//!    of the work timing-independent and therefore precomputable before any
+//!    global interleaving is known:
+//!    * streams are deterministic state machines — the op sequence never
+//!      depends on timing;
+//!    * MESI transitions (`coherence::transition`) depend only on
+//!      the line's state and the issuing core, never on the clock; the
+//!      clock matters solely for busy-window queueing, and a line touched
+//!      by a single core can never queue (each thread's clock advances past
+//!      its own transactions, and pre-phase transactions complete before
+//!      the phase starts);
+//!    * sampling decisions ([`crate::observer::ThreadSampler`]) are pure
+//!      functions of the thread's retired-instruction index.
+//!
+//!    Lines are classified by who touches them in the phase: **private**
+//!    lines (one worker) are simulated entirely in the precompute pass
+//!    against worker-local state seeded from the shared directory;
+//!    **read-shared** lines (several workers, no writes) reduce to one
+//!    directory access per worker — every later read by the same core is a
+//!    provable L1 hit; **write-shared** lines (the false-sharing traffic
+//!    itself) stay fully ordered. The pass folds runs of precomputed work
+//!    into `lead` cycles and emits an *event* for everything that needs
+//!    global time or the observer. Consecutive unsampled read-shared hits
+//!    collapse into a single *hit-run* event.
+//!
+//! 2. **Merge** (single-threaded): the per-worker event streams are merged
+//!    on a min-heap keyed by `(timestamp, worker, seq)` — the exact order
+//!    the classic loop produces (its heap is keyed the same way and each
+//!    worker's ops are FIFO). Shared-directory accesses, busy-window waits,
+//!    observer callbacks and sample delivery all happen here, in merged
+//!    global order, so coherence state, detector samples and reports come
+//!    out bit-identical to the classic loop. The phase's join barrier
+//!    becomes a merge barrier: the main thread resumes at the merged
+//!    maximum end time, exactly as it would have at the classic join.
+//!
+//! ## The hit-run settling argument
+//!
+//! A read-shared line's busy windows can only be created by *first-touch*
+//! accesses (its hits never occupy the line), and every worker touching the
+//! line performs exactly one first touch. Once all first touches have been
+//! merged and the last window has expired, no later read of the line can
+//! ever wait — so a run of such hits has no observable effect other than
+//! advancing its own worker's clock and counting L1 hits, and the merge
+//! processes the entire run in O(run length) additions without touching the
+//! heap or the directory. Before that settling point the merge walks the
+//! run read by read against the real busy windows, yielding to the heap at
+//! the horizon exactly like the classic loop.
+//!
+//! Determinism is structural: the precompute pass is per-worker (the
+//! partitioning of workers onto host threads cannot affect its output) and
+//! the merge order is a pure function of worker clocks, so *any* shard
+//! count — including the classic path at `shards = 1` — yields the same
+//! [`crate::RunReport`]. The property tests in `tests/shard_props.rs` and
+//! the `sim_throughput` bench gate assert exactly that.
+
+use crate::coherence::{prefetchable, transition, Directory, LineState};
+use crate::exec::{MachineConfig, ThreadCtx};
+use crate::latency::{AccessOutcome, LatencyModel};
+use crate::observer::{AccessRecord, ExecObserver, SamplerFork};
+use crate::program::{AccessStream, Op, OpsStream};
+use crate::types::{AccessKind, Addr, CacheLineId, CoreId, Cycles, PhaseKind, ThreadId};
+use crate::util::FastMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How a cache line participates in the current parallel phase, from one
+/// worker's point of view. Pre-resolved per worker before the precompute
+/// pass so the per-access hot loop costs at most one map lookup.
+#[derive(Debug, Clone, Copy)]
+enum LineClass {
+    /// Placeholder for a private line whose MESI state currently lives in
+    /// the worker's hot cache; overwritten on eviction or the final flush.
+    PrivateHot,
+    /// Touched by this worker only: fully simulated in its precompute pass
+    /// against the carried MESI state (`None` = never cached).
+    Private(Option<LineState>),
+    /// Read-shared (several workers, reads only) and already touched by
+    /// this worker: every further read is a provable L1 hit needing only
+    /// the busy-window check. A read-shared line's *first* touch resolves
+    /// straight to this class while emitting the directory event.
+    ReadSharedTouched,
+    /// Touched by several workers with at least one write: every access is
+    /// merged in global order.
+    WriteShared,
+}
+
+/// Phase-global classification of one line: which worker touched it first,
+/// how many workers touch it, and whether anyone writes it.
+struct LineInfo {
+    owner: u32,
+    touchers: u32,
+    wrote: bool,
+}
+
+/// A line's class as resolved for one access in the precompute hot loop.
+enum Resolved {
+    /// Private to this worker; payload is the MESI state before the access.
+    Private(Option<LineState>),
+    /// This worker's first touch of a read-shared line (directory event).
+    ReadSharedFirst,
+    /// A later read of a read-shared line (provable L1 hit).
+    ReadSharedHit,
+    /// Write-shared: full directory event.
+    WriteShared,
+}
+
+/// One read inside a hit-run: `lead` cycles of folded local work since the
+/// previous read (0 for the first — the event's own lead covers it), then
+/// an L1 hit on a read-shared line. Unsampled by construction, so no
+/// observer fields are needed; replica perturbation is folded into the
+/// following lead.
+struct HitRead {
+    lead: Cycles,
+    addr: Addr,
+}
+
+/// One precomputed worker event, preceded by `lead` cycles of local work
+/// (compute ops, unsampled private accesses and their perturbation).
+struct Ev {
+    lead: Cycles,
+    kind: EvKind,
+}
+
+enum EvKind {
+    /// An access that needs the shared directory (write-shared line, or a
+    /// core's first touch of a read-shared line).
+    Dir {
+        addr: Addr,
+        kind: AccessKind,
+        instrs_before: u64,
+        /// Precomputed next-line-prefetch condition (the worker's own
+        /// access sequence determines it).
+        sequential: bool,
+        /// First touch of a read-shared line: decrements the line's
+        /// outstanding-first-touch count for hit-run settling.
+        settles: bool,
+        surfaced: bool,
+        perturbation: Option<Cycles>,
+    },
+    /// A *sampled* read of a read-shared line after this core's first
+    /// touch: a proven L1 hit surfaced to the observer; only the
+    /// busy-window wait needs global time.
+    SharedHit {
+        addr: Addr,
+        instrs_before: u64,
+        perturbation: Option<Cycles>,
+    },
+    /// A run of unsampled read-shared hits (see the module docs).
+    HitRun { reads: Box<[HitRead]> },
+    /// A private access that must be surfaced to the observer (sampled, or
+    /// the observer demanded every access); outcome and cost precomputed.
+    Private {
+        addr: Addr,
+        kind: AccessKind,
+        instrs_before: u64,
+        outcome: AccessOutcome,
+        cost: Cycles,
+        perturbation: Option<Cycles>,
+    },
+    /// End of the worker's stream; `lead` holds trailing compute cycles.
+    Exit,
+}
+
+/// One materialised memory access: `work_before` compute instructions since
+/// the previous access, then the access itself.
+struct MatAccess {
+    work_before: u64,
+    addr: Addr,
+    write: bool,
+}
+
+/// Materialisation output of one worker stream.
+struct Mat {
+    accesses: Vec<MatAccess>,
+    /// Compute instructions after the last access.
+    trailing_work: u64,
+    /// Lines this worker touches, with a "did it write" flag.
+    touched: FastMap<CacheLineId, bool>,
+}
+
+/// Precompute output of one worker.
+struct WorkerPlan {
+    events: Vec<Ev>,
+    instructions: u64,
+    reads: u64,
+    writes: u64,
+    /// The worker's line view after the pass; private entries carry the
+    /// final MESI states for write-back.
+    view: FastMap<CacheLineId, LineClass>,
+    /// Private lines that became LLC-resident during the phase.
+    llc_new: Vec<CacheLineId>,
+    /// Final last-touched line of the worker's core (prefetch tracker).
+    last_line: Option<CacheLineId>,
+    /// Coherence statistics of the precomputed private accesses.
+    stats: crate::stats::CoherenceStats,
+}
+
+/// Hit-run settling state: once every read-shared line's first touches have
+/// merged and the last busy window has passed, hit runs fold in O(1) per
+/// read with no directory traffic.
+struct Settle {
+    /// Outstanding first-touch counts per read-shared line.
+    outstanding: FastMap<CacheLineId, u32>,
+    /// Read-shared lines whose first touches have not all merged yet.
+    unsettled_lines: usize,
+    /// Latest busy-window end among fully-settled lines.
+    horizon: Cycles,
+}
+
+impl Settle {
+    /// Whether a hit run starting at `now` is provably wait-free.
+    fn all_settled(&self, now: Cycles) -> bool {
+        self.unsettled_lines == 0 && self.horizon <= now
+    }
+}
+
+/// Runs one serial phase with the sharded engine's fast local access path;
+/// drop-in replacement for the classic `Execution::run_serial`.
+///
+/// A serial phase is the degenerate sharded phase: one thread, no other
+/// actor, so *every* line is private and no materialisation,
+/// classification or merge is needed at all. The stream executes in a
+/// single fused pass whose wins mirror the parallel precompute: a
+/// hot-line cache plus a compact state map instead of the directory's
+/// multi-lookup path, and the sampling replica skipping the per-access
+/// observer callback. The replica forks from the main thread's *current*
+/// sampling state, so repeated serial phases chain exactly.
+pub(crate) fn run_serial_sharded(
+    config: &MachineConfig,
+    directory: &mut Directory,
+    observer: &mut dyn ExecObserver,
+    main: &mut ThreadCtx,
+    phase_index: u32,
+) {
+    const HOT_WAYS: usize = 4;
+    let line_size = config.cache_line_size;
+    let latency = &config.latency;
+    let cpi = latency.cycles_per_instruction;
+    let l1_cost = latency.l1_hit;
+    let core = main.core;
+    let mut fork = observer.fork_sampler(main.id);
+    let mut next_tag: u64 = match &fork {
+        SamplerFork::Replica(replica) => replica.next_tag(),
+        _ => 0,
+    };
+
+    // Phase-local MESI states: a hot direct-mapped cache backed by a map of
+    // evicted lines; first touches fall through to the shared directory.
+    let mut states: FastMap<CacheLineId, LineState> = FastMap::default();
+    let mut hot: [(CacheLineId, LineState); HOT_WAYS] =
+        [(CacheLineId(u64::MAX), LineState::Exclusive(core)); HOT_WAYS];
+    let mut llc_new: Vec<CacheLineId> = Vec::new();
+    let mut stats = crate::stats::CoherenceStats::default();
+    let mut next_sequential: u64 = directory
+        .last_line_for(core)
+        .map_or(u64::MAX, |l| l.0.wrapping_add(1));
+    let mut last_line = directory.last_line_for(core);
+    let mut clock = main.clock;
+
+    while let Some(op) = main.stream.next_op() {
+        match op {
+            Op::Work(n) => {
+                main.instructions += n;
+                clock += n * cpi;
+            }
+            Op::Read(addr) | Op::Write(addr) => {
+                let write = matches!(op, Op::Write(_));
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let line = addr.line(line_size);
+                let (perturbation, surfaced) = match &mut fork {
+                    SamplerFork::Transparent => (Some(0), false),
+                    SamplerFork::EveryAccess => (None, true),
+                    SamplerFork::Replica(replica) => {
+                        if main.instructions >= next_tag {
+                            let judgement = replica.judge(main.instructions);
+                            next_tag = replica.next_tag();
+                            (Some(judgement.perturbation), judgement.sampled)
+                        } else {
+                            (Some(0), false)
+                        }
+                    }
+                };
+                let sequential = next_sequential == line.0;
+                next_sequential = line.0.wrapping_add(1);
+                let way = (line.0 as usize) & (HOT_WAYS - 1);
+                let prev = if hot[way].0 == line {
+                    Some(hot[way].1)
+                } else {
+                    // Promote, writing the evicted line's state back.
+                    if hot[way].0 != CacheLineId(u64::MAX) {
+                        let (old_line, old_state) = hot[way];
+                        states.insert(old_line, old_state);
+                    }
+                    hot[way].0 = line;
+                    let seeded = match states.get(&line) {
+                        Some(&state) => Some(state),
+                        // First touch this phase: seed from the directory.
+                        None => directory.line_state_of(line),
+                    };
+                    if let Some(state) = seeded {
+                        hot[way].1 = state;
+                    }
+                    seeded
+                };
+                // The overwhelmingly common case: the line is already owned.
+                let owned_hit = match prev {
+                    Some(LineState::Modified(owner)) => owner == core,
+                    Some(LineState::Exclusive(owner)) if !write => owner == core,
+                    Some(LineState::Exclusive(owner)) if owner == core => {
+                        hot[way].1 = LineState::Modified(core);
+                        true
+                    }
+                    _ => false,
+                };
+                let (outcome, cost) = if owned_hit {
+                    (AccessOutcome::L1Hit, l1_cost)
+                } else {
+                    let t = transition(prev, false, core, kind);
+                    hot[way].1 = t.state;
+                    if t.llc_insert {
+                        llc_new.push(line);
+                    }
+                    stats.invalidations += t.invalidated;
+                    let outcome = if sequential && prefetchable(t.outcome) {
+                        AccessOutcome::Prefetched
+                    } else {
+                        t.outcome
+                    };
+                    (outcome, latency.cost(outcome))
+                };
+                stats.record(outcome);
+                let perturb = if surfaced {
+                    let record = AccessRecord {
+                        thread: main.id,
+                        core,
+                        addr,
+                        kind,
+                        outcome,
+                        latency: cost,
+                        start: clock,
+                        instrs_before: main.instructions,
+                        phase_index,
+                        phase_kind: PhaseKind::Serial,
+                    };
+                    let returned = observer.on_access(&record);
+                    perturbation.unwrap_or(returned)
+                } else {
+                    perturbation.expect("unsurfaced access has judgement")
+                };
+                clock += cost + perturb;
+                main.instructions += 1;
+                if write {
+                    main.writes += 1;
+                } else {
+                    main.reads += 1;
+                }
+                last_line = Some(line);
+            }
+        }
+    }
+
+    // Write-back: evicted and hot line states, LLC residency, prefetch
+    // tracker and statistics fold into the shared directory.
+    for (line, state) in hot {
+        if line != CacheLineId(u64::MAX) {
+            states.insert(line, state);
+        }
+    }
+    for (line, state) in states {
+        directory.restore_line_state(line, state);
+    }
+    for line in llc_new {
+        directory.llc_insert(line);
+    }
+    directory.set_last_line(core, last_line);
+    directory.absorb_stats(&stats);
+    main.clock = clock;
+}
+
+/// Runs one parallel phase sharded; drop-in replacement for the classic
+/// `Execution::run_parallel` (same inputs, same outputs, same observer
+/// callback sequence). Workers must sit on pairwise-distinct cores.
+pub(crate) fn run_parallel_sharded(
+    config: &MachineConfig,
+    directory: &mut Directory,
+    observer: &mut dyn ExecObserver,
+    workers: &mut [ThreadCtx],
+    phase_index: u32,
+    shards: usize,
+) -> Vec<Cycles> {
+    let line_size = config.cache_line_size;
+    let latency = config.latency.clone();
+    let debug_timing = std::env::var_os("CHEETAH_SHARD_TIMING").is_some();
+    let t0 = std::time::Instant::now();
+
+    // Sampling replicas, handed out after every member's on_thread_start
+    // (the engine called those while spawning, before this function).
+    let forks: Vec<SamplerFork> = workers
+        .iter()
+        .map(|w| observer.fork_sampler(w.id))
+        .collect();
+
+    // Pass 1a: materialise each stream and collect its line-touch map.
+    let streams: Vec<Box<dyn AccessStream>> = workers
+        .iter_mut()
+        .map(|w| std::mem::replace(&mut w.stream, Box::new(OpsStream::new(Vec::new()))))
+        .collect();
+    let mats: Vec<Mat> = parallel_map(streams, shards, &|_slot, stream| {
+        materialize(stream, line_size)
+    });
+    let t_mat = t0.elapsed();
+
+    // Classify lines: count touchers and writes per line across workers.
+    // Private line states are *not* moved out of the directory — the
+    // precompute pass reads them through a shared borrow and the write-back
+    // overwrites them in place, so the phase costs no per-line map churn.
+    let mut info: FastMap<CacheLineId, LineInfo> = FastMap::default();
+    for (slot, mat) in mats.iter().enumerate() {
+        for (&line, &wrote) in &mat.touched {
+            match info.entry(line) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    let entry = entry.get_mut();
+                    entry.touchers += 1;
+                    entry.wrote |= wrote;
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(LineInfo {
+                        owner: slot as u32,
+                        touchers: 1,
+                        wrote,
+                    });
+                }
+            }
+        }
+    }
+    let mut settle = Settle {
+        outstanding: FastMap::default(),
+        unsettled_lines: 0,
+        horizon: 0,
+    };
+    for (&line, entry) in &info {
+        if entry.touchers > 1 && !entry.wrote {
+            settle.outstanding.insert(line, entry.touchers);
+            settle.unsettled_lines += 1;
+        }
+    }
+
+    // Pass 1b: per-worker event precomputation, fanned out on host threads.
+    let inputs: Vec<(Mat, SamplerFork, u32, CoreId, Option<CacheLineId>)> = {
+        let mut inputs = Vec::with_capacity(workers.len());
+        let mut forks = forks.into_iter();
+        for (slot, (mat, worker)) in mats.into_iter().zip(workers.iter()).enumerate() {
+            inputs.push((
+                mat,
+                forks.next().expect("fork per worker"),
+                slot as u32,
+                worker.core,
+                directory.last_line_for(worker.core),
+            ));
+        }
+        inputs
+    };
+    let t_class = t0.elapsed();
+    let latency_ref = &latency;
+    let info_ref = &info;
+    let directory_ref: &Directory = directory;
+    let plans: Vec<WorkerPlan> = parallel_map(inputs, shards, &|_slot, input| {
+        let (mat, fork, me, core, last_line) = input;
+        precompute_worker(
+            me,
+            core,
+            mat,
+            fork,
+            last_line,
+            info_ref,
+            directory_ref,
+            latency_ref,
+            line_size,
+        )
+    });
+    let t_pre = t0.elapsed();
+
+    // Pass 2: deterministic merge on (timestamp, worker, seq).
+    let ends = merge(
+        directory,
+        observer,
+        workers,
+        &plans,
+        &mut settle,
+        phase_index,
+        &latency,
+        line_size,
+    );
+
+    // Write-back: private line states, LLC residency, prefetch trackers and
+    // local statistics fold into the shared directory; worker totals into
+    // the thread contexts.
+    for (slot, plan) in plans.into_iter().enumerate() {
+        for (line, class) in plan.view {
+            debug_assert!(
+                !matches!(class, LineClass::PrivateHot),
+                "hot lines are flushed before write-back"
+            );
+            if let LineClass::Private(state) = class {
+                let state = state.expect("touched private line has a state");
+                directory.restore_line_state(line, state);
+            }
+        }
+        for line in plan.llc_new {
+            directory.llc_insert(line);
+        }
+        directory.set_last_line(workers[slot].core, plan.last_line);
+        directory.absorb_stats(&plan.stats);
+        let ctx = &mut workers[slot];
+        ctx.instructions = plan.instructions;
+        ctx.reads = plan.reads;
+        ctx.writes = plan.writes;
+        ctx.clock = ends[slot];
+    }
+    if debug_timing {
+        let t_all = t0.elapsed();
+        eprintln!(
+            "shard phase {phase_index}: mat={:?} class={:?} pre={:?} merge={:?} total={:?}",
+            t_mat,
+            t_class - t_mat,
+            t_pre - t_class,
+            t_all - t_pre,
+            t_all
+        );
+    }
+    ends
+}
+
+/// Drains a stream into a compact access vector and records which lines it
+/// touches.
+///
+/// A small direct-mapped cache of recently seen lines keeps the hot loop
+/// out of the hash map: workload inner loops cycle over a handful of lines,
+/// so nearly every access hits the cache.
+fn materialize(mut stream: Box<dyn AccessStream>, line_size: u64) -> Mat {
+    const CACHE_WAYS: usize = 8;
+    let mut accesses = Vec::new();
+    let mut work: u64 = 0;
+    let mut touched: FastMap<CacheLineId, bool> = FastMap::default();
+    let mut cache: [(CacheLineId, bool); CACHE_WAYS] = [(CacheLineId(u64::MAX), false); CACHE_WAYS];
+    while let Some(op) = stream.next_op() {
+        match op {
+            Op::Work(n) => work += n,
+            Op::Read(addr) | Op::Write(addr) => {
+                let write = matches!(op, Op::Write(_));
+                let line = addr.line(line_size);
+                let way = &mut cache[(line.0 as usize) & (CACHE_WAYS - 1)];
+                if way.0 != line || (write && !way.1) {
+                    let entry = touched.entry(line).or_insert(false);
+                    *entry |= write;
+                    *way = (line, *entry);
+                }
+                accesses.push(MatAccess {
+                    work_before: std::mem::take(&mut work),
+                    addr,
+                    write,
+                });
+            }
+        }
+    }
+    Mat {
+        accesses,
+        trailing_work: work,
+        touched,
+    }
+}
+
+/// Replays one worker's accesses locally: simulates private lines, judges
+/// every access through the sampling replica, and folds everything that
+/// needs no global time into event leads.
+///
+/// The worker's line view is resolved lazily: each distinct line consults
+/// the phase classification (`info`) and, for private lines, reads the
+/// current MESI state straight out of the (shared-borrowed) directory on
+/// first touch. (Serial phases do not come through here — they use the
+/// fused loop in [`run_serial_sharded`].)
+#[allow(clippy::too_many_arguments)]
+fn precompute_worker(
+    me: u32,
+    core: CoreId,
+    mat: Mat,
+    mut fork: SamplerFork,
+    last_line: Option<CacheLineId>,
+    info: &FastMap<CacheLineId, LineInfo>,
+    directory: &Directory,
+    latency: &LatencyModel,
+    line_size: u64,
+) -> WorkerPlan {
+    let mut view: FastMap<CacheLineId, LineClass> = FastMap::default();
+    view.reserve(mat.touched.len());
+    const HOT_WAYS: usize = 4;
+    let mut events: Vec<Ev> = Vec::new();
+    let mut lead: Cycles = 0;
+    let (mut instructions, mut reads, mut writes) = (0u64, 0u64, 0u64);
+    let mut llc_new: Vec<CacheLineId> = Vec::new();
+    let mut stats = crate::stats::CoherenceStats::default();
+    let cpi = latency.cycles_per_instruction;
+    let l1_cost = latency.l1_hit;
+    // `last.0 + 1` of the previously touched line; u64::MAX when none.
+    let mut next_sequential: u64 = last_line.map_or(u64::MAX, |l| l.0.wrapping_add(1));
+    // Hot private lines, direct-mapped, held out of the view map.
+    let mut hot: [(CacheLineId, LineState); HOT_WAYS] =
+        [(CacheLineId(u64::MAX), LineState::Exclusive(core)); HOT_WAYS];
+    // Pending sampling judgement threshold (see ThreadSampler::next_tag).
+    let mut next_tag: u64 = match &fork {
+        SamplerFork::Replica(replica) => replica.next_tag(),
+        _ => 0,
+    };
+    // Open hit run (unsampled read-shared hits) plus the lead before it.
+    let mut run: Vec<HitRead> = Vec::new();
+    let mut run_lead: Cycles = 0;
+
+    macro_rules! flush_run {
+        () => {
+            if !run.is_empty() {
+                events.push(Ev {
+                    lead: run_lead,
+                    kind: EvKind::HitRun {
+                        reads: std::mem::take(&mut run).into_boxed_slice(),
+                    },
+                });
+            }
+        };
+    }
+
+    for access in &mat.accesses {
+        let MatAccess {
+            work_before,
+            addr,
+            write,
+        } = *access;
+        instructions += work_before;
+        lead += work_before * cpi;
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let line = addr.line(line_size);
+        let (perturbation, surfaced) = match &mut fork {
+            SamplerFork::Transparent => (Some(0), false),
+            SamplerFork::EveryAccess => (None, true),
+            SamplerFork::Replica(replica) => {
+                if instructions >= next_tag {
+                    let judgement = replica.judge(instructions);
+                    next_tag = replica.next_tag();
+                    (Some(judgement.perturbation), judgement.sampled)
+                } else {
+                    (Some(0), false)
+                }
+            }
+        };
+        let sequential = next_sequential == line.0;
+        next_sequential = line.0.wrapping_add(1);
+
+        // Hot path: a recently-used private line, entirely in registers.
+        let way = (line.0 as usize) & (HOT_WAYS - 1);
+        if hot[way].0 == line {
+            let prev = hot[way].1;
+            // The overwhelmingly common case: the line is already owned.
+            let owned_hit = match prev {
+                LineState::Modified(owner) => owner == core,
+                LineState::Exclusive(owner) if !write => owner == core,
+                LineState::Exclusive(owner) if owner == core => {
+                    hot[way].1 = LineState::Modified(core);
+                    true
+                }
+                _ => false,
+            };
+            let (outcome, cost) = if owned_hit {
+                (AccessOutcome::L1Hit, l1_cost)
+            } else {
+                let t = transition(Some(prev), false, core, kind);
+                hot[way].1 = t.state;
+                if t.llc_insert {
+                    llc_new.push(line);
+                }
+                stats.invalidations += t.invalidated;
+                let outcome = if sequential && prefetchable(t.outcome) {
+                    AccessOutcome::Prefetched
+                } else {
+                    t.outcome
+                };
+                (outcome, latency.cost(outcome))
+            };
+            stats.record(outcome);
+            if surfaced {
+                flush_run!();
+                events.push(Ev {
+                    lead: std::mem::take(&mut lead),
+                    kind: EvKind::Private {
+                        addr,
+                        kind,
+                        instrs_before: instructions,
+                        outcome,
+                        cost,
+                        perturbation,
+                    },
+                });
+            } else {
+                lead += cost + perturbation.expect("unsurfaced access has judgement");
+            }
+            instructions += 1;
+            if write {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+            continue;
+        }
+
+        let class = match view.entry(line) {
+            std::collections::hash_map::Entry::Occupied(entry) => match *entry.get() {
+                LineClass::Private(prev) => Resolved::Private(prev),
+                LineClass::ReadSharedTouched => Resolved::ReadSharedHit,
+                LineClass::WriteShared => Resolved::WriteShared,
+                LineClass::PrivateHot => unreachable!("hot lines resolve via the cache"),
+            },
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                let entry = info.get(&line).expect("touched line is classified");
+                if entry.touchers == 1 {
+                    debug_assert_eq!(entry.owner, me, "private line owned elsewhere");
+                    vacant.insert(LineClass::PrivateHot);
+                    Resolved::Private(directory.line_state_of(line))
+                } else if entry.wrote {
+                    vacant.insert(LineClass::WriteShared);
+                    Resolved::WriteShared
+                } else {
+                    vacant.insert(LineClass::ReadSharedTouched);
+                    Resolved::ReadSharedFirst
+                }
+            }
+        };
+        match class {
+            Resolved::Private(prev) => {
+                // Promote into the hot cache, writing the evicted line's
+                // state back into the view. The promoted line's view slot
+                // goes stale until eviction or the final flush — nothing
+                // reads it in between.
+                if hot[way].0 != CacheLineId(u64::MAX) {
+                    let (old_line, old_state) = hot[way];
+                    // The evicted entry's view slot is always Private.
+                    *view
+                        .get_mut(&old_line)
+                        .expect("hot lines come from the view") =
+                        LineClass::Private(Some(old_state));
+                }
+                // `in_llc = false` is exact for a cold private line: LLC
+                // residency implies a directory entry, which the class
+                // would have carried.
+                let t = transition(prev, false, core, kind);
+                hot[way] = (line, t.state);
+                if t.llc_insert {
+                    llc_new.push(line);
+                }
+                stats.invalidations += t.invalidated;
+                let outcome = if sequential && prefetchable(t.outcome) {
+                    AccessOutcome::Prefetched
+                } else {
+                    t.outcome
+                };
+                let cost = latency.cost(outcome);
+                stats.record(outcome);
+                if surfaced {
+                    flush_run!();
+                    events.push(Ev {
+                        lead: std::mem::take(&mut lead),
+                        kind: EvKind::Private {
+                            addr,
+                            kind,
+                            instrs_before: instructions,
+                            outcome,
+                            cost,
+                            perturbation,
+                        },
+                    });
+                } else {
+                    lead += cost + perturbation.expect("unsurfaced access has judgement");
+                }
+            }
+            Resolved::ReadSharedFirst => {
+                debug_assert!(!write, "read-shared line written");
+                flush_run!();
+                events.push(Ev {
+                    lead: std::mem::take(&mut lead),
+                    kind: EvKind::Dir {
+                        addr,
+                        kind,
+                        instrs_before: instructions,
+                        sequential,
+                        settles: true,
+                        surfaced,
+                        perturbation,
+                    },
+                });
+            }
+            Resolved::ReadSharedHit => {
+                debug_assert!(!write, "read-shared line written");
+                if surfaced {
+                    flush_run!();
+                    events.push(Ev {
+                        lead: std::mem::take(&mut lead),
+                        kind: EvKind::SharedHit {
+                            addr,
+                            instrs_before: instructions,
+                            perturbation,
+                        },
+                    });
+                } else {
+                    // Join (or open) the hit run; perturbation lands after
+                    // the hit, i.e. in the next lead.
+                    if run.is_empty() {
+                        run_lead = std::mem::take(&mut lead);
+                        run.push(HitRead { lead: 0, addr });
+                    } else {
+                        run.push(HitRead {
+                            lead: std::mem::take(&mut lead),
+                            addr,
+                        });
+                    }
+                    lead += perturbation.expect("unsurfaced access has judgement");
+                }
+            }
+            Resolved::WriteShared => {
+                flush_run!();
+                events.push(Ev {
+                    lead: std::mem::take(&mut lead),
+                    kind: EvKind::Dir {
+                        addr,
+                        kind,
+                        instrs_before: instructions,
+                        sequential,
+                        settles: false,
+                        surfaced,
+                        perturbation,
+                    },
+                });
+            }
+        }
+        instructions += 1;
+        if write {
+            writes += 1;
+        } else {
+            reads += 1;
+        }
+    }
+    instructions += mat.trailing_work;
+    lead += mat.trailing_work * cpi;
+    flush_run!();
+    events.push(Ev {
+        lead,
+        kind: EvKind::Exit,
+    });
+
+    // Fold the hot cache back into the view for write-back.
+    for (line, state) in hot {
+        if line != CacheLineId(u64::MAX) {
+            *view.get_mut(&line).expect("hot lines come from the view") =
+                LineClass::Private(Some(state));
+        }
+    }
+    let last_line = mat
+        .accesses
+        .last()
+        .map(|a| a.addr.line(line_size))
+        .or(last_line);
+    WorkerPlan {
+        events,
+        instructions,
+        reads,
+        writes,
+        view,
+        llc_new,
+        last_line,
+        stats,
+    }
+}
+
+/// Merge frontier state of one worker.
+struct MergeWorker<'a> {
+    id: ThreadId,
+    core: CoreId,
+    clock: Cycles,
+    events: std::slice::Iter<'a, Ev>,
+    pending: Option<&'a Ev>,
+    /// Non-zero when `pending` is a hit run resumed at this read index.
+    run_cursor: usize,
+}
+
+impl<'a> MergeWorker<'a> {
+    /// Global time of the worker's next event.
+    fn next_time(&self) -> Cycles {
+        let ev = self.pending.expect("live worker has a pending event");
+        if self.run_cursor > 0 {
+            match &ev.kind {
+                EvKind::HitRun { reads } => self.clock + reads[self.run_cursor].lead,
+                _ => unreachable!("run cursor only on hit runs"),
+            }
+        } else {
+            self.clock + ev.lead
+        }
+    }
+}
+
+/// Merges the precomputed event streams in exact global order, performing
+/// every shared-directory access and observer callback; returns each
+/// worker's end time.
+#[allow(clippy::too_many_arguments)]
+fn merge(
+    directory: &mut Directory,
+    observer: &mut dyn ExecObserver,
+    workers: &[ThreadCtx],
+    plans: &[WorkerPlan],
+    settle: &mut Settle,
+    phase_index: u32,
+    latency: &LatencyModel,
+    line_size: u64,
+) -> Vec<Cycles> {
+    let l1_cost = latency.l1_hit;
+    let mut ends = vec![0; workers.len()];
+    let mut merge_workers: Vec<MergeWorker<'_>> = workers
+        .iter()
+        .zip(plans)
+        .map(|(ctx, plan)| {
+            let mut events = plan.events.iter();
+            let pending = events.next();
+            MergeWorker {
+                id: ctx.id,
+                core: ctx.core,
+                clock: ctx.clock,
+                events,
+                pending,
+                run_cursor: 0,
+            }
+        })
+        .collect();
+
+    // Min-heap on (next event time, slot): identical ordering to the
+    // classic loop's (clock, slot) heap with FIFO events per worker.
+    let mut heap: BinaryHeap<Reverse<(Cycles, usize)>> = merge_workers
+        .iter()
+        .enumerate()
+        .map(|(slot, w)| Reverse((w.next_time(), slot)))
+        .collect();
+
+    while let Some(Reverse((_, slot))) = heap.pop() {
+        // Process this worker's events while no other worker could possibly
+        // have an earlier one (the classic loop's burst, in event units).
+        let horizon = heap.peek().map(|Reverse((t, _))| *t);
+        'burst: loop {
+            let w = &mut merge_workers[slot];
+            let ev = w.pending.take().expect("popped worker has an event");
+            match &ev.kind {
+                EvKind::Exit => {
+                    w.clock += ev.lead;
+                    ends[slot] = w.clock;
+                    observer.on_thread_exit(w.id, w.clock);
+                    break 'burst;
+                }
+                EvKind::Dir {
+                    addr,
+                    kind,
+                    instrs_before,
+                    sequential,
+                    settles,
+                    surfaced,
+                    perturbation,
+                } => {
+                    w.clock += ev.lead;
+                    let line = addr.line(line_size);
+                    let result = directory.access_hinted(w.core, line, *kind, w.clock, *sequential);
+                    let latency_cycles = result.latency();
+                    let perturb = surface(
+                        observer,
+                        w,
+                        *addr,
+                        *kind,
+                        result.outcome,
+                        latency_cycles,
+                        *instrs_before,
+                        phase_index,
+                        *surfaced,
+                        *perturbation,
+                    );
+                    w.clock += latency_cycles + perturb;
+                    if *settles {
+                        let remaining = settle
+                            .outstanding
+                            .get_mut(&line)
+                            .expect("settling line is tracked");
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            settle.unsettled_lines -= 1;
+                            settle.horizon = settle.horizon.max(directory.busy_until_of(line));
+                        }
+                    }
+                }
+                EvKind::SharedHit {
+                    addr,
+                    instrs_before,
+                    perturbation,
+                } => {
+                    w.clock += ev.lead;
+                    let line = addr.line(line_size);
+                    let wait = directory.busy_wait(line, w.clock);
+                    directory.record_precomputed(AccessOutcome::L1Hit, wait);
+                    let latency_cycles = wait + l1_cost;
+                    let perturb = surface(
+                        observer,
+                        w,
+                        *addr,
+                        AccessKind::Read,
+                        AccessOutcome::L1Hit,
+                        latency_cycles,
+                        *instrs_before,
+                        phase_index,
+                        true,
+                        *perturbation,
+                    );
+                    w.clock += latency_cycles + perturb;
+                }
+                EvKind::HitRun { reads } => {
+                    let mut cursor = w.run_cursor;
+                    if cursor == 0 {
+                        w.clock += ev.lead;
+                    }
+                    if settle.all_settled(w.clock + reads[cursor].lead) {
+                        // Settled: no read can wait, nothing global is
+                        // touched — fold the whole run atomically.
+                        for read in &reads[cursor..] {
+                            w.clock += read.lead + l1_cost;
+                        }
+                        directory.record_hit_batch((reads.len() - cursor) as u64);
+                        w.run_cursor = 0;
+                    } else {
+                        // Unsettled: walk read by read against the real
+                        // busy windows, yielding at the horizon like the
+                        // classic loop (the first read of this visit is
+                        // unconditional: it was the heap minimum).
+                        let mut first = true;
+                        loop {
+                            if cursor >= reads.len() {
+                                w.run_cursor = 0;
+                                break;
+                            }
+                            let read = &reads[cursor];
+                            let start = w.clock + read.lead;
+                            if !first {
+                                if let Some(h) = horizon {
+                                    if start >= h {
+                                        w.run_cursor = cursor;
+                                        w.pending = Some(ev);
+                                        heap.push(Reverse((start, slot)));
+                                        break 'burst;
+                                    }
+                                }
+                            }
+                            first = false;
+                            w.clock = start;
+                            let wait = directory.busy_wait(read.addr.line(line_size), w.clock);
+                            directory.record_precomputed(AccessOutcome::L1Hit, wait);
+                            w.clock += wait + l1_cost;
+                            cursor += 1;
+                        }
+                    }
+                }
+                EvKind::Private {
+                    addr,
+                    kind,
+                    instrs_before,
+                    outcome,
+                    cost,
+                    perturbation,
+                } => {
+                    w.clock += ev.lead;
+                    // Stats were already counted by the precompute pass.
+                    let perturb = surface(
+                        observer,
+                        w,
+                        *addr,
+                        *kind,
+                        *outcome,
+                        *cost,
+                        *instrs_before,
+                        phase_index,
+                        true,
+                        *perturbation,
+                    );
+                    w.clock += cost + perturb;
+                }
+            }
+            let w = &mut merge_workers[slot];
+            let next = w.events.next().expect("Exit terminates the stream");
+            w.pending = Some(next);
+            let next_time = w.clock + next.lead;
+            if let Some(h) = horizon {
+                if next_time >= h {
+                    heap.push(Reverse((next_time, slot)));
+                    break 'burst;
+                }
+            }
+        }
+    }
+    ends
+}
+
+/// Builds the access record and invokes the observer for a surfaced access;
+/// returns the perturbation to charge (the replica's when one was forked,
+/// otherwise the observer's).
+#[allow(clippy::too_many_arguments)]
+fn surface(
+    observer: &mut dyn ExecObserver,
+    w: &MergeWorker<'_>,
+    addr: Addr,
+    kind: AccessKind,
+    outcome: AccessOutcome,
+    latency: Cycles,
+    instrs_before: u64,
+    phase_index: u32,
+    surfaced: bool,
+    perturbation: Option<Cycles>,
+) -> Cycles {
+    if surfaced {
+        let record = AccessRecord {
+            thread: w.id,
+            core: w.core,
+            addr,
+            kind,
+            outcome,
+            latency,
+            start: w.clock,
+            instrs_before,
+            phase_index,
+            phase_kind: PhaseKind::Parallel,
+        };
+        let returned = observer.on_access(&record);
+        perturbation.unwrap_or(returned)
+    } else {
+        perturbation.expect("unsurfaced access carries its judgement")
+    }
+}
+
+/// Applies `f` to every item on up to `threads` scoped host threads,
+/// preserving index order. Items are distributed round-robin; the result is
+/// independent of the distribution because `f` is pure per item.
+fn parallel_map<T: Send, R: Send>(
+    items: Vec<T>,
+    threads: usize,
+    f: &(dyn Fn(usize, T) -> R + Sync),
+) -> Vec<R> {
+    let count = items.len();
+    let threads = threads.min(count).max(1);
+    if threads <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+    let mut out: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f(i, item)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("shard host thread panicked") {
+                out[i] = Some(result);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}

@@ -47,6 +47,24 @@ impl CoherenceStats {
         }
     }
 
+    /// Adds another set of counters into this one, field by field.
+    ///
+    /// Used to fold worker-local statistics (accumulated off the shared
+    /// directory by sharded execution) back into a run's totals; every
+    /// field is a sum, so absorption order never affects the result.
+    pub fn absorb(&mut self, other: &CoherenceStats) {
+        self.l1_hits += other.l1_hits;
+        self.llc_hits += other.llc_hits;
+        self.memory += other.memory;
+        self.remote_clean += other.remote_clean;
+        self.remote_dirty += other.remote_dirty;
+        self.upgrade_sole += other.upgrade_sole;
+        self.upgrade_invalidate += other.upgrade_invalidate;
+        self.prefetched += other.prefetched;
+        self.invalidations += other.invalidations;
+        self.wait_cycles += other.wait_cycles;
+    }
+
     /// Total number of accesses recorded.
     pub fn total_accesses(&self) -> u64 {
         self.l1_hits

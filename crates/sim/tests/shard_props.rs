@@ -1,0 +1,345 @@
+//! Properties of sharded deterministic execution (`MachineConfig::shards`):
+//!
+//! (a) for random workloads, machine shapes and shard counts, the
+//!     [`RunReport`] is bit-identical to the 1-shard (classic) run;
+//! (b) the merged event stream — every access surfaced to an observer, in
+//!     order, with all fields — is bit-identical to the classic stream;
+//! (c) the replica sampling path (only sampled accesses surfaced) yields
+//!     the identical sample sequence and identical perturbed timings;
+//! (d) oversubscribed phases (more workers than cores) fall back to the
+//!     classic loop and still match.
+
+use cheetah_sim::{
+    AccessKind, AccessRecord, Addr, CountingObserver, Cycles, ExecObserver, LoopStream, Machine,
+    MachineConfig, NullObserver, Op, OpsStream, Program, ProgramBuilder, RunReport,
+    SampleJudgement, SamplerFork, ThreadId, ThreadSampler, ThreadSpec,
+};
+use proptest::prelude::*;
+
+/// Workload shape: a serial init phase plus one or two parallel phases
+/// whose threads mix four traffic classes — thread-private lines, a
+/// read-only shared table, a falsely-shared line of adjacent words, and a
+/// sequential sweep (exercising the prefetch path).
+#[derive(Debug, Clone)]
+struct Shape {
+    threads: u64,
+    cores: u32,
+    iterations: u64,
+    private_stride: u64,
+    work: u64,
+    second_phase: bool,
+    serial_init: bool,
+}
+
+fn build_program(shape: &Shape) -> Program {
+    let Shape {
+        threads,
+        iterations,
+        private_stride,
+        work,
+        second_phase,
+        serial_init,
+        ..
+    } = *shape;
+    let shared_line = Addr(0x1000);
+    let read_table = Addr(0x8000);
+    let private_base = Addr(0x100_000);
+    let sweep_base = Addr(0x900_000);
+
+    let make_workers = |phase: u64| -> Vec<ThreadSpec> {
+        (0..threads)
+            .map(|t| {
+                let body = vec![
+                    // Contended: adjacent words of one line (false sharing).
+                    Op::Write(shared_line.offset(t * 4)),
+                    Op::Read(shared_line.offset(((t + 1) % threads) * 4)),
+                    // Read-only shared table (several lines).
+                    Op::Read(read_table.offset((t % 4) * 64)),
+                    Op::Read(read_table.offset(((t + phase) % 4) * 64)),
+                    // Private accumulator.
+                    Op::Write(private_base.offset(t * private_stride)),
+                    Op::Read(private_base.offset(t * private_stride + 8)),
+                    // Sequential sweep chunk (prefetchable strides).
+                    Op::Read(sweep_base.offset(t * 4096 + (phase % 7) * 64)),
+                    Op::Read(sweep_base.offset(t * 4096 + (phase % 7) * 64 + 64)),
+                    Op::Work(work),
+                ];
+                ThreadSpec::new(
+                    format!("w{phase}-{t}"),
+                    LoopStream::new(body, iterations + t),
+                )
+            })
+            .collect()
+    };
+
+    let mut builder = ProgramBuilder::new("shard-prop");
+    if serial_init {
+        let mut init = Vec::new();
+        for i in 0..threads * 2 {
+            init.push(Op::Write(shared_line.offset(i * 4)));
+            init.push(Op::Write(read_table.offset(i * 32)));
+        }
+        builder = builder.serial(ThreadSpec::new("init", OpsStream::new(init)));
+    }
+    builder = builder.parallel(make_workers(0));
+    if second_phase {
+        builder = builder.parallel(make_workers(1));
+    }
+    builder.build()
+}
+
+fn run(shape: &Shape, shards: u32, observer: &mut dyn ExecObserver) -> RunReport {
+    let config = MachineConfig::with_cores(shape.cores).with_shards(shards);
+    Machine::new(config).run(build_program(shape), observer)
+}
+
+/// Observer recording the full surfaced access stream (EveryAccess mode)
+/// and perturbing every access, so timing feedback is exercised too.
+#[derive(Default)]
+struct Recorder {
+    records: Vec<AccessRecord>,
+    exits: Vec<(ThreadId, Cycles)>,
+}
+
+impl ExecObserver for Recorder {
+    fn on_access(&mut self, record: &AccessRecord) -> Cycles {
+        self.records.push(*record);
+        // Deterministic, access-dependent perturbation.
+        (record.addr.0 % 7) + u64::from(record.kind.is_write())
+    }
+
+    fn on_thread_exit(&mut self, thread: ThreadId, now: Cycles) {
+        self.exits.push((thread, now));
+    }
+}
+
+/// A modulo sampler with a faithful replica: samples the accesses whose
+/// retired-instruction index is a multiple of `period`, charging a fixed
+/// trap cost — the minimal honest implementation of the replica contract.
+struct ModuloSampler {
+    period: u64,
+    trap: Cycles,
+    samples: Vec<(ThreadId, Addr, Cycles, Cycles)>,
+}
+
+struct ModuloReplica {
+    period: u64,
+    trap: Cycles,
+}
+
+impl ThreadSampler for ModuloReplica {
+    fn judge(&mut self, instrs_before: u64) -> SampleJudgement {
+        let sampled = instrs_before.is_multiple_of(self.period);
+        SampleJudgement {
+            perturbation: if sampled { self.trap } else { 0 },
+            sampled,
+        }
+    }
+}
+
+impl ExecObserver for ModuloSampler {
+    fn on_access(&mut self, record: &AccessRecord) -> Cycles {
+        if record.instrs_before.is_multiple_of(self.period) {
+            self.samples
+                .push((record.thread, record.addr, record.latency, record.start));
+            self.trap
+        } else {
+            0
+        }
+    }
+
+    fn fork_sampler(&mut self, _thread: ThreadId) -> SamplerFork {
+        SamplerFork::Replica(Box::new(ModuloReplica {
+            period: self.period,
+            trap: self.trap,
+        }))
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (
+        (1u64..7, 0u32..2, 1u64..40),
+        (
+            proptest::sample::select(vec![64u64, 72, 128]),
+            0u64..12,
+            proptest::bool::ANY,
+            proptest::bool::ANY,
+        ),
+    )
+        .prop_map(
+            |(
+                (threads, extra_cores, iterations),
+                (private_stride, work, second_phase, serial_init),
+            )| {
+                Shape {
+                    threads,
+                    cores: threads as u32 + 1 + extra_cores,
+                    iterations,
+                    private_stride,
+                    work,
+                    second_phase,
+                    serial_init,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) Reports are bit-identical across shard counts, transparent
+    /// observer.
+    #[test]
+    fn reports_identical_across_shard_counts(shape in arb_shape(), shards in 2u32..9) {
+        let baseline = run(&shape, 1, &mut NullObserver);
+        let sharded = run(&shape, shards, &mut NullObserver);
+        prop_assert_eq!(&baseline, &sharded);
+    }
+
+    /// (b) The full surfaced event stream (EveryAccess observers) matches
+    /// the classic stream record for record, including perturbation
+    /// feedback into the clocks and thread-exit times.
+    #[test]
+    fn merged_event_stream_identical(shape in arb_shape(), shards in 2u32..6) {
+        let mut classic = Recorder::default();
+        let baseline = run(&shape, 1, &mut classic);
+        let mut merged = Recorder::default();
+        let sharded = run(&shape, shards, &mut merged);
+        prop_assert_eq!(&baseline, &sharded);
+        prop_assert_eq!(classic.records.len(), merged.records.len());
+        prop_assert_eq!(&classic.records, &merged.records);
+        prop_assert_eq!(&classic.exits, &merged.exits);
+    }
+
+    /// (c) Replica sampling: identical sample sequence (content and order)
+    /// and identical perturbed report.
+    #[test]
+    fn replica_sampling_identical(shape in arb_shape(), shards in 2u32..6, period in 1u64..9) {
+        let mut classic = ModuloSampler { period, trap: 1_000, samples: Vec::new() };
+        let baseline = run(&shape, 1, &mut classic);
+        let mut sharded_sampler = ModuloSampler { period, trap: 1_000, samples: Vec::new() };
+        let sharded = run(&shape, shards, &mut sharded_sampler);
+        prop_assert_eq!(&baseline, &sharded);
+        prop_assert_eq!(&classic.samples, &sharded_sampler.samples);
+    }
+
+    /// (d) Oversubscribed phases (workers > cores) take the classic
+    /// fallback and still produce identical reports.
+    #[test]
+    fn oversubscription_falls_back_consistently(
+        threads in 3u64..8,
+        shards in 2u32..6,
+        iterations in 1u64..30,
+    ) {
+        let shape = Shape {
+            threads,
+            cores: 2, // fewer cores than workers: same-core interleaving
+            iterations,
+            private_stride: 64,
+            work: 3,
+            second_phase: true,
+            serial_init: true,
+        };
+        let baseline = run(&shape, 1, &mut NullObserver);
+        let sharded = run(&shape, shards, &mut NullObserver);
+        prop_assert_eq!(&baseline, &sharded);
+    }
+}
+
+/// Counting observers (EveryAccess) see every access exactly once under
+/// sharding.
+#[test]
+fn counting_observer_counts_match() {
+    let shape = Shape {
+        threads: 4,
+        cores: 8,
+        iterations: 50,
+        private_stride: 64,
+        work: 5,
+        second_phase: true,
+        serial_init: true,
+    };
+    let mut classic = CountingObserver::default();
+    let baseline = run(&shape, 1, &mut classic);
+    let mut sharded_counter = CountingObserver::default();
+    let sharded = run(&shape, 4, &mut sharded_counter);
+    assert_eq!(baseline, sharded);
+    assert_eq!(classic.accesses, sharded_counter.accesses);
+    assert_eq!(classic.writes, sharded_counter.writes);
+    assert_eq!(classic.thread_starts, sharded_counter.thread_starts);
+    assert_eq!(classic.thread_exits, sharded_counter.thread_exits);
+    assert_eq!(classic.phase_starts, sharded_counter.phase_starts);
+    assert_eq!(classic.phase_ends, sharded_counter.phase_ends);
+}
+
+/// `shards = 0` resolves to the host parallelism and stays bit-identical.
+#[test]
+fn auto_shards_identical() {
+    let shape = Shape {
+        threads: 3,
+        cores: 16,
+        iterations: 40,
+        private_stride: 72,
+        work: 2,
+        second_phase: false,
+        serial_init: true,
+    };
+    let baseline = run(&shape, 1, &mut NullObserver);
+    let auto = run(&shape, 0, &mut NullObserver);
+    assert_eq!(baseline, auto);
+}
+
+/// A run dominated by false sharing (every access contended) still merges
+/// identically — the worst case for the classifier, where no access is
+/// precomputable.
+#[test]
+fn fully_contended_run_identical() {
+    let shared = Addr(0x4000);
+    let build = || {
+        ProgramBuilder::new("contended")
+            .parallel(
+                (0..4u64)
+                    .map(|t| {
+                        ThreadSpec::new(
+                            format!("w{t}"),
+                            LoopStream::new(
+                                vec![
+                                    Op::Read(shared.offset(t * 4)),
+                                    Op::Write(shared.offset(t * 4)),
+                                ],
+                                500,
+                            ),
+                        )
+                    })
+                    .collect(),
+            )
+            .build()
+    };
+    let classic = Machine::new(MachineConfig::with_cores(8)).run(build(), &mut NullObserver);
+    let sharded =
+        Machine::new(MachineConfig::with_cores(8).with_shards(4)).run(build(), &mut NullObserver);
+    assert_eq!(classic, sharded);
+    assert!(classic.coherence.invalidations > 100);
+}
+
+/// Reads and writes of `AccessKind` reach observers with the right kinds
+/// under sharding (spot check of record fidelity beyond plain equality).
+#[test]
+fn surfaced_records_have_expected_kinds() {
+    let shape = Shape {
+        threads: 2,
+        cores: 4,
+        iterations: 10,
+        private_stride: 64,
+        work: 1,
+        second_phase: false,
+        serial_init: false,
+    };
+    let mut rec = Recorder::default();
+    run(&shape, 3, &mut rec);
+    assert!(rec
+        .records
+        .iter()
+        .any(|r| r.kind == AccessKind::Write && r.addr.0 >= 0x100_000));
+    assert!(rec.records.iter().any(|r| r.kind == AccessKind::Read));
+}

@@ -34,7 +34,7 @@ const TOTAL_ELEMS: u64 = 16;
 ///
 /// # Panics
 ///
-/// Panics if `config.threads` exceeds [`TOTAL_ELEMS`] (the window would be
+/// Panics if `config.threads` exceeds the total element count (the window would be
 /// empty).
 pub fn build(config: &AppConfig) -> WorkloadInstance {
     assert!(
