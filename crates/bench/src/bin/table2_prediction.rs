@@ -45,13 +45,17 @@ fn measure(cell: SweepCell, shards: u32) -> Row {
     let detector_overhead = profiled as f64 / native as f64 - 1.0;
 
     // The fixpoint loop: fix, re-profile, repeat until nothing significant
-    // remains.
+    // remains. Cross-object cells run exhaustively with a thread-scaled
+    // iteration bound (see `cheetah_workloads::sweep`).
     let harness = ValidationHarness::calibrated(machine, cheetah);
     let trace = converge(
         &harness,
         cell.app.name(),
         || cell.app.build(&config),
-        &ConvergeConfig::default(),
+        &ConvergeConfig {
+            max_iterations: cell.max_iterations,
+            min_predicted_improvement: cell.min_predicted_improvement,
+        },
     )
     .expect("synthesized repairs must apply");
     Row {
@@ -132,7 +136,7 @@ fn main() {
             record,
             "    {{\"workload\": \"{}\", \"threads\": {}, \"scale\": {}, \"period\": {}, \
              \"iterations\": {}, \"converged\": {}, \"residual\": {}, \
-             \"instance\": \"{}\", \"strategy\": \"{}\", \
+             \"instance\": \"{}\", \"strategy\": \"{}\", \"co_residents\": {}, \
              \"predicted_speedup\": {:.6}, \"actual_speedup\": {:.6}, \
              \"prediction_error\": {:.6}, \"worst_step_error\": {:.6}, \
              \"total_measured_speedup\": {:.6}, \
@@ -147,6 +151,7 @@ fn main() {
             row.trace.residual_significant,
             first.map_or("(none)".to_string(), |i| i.label.clone()),
             first.map_or("-".to_string(), |i| i.strategy.to_string()),
+            first.map_or(1, |i| i.co_residents),
             first.map_or(0.0, |i| i.predicted),
             first.map_or(0.0, |i| i.measured),
             // First-fix error matches the predicted/actual pair above;

@@ -25,11 +25,52 @@
 //!    each thread's spawn offset within the phase, so an unchanged profile
 //!    predicts exactly the real runtime); serial phases are unchanged:
 //!    `PerfImprove = RT_App / PredRT_App`.
+//!
+//! ## Per-object vs. line-level credit
+//!
+//! The paper's model is *per object*: step 2 subtracts only the fixed
+//! object's own cycles from each thread. That under-credits inter-object
+//! false sharing — two small objects packed into one cache line, where
+//! padding either object away frees its neighbour too. [`AssessModel`]
+//! selects between the faithful per-object reference path and the
+//! line-level refinement: with [`AssessModel::LineLevel`], a repair's
+//! credit is computed per *cache line* from the detector's co-residency
+//! records ([`crate::detect::lines`]) — when evicting the object leaves
+//! the rest of the line uncontended, **every** thread's traffic on the
+//! line is predicted to reach post-fix latency; when co-residents keep
+//! contending (three-plus packed objects), only the evicted object's own
+//! traffic is credited. On lines the object occupies alone the two models
+//! are numerically identical (a property the test suite asserts), so the
+//! refinement changes nothing for the paper's intra-object workloads.
 
 use crate::classify::SharingInstance;
+use crate::detect::detector::ThreadOnObject;
 use cheetah_runtime::{PhaseInterval, ThreadRegistry};
 use cheetah_sim::{Cycles, PhaseKind, ThreadId};
 use std::fmt;
+
+/// Which credit model an assessment uses (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssessModel {
+    /// The paper's §3.2 model: only traffic on the fixed object itself is
+    /// predicted to reach post-fix latency. Kept as the reference path for
+    /// equivalence testing (the `shards = 1` of assessment).
+    PerObject,
+    /// Line-granular credit: traffic of co-resident objects is credited
+    /// too whenever evicting the fixed object leaves their line
+    /// uncontended — the joint payoff of a cross-object repair.
+    #[default]
+    LineLevel,
+}
+
+impl fmt::Display for AssessModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssessModel::PerObject => f.write_str("per-object"),
+            AssessModel::LineLevel => f.write_str("line-level"),
+        }
+    }
+}
 
 /// Inputs shared by every instance assessment of one profile.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +88,13 @@ pub struct AssessContext<'a> {
     /// recorded instruction counts the compute estimate is zero and Eq. 3
     /// reduces to the paper's pure proportionality.
     pub cycles_per_instruction: f64,
+    /// Baseline cost of a single coherence transfer on the profiled
+    /// machine (see [`crate::DetectorConfig::coherence_miss_latency`]).
+    /// The line-level model uses it to split a contended access's sampled
+    /// latency into the transfer itself and the *queueing wait* behind
+    /// other sharers' in-flight transfers; only the wait shrinks when an
+    /// eviction reduces the line's sharer count without freeing it.
+    pub coherence_latency: f64,
 }
 
 /// Predicted effect of a fix on one thread.
@@ -67,6 +115,8 @@ pub struct ThreadAssessment {
 /// Predicted effect of fixing one sharing instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Assessment {
+    /// Credit model the prediction was computed under.
+    pub model: AssessModel,
     /// `PerfImprove = RT_App / PredRT_App`; 1.0 means no improvement.
     pub improvement: f64,
     /// Measured application runtime.
@@ -103,6 +153,130 @@ impl fmt::Display for Assessment {
     }
 }
 
+/// What a repair removes from one thread's sampled cycles within one
+/// phase (Eq. 2's inputs, generalised to fractional relief).
+///
+/// `removed_cycles` is subtracted from the thread's `Cycles_t`;
+/// `credited_accesses` is the number of accesses added back at the
+/// post-fix latency `AverCycles_nofs`. Traffic whose latency merely
+/// *shrinks* (a contended line losing one of three sharers) contributes
+/// removed cycles without a corresponding post-fix credit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Relief {
+    removed_cycles: f64,
+    credited_accesses: f64,
+}
+
+impl Relief {
+    fn full(traffic: ThreadOnObject) -> Relief {
+        Relief {
+            removed_cycles: traffic.cycles as f64,
+            credited_accesses: traffic.accesses as f64,
+        }
+    }
+
+    fn add_full(&mut self, traffic: ThreadOnObject) {
+        self.removed_cycles += traffic.cycles as f64;
+        self.credited_accesses += traffic.accesses as f64;
+    }
+}
+
+/// The traffic a repair of `instance` relieves for one thread within one
+/// phase, under the chosen credit model.
+///
+/// Per-object: the thread's sampled traffic on the instance itself.
+/// Line-level, per contended line of the instance:
+///
+/// * residual uncontended — evicting the instance frees the line, so the
+///   whole line's traffic (every co-resident's) is credited with post-fix
+///   latency;
+/// * residual still contended — the instance's own traffic is credited in
+///   full, and the co-residents' remaining traffic is *partially*
+///   relieved: its queueing wait scales with the surviving sharer count.
+///   A sampled contended access costs roughly one coherence transfer
+///   (`ctx.coherence_latency`) plus the wait behind the other sharers'
+///   transfers, and the wait is proportional to their number, so a slice
+///   with mean latency `L` is predicted to cost
+///   `base + (L - base) * (sharers_after - 1) / (sharers_before - 1)`
+///   per access once the eviction drops the sharer count. Phases where
+///   the residual collapses to a single thread get the full credit.
+fn relieved_in_phase(
+    instance: &SharingInstance,
+    ctx: &AssessContext<'_>,
+    model: AssessModel,
+    thread: ThreadId,
+    phase: u32,
+) -> Relief {
+    match model {
+        AssessModel::PerObject => {
+            Relief::full(instance.thread_in_phase(thread, phase).unwrap_or_default())
+        }
+        AssessModel::LineLevel => {
+            let mut relief = Relief::default();
+            for line in &instance.line_residency {
+                if !line.residual_contended {
+                    relief.add_full(line.relieved(thread, phase));
+                    continue;
+                }
+                // The instance's own traffic leaves the line entirely.
+                relief.add_full(line.relieved(thread, phase));
+                let residual = line.residual(thread, phase);
+                if residual.accesses == 0 {
+                    continue;
+                }
+                let after = line.residual_sharers_in_phase(phase);
+                if after <= 1 {
+                    // This phase's residual is single-threaded: free.
+                    relief.add_full(residual);
+                    continue;
+                }
+                let before = line.sharers_in_phase(phase).max(after);
+                if before <= after {
+                    // Eviction does not reduce this phase's sharer count
+                    // (the evicted threads also ride co-resident objects):
+                    // nothing shrinks.
+                    continue;
+                }
+                let mean = residual.cycles as f64 / residual.accesses as f64;
+                let base = ctx.coherence_latency;
+                if mean <= base {
+                    continue;
+                }
+                let shrunk = base + (mean - base) * (after as f64 - 1.0) / (before as f64 - 1.0);
+                relief.removed_cycles += (mean - shrunk) * residual.accesses as f64;
+            }
+            relief
+        }
+    }
+}
+
+/// Threads whose traffic a repair relieves, first-touch order — the
+/// "related threads" of the paper's Fig. 5 totals, widened to line
+/// co-residents under [`AssessModel::LineLevel`].
+fn related_threads(instance: &SharingInstance, model: AssessModel) -> Vec<ThreadId> {
+    match model {
+        AssessModel::PerObject => instance.per_thread.iter().map(|(t, _)| *t).collect(),
+        AssessModel::LineLevel => {
+            let mut threads = Vec::new();
+            for line in &instance.line_residency {
+                for thread in line.relieved_threads() {
+                    if !threads.contains(&thread) {
+                        threads.push(thread);
+                    }
+                }
+            }
+            threads
+        }
+    }
+}
+
+/// Assesses the performance impact of fixing `instance` under the paper's
+/// per-object credit model — the reference path; see [`assess_with_model`]
+/// for the line-level refinement.
+pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment {
+    assess_with_model(instance, ctx, AssessModel::PerObject)
+}
+
 /// Assesses the performance impact of fixing `instance`.
 ///
 /// Threads without samples are predicted to keep their measured runtime;
@@ -115,7 +289,11 @@ impl fmt::Display for Assessment {
 /// Using whole-run totals here would subtract the thread's object cycles
 /// from every phase it appears in and scale each phase's runtime by a
 /// ratio mixing in the other phases' samples.
-pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment {
+pub fn assess_with_model(
+    instance: &SharingInstance,
+    ctx: &AssessContext<'_>,
+    model: AssessModel,
+) -> Assessment {
     let mut predicted_app = 0.0f64;
     let mut per_thread = Vec::new();
 
@@ -140,15 +318,13 @@ pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment
                             }
                             None => (phase.duration(), 0, 0, 0),
                         };
-                    let on_object = instance
-                        .thread_in_phase(thread, phase.index)
-                        .unwrap_or_default();
-                    // Eq. 1, applied to this thread's share of the object
-                    // within this phase.
-                    let pred_cycles_o = ctx.aver_cycles_nofs * on_object.accesses as f64;
+                    let relief = relieved_in_phase(instance, ctx, model, thread, phase.index);
+                    // Eq. 1, applied to this thread's share of the relieved
+                    // traffic within this phase.
+                    let pred_cycles_o = ctx.aver_cycles_nofs * relief.credited_accesses;
                     // Eq. 2.
                     let pred_cycles_t =
-                        (cycles_t as f64 - on_object.cycles as f64 + pred_cycles_o).max(0.0);
+                        (cycles_t as f64 - relief.removed_cycles + pred_cycles_o).max(0.0);
                     // Eq. 3, refined: the retired-instruction counter splits
                     // RT_t into compute (which a layout fix cannot shrink)
                     // and memory-stall time; only the stall time scales with
@@ -176,8 +352,8 @@ pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment
         }
     }
 
-    // Threads "related" to the object: those that touched it.
-    let related: Vec<ThreadId> = instance.per_thread.iter().map(|(t, _)| *t).collect();
+    // Threads "related" to the repair: those whose traffic it relieves.
+    let related = related_threads(instance, model);
     let mut total_thread_accesses = 0;
     let mut total_thread_cycles = 0;
     for &thread in &related {
@@ -193,6 +369,7 @@ pub fn assess(instance: &SharingInstance, ctx: &AssessContext<'_>) -> Assessment
         1.0
     };
     Assessment {
+        model,
         improvement,
         real_runtime: ctx.app_runtime,
         predicted_runtime: predicted_app,
@@ -282,6 +459,7 @@ mod tests {
             per_thread_phase,
             truly_shared_accesses: 0,
             words: vec![],
+            line_residency: vec![],
         }
     }
 
@@ -296,6 +474,7 @@ mod tests {
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
             cycles_per_instruction: 1.0,
+            coherence_latency: 150.0,
         };
         let result = assess(&inst, &ctx);
         assert!(
@@ -325,6 +504,7 @@ mod tests {
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
             cycles_per_instruction: 1.0,
+            coherence_latency: 150.0,
         };
         let result = assess(&inst, &ctx);
         // Predicted: serial 100 + parallel 100 + serial 100 = 300.
@@ -356,6 +536,7 @@ mod tests {
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
             cycles_per_instruction: 1.0,
+            coherence_latency: 150.0,
         };
         let result = assess(&inst, &ctx);
         assert!(
@@ -381,6 +562,7 @@ mod tests {
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
             cycles_per_instruction: 1.0,
+            coherence_latency: 150.0,
         };
         let result = assess(&inst, &ctx);
         assert!((result.improvement - 1.0).abs() < 1e-9);
@@ -459,6 +641,7 @@ mod tests {
             aver_cycles_nofs: 10.0,
             app_runtime: 2200,
             cycles_per_instruction: 1.0,
+            coherence_latency: 150.0,
         };
         let result = assess(&inst, &ctx);
         // Phase 1 shrinks 10x (1000 -> 100); phase 3 must stay at 1000.
@@ -482,6 +665,103 @@ mod tests {
         assert!((result.improvement - 2200.0 / 1300.0).abs() < 1e-3);
     }
 
+    /// The inter-object shape in miniature: the instance's own traffic is
+    /// thread 1's, but its line also hosts a co-resident object hammered by
+    /// thread 2. Per-object credit leaves thread 2 untouched (the phase
+    /// stays long); line-level credit frees the whole line.
+    #[test]
+    fn line_level_credits_co_resident_threads() {
+        use crate::detect::lines::LineResidency;
+        use cheetah_sim::CacheLineId;
+
+        let phases = phases();
+        let registry = registry(&[(1, 10_000, 100), (2, 10_000, 100)]);
+        let on_obj = ThreadOnObject {
+            accesses: 100,
+            cycles: 10_000,
+        };
+        let mut inst = instance(vec![(ThreadId(1), on_obj)]);
+        inst.line_residency = vec![LineResidency {
+            line: CacheLineId(0x4000_0000 / 64),
+            residents: vec![ObjectKey::Heap(ObjectId(0)), ObjectKey::Heap(ObjectId(1))],
+            own: vec![((ThreadId(1), 1), on_obj)],
+            all: vec![((ThreadId(1), 1), on_obj), ((ThreadId(2), 1), on_obj)],
+            residual_contended: false,
+        }];
+        let ctx = AssessContext {
+            phases: &phases,
+            threads: &registry,
+            aver_cycles_nofs: 10.0,
+            app_runtime: 1200,
+            cycles_per_instruction: 1.0,
+            coherence_latency: 150.0,
+        };
+        let per_object = assess_with_model(&inst, &ctx, AssessModel::PerObject);
+        assert!(
+            (per_object.improvement - 1.0).abs() < 1e-6,
+            "thread 2 limits the phase under per-object credit: {}",
+            per_object.improvement
+        );
+        assert_eq!(per_object.total_threads, 1);
+        let line_level = assess_with_model(&inst, &ctx, AssessModel::LineLevel);
+        assert!(
+            (line_level.improvement - 4.0).abs() < 0.05,
+            "joint credit must free both threads: {}",
+            line_level.improvement
+        );
+        assert_eq!(line_level.total_threads, 2);
+        assert_eq!(line_level.model, AssessModel::LineLevel);
+
+        // A contended residual (three-plus co-residents, two of them
+        // surviving the eviction) collapses the credit back to the
+        // instance's own traffic: with the residual slices' mean latency
+        // at the coherence baseline there is no wait to shrink, so thread
+        // 2 keeps its runtime and the phase stays long.
+        inst.line_residency[0].residual_contended = true;
+        inst.line_residency[0]
+            .residents
+            .push(ObjectKey::Heap(ObjectId(2)));
+        inst.line_residency[0].all.push(((ThreadId(3), 1), on_obj));
+        let conservative = assess_with_model(&inst, &ctx, AssessModel::LineLevel);
+        assert!(
+            (conservative.improvement - 1.0).abs() < 1e-6,
+            "got {}",
+            conservative.improvement
+        );
+
+        // Raise the residual's mean latency above the coherence baseline
+        // and the wait component shrinks with the sharer count: thread 2's
+        // predicted runtime drops below its measured one, but not to the
+        // post-fix floor.
+        let heavier = super::tests::registry(&[(1, 10_000, 100), (2, 40_000, 100)]);
+        let ctx = AssessContext {
+            threads: &heavier,
+            ..ctx
+        };
+        for ((thread, _), traffic) in &mut inst.line_residency[0].all {
+            if *thread != ThreadId(1) {
+                traffic.cycles = 40_000;
+            }
+        }
+        let partially = assess_with_model(&inst, &ctx, AssessModel::LineLevel);
+        let thread2 = partially
+            .per_thread
+            .iter()
+            .find(|t| t.thread == ThreadId(2))
+            .unwrap();
+        // 3 sharers drop to 2: the slice's mean latency 400 shrinks to
+        // base 150 plus half the 250-cycle wait = 275 per access.
+        assert!(
+            (thread2.predicted_cycles - 27_500.0).abs() < 1e-6,
+            "residual wait must shrink by the sharer ratio: {}",
+            thread2.predicted_cycles
+        );
+        assert!(
+            thread2.predicted_cycles > ctx.aver_cycles_nofs * 100.0,
+            "residual must not be credited at post-fix latency"
+        );
+    }
+
     #[test]
     fn improvement_rate_is_percentage() {
         let phases = phases();
@@ -497,6 +777,7 @@ mod tests {
             aver_cycles_nofs: 10.0,
             app_runtime: 1200,
             cycles_per_instruction: 1.0,
+            coherence_latency: 150.0,
         };
         let result = assess(&inst, &ctx);
         assert!((result.improvement_rate_percent() - result.improvement * 100.0).abs() < 1e-9);

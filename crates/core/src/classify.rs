@@ -9,6 +9,7 @@
 
 use crate::config::DetectorConfig;
 use crate::detect::detector::{Detector, ObjectKey, ThreadOnObject};
+use crate::detect::lines::LineResidency;
 use crate::detect::words::WordStats;
 use cheetah_heap::{AddressSpace, CallStack, Location};
 use cheetah_sim::{Addr, Cycles, ThreadId, WORD_BYTES};
@@ -105,6 +106,10 @@ pub struct SharingInstance {
     pub truly_shared_accesses: u64,
     /// Word-granularity profile (touched words only) — the padding guide.
     pub words: Vec<WordReport>,
+    /// Per-line co-residency: which objects share each of the instance's
+    /// contended lines and how much joint traffic a repair would relieve —
+    /// the input of the line-granular assessment path.
+    pub line_residency: Vec<LineResidency>,
 }
 
 impl SharingInstance {
@@ -132,6 +137,16 @@ impl SharingInstance {
     /// Number of distinct threads that touched the object.
     pub fn thread_count(&self) -> usize {
         self.per_thread.len()
+    }
+
+    /// The largest number of co-resident objects on any of the instance's
+    /// lines (1 = sole resident everywhere; 2+ = inter-object sharing).
+    pub fn max_co_residents(&self) -> usize {
+        self.line_residency
+            .iter()
+            .map(LineResidency::co_resident_count)
+            .max()
+            .unwrap_or(1)
     }
 }
 
@@ -176,7 +191,11 @@ pub fn collect_instances(detector: &Detector, space: &AddressSpace) -> Vec<Shari
         let descriptor = describe(space, accum.key);
         let mut words = Vec::new();
         let mut truly_shared_accesses = 0;
+        let mut line_residency = Vec::new();
         for &line in accum.lines() {
+            if let Some(line_accum) = detector.line_accum(line) {
+                line_residency.push(line_accum.residency_for(accum.key));
+            }
             let Some(state) = detector.shadow().get(line) else {
                 continue;
             };
@@ -232,6 +251,7 @@ pub fn collect_instances(detector: &Detector, space: &AddressSpace) -> Vec<Shari
             per_thread_phase: accum.thread_phases().collect(),
             truly_shared_accesses,
             words,
+            line_residency,
         });
     }
     instances

@@ -1,5 +1,6 @@
 //! Configuration of the detection and reporting pipeline.
 
+use crate::assess::AssessModel;
 use cheetah_pmu::SamplerConfig;
 
 /// Tunables of the [`crate::Detector`].
@@ -25,6 +26,13 @@ pub struct DetectorConfig {
     /// latter to shrink after a fix; like the serial-latency fallback it is
     /// a machine constant known ahead of profiling.
     pub cycles_per_instruction: f64,
+    /// Cost of one cache-to-cache coherence transfer on the profiled
+    /// machine — the third machine constant the assessment uses. The
+    /// line-level model treats a contended access's sampled latency as one
+    /// transfer plus the queueing wait behind the line's other sharers;
+    /// when an eviction shrinks a line's sharer count without freeing it,
+    /// only the wait component above this baseline scales down.
+    pub coherence_miss_latency: f64,
 }
 
 impl Default for DetectorConfig {
@@ -36,6 +44,7 @@ impl Default for DetectorConfig {
             true_share_fraction: 0.05,
             default_serial_latency: 12.0,
             cycles_per_instruction: 1.0,
+            coherence_miss_latency: 150.0,
         }
     }
 }
@@ -64,6 +73,10 @@ impl DetectorConfig {
             self.cycles_per_instruction >= 0.0,
             "cycles per instruction must be non-negative"
         );
+        assert!(
+            self.coherence_miss_latency >= 0.0,
+            "coherence miss latency must be non-negative"
+        );
     }
 }
 
@@ -74,6 +87,11 @@ pub struct CheetahConfig {
     pub sampler: SamplerConfig,
     /// Detection configuration.
     pub detector: DetectorConfig,
+    /// Credit model for fix-impact assessment. Defaults to
+    /// [`AssessModel::LineLevel`] (joint credit for co-resident objects);
+    /// [`AssessModel::PerObject`] selects the paper's §3.2 reference
+    /// model.
+    pub assess_model: AssessModel,
 }
 
 impl CheetahConfig {
@@ -88,7 +106,7 @@ impl CheetahConfig {
     pub fn with_period(period: u64) -> Self {
         CheetahConfig {
             sampler: SamplerConfig::with_period(period),
-            detector: DetectorConfig::default(),
+            ..CheetahConfig::default()
         }
     }
 
@@ -99,8 +117,14 @@ impl CheetahConfig {
     pub fn scaled(period: u64) -> Self {
         CheetahConfig {
             sampler: SamplerConfig::scaled_to_period(period),
-            detector: DetectorConfig::default(),
+            ..CheetahConfig::default()
         }
+    }
+
+    /// Same configuration with the given assessment credit model.
+    pub fn with_assess_model(mut self, model: AssessModel) -> Self {
+        self.assess_model = model;
+        self
     }
 }
 

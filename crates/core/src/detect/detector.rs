@@ -10,6 +10,7 @@
 
 use crate::config::DetectorConfig;
 use crate::detect::line_state::{LineState, StagedSample};
+use crate::detect::lines::LineAccum;
 use cheetah_heap::{AddressSpace, Location, ShadowMap};
 use cheetah_pmu::Sample;
 use cheetah_sim::util::{FastMap, FastSet};
@@ -189,11 +190,15 @@ pub struct Detector {
     shadow: ShadowMap<LineState>,
     objects: FastMap<ObjectKey, ObjectAccum>,
     object_order: Vec<ObjectKey>,
+    lines: FastMap<CacheLineId, LineAccum>,
     total_samples: u64,
     filtered_samples: u64,
     unattributed_samples: u64,
+    /// Histogram of serial-phase sampled latencies (latency -> count):
+    /// bounded by the machine's handful of distinct latency costs, unlike
+    /// storing every sample.
+    serial_latencies: FastMap<Cycles, u64>,
     serial_samples: u64,
-    serial_cycles: Cycles,
 }
 
 impl Detector {
@@ -211,11 +216,12 @@ impl Detector {
             shadow: ShadowMap::new(line_size),
             objects: FastMap::default(),
             object_order: Vec::new(),
+            lines: FastMap::default(),
             total_samples: 0,
             filtered_samples: 0,
             unattributed_samples: 0,
+            serial_latencies: FastMap::default(),
             serial_samples: 0,
-            serial_cycles: 0,
         }
     }
 
@@ -239,8 +245,8 @@ impl Detector {
         if !sample.in_parallel_phase() {
             // Serial-phase samples only contribute the no-false-sharing
             // latency baseline.
+            *self.serial_latencies.entry(sample.latency).or_insert(0) += 1;
             self.serial_samples += 1;
-            self.serial_cycles += sample.latency;
             return;
         }
         let threshold = self.config.write_threshold;
@@ -283,6 +289,7 @@ impl Detector {
                 detail,
                 &mut self.objects,
                 &mut self.object_order,
+                &mut self.lines,
                 &mut self.unattributed_samples,
                 space,
                 line,
@@ -301,6 +308,7 @@ impl Detector {
             detail,
             &mut self.objects,
             &mut self.object_order,
+            &mut self.lines,
             &mut self.unattributed_samples,
             space,
             line,
@@ -316,6 +324,7 @@ impl Detector {
         detail: &mut crate::detect::line_state::LineDetail,
         objects: &mut FastMap<ObjectKey, ObjectAccum>,
         object_order: &mut Vec<ObjectKey>,
+        lines: &mut FastMap<CacheLineId, LineAccum>,
         unattributed_samples: &mut u64,
         space: &AddressSpace,
         line: CacheLineId,
@@ -370,17 +379,60 @@ impl Detector {
                 invalidation,
                 line,
             );
+        // Co-residency: the same attributed sample, keyed by line — what
+        // the line-level assessment credits when a repair frees the whole
+        // line (see [`crate::detect::lines`]).
+        lines
+            .entry(line)
+            .or_insert_with(|| LineAccum::new(line))
+            .record(
+                key,
+                sample.thread,
+                sample.phase,
+                sample.kind,
+                sample.latency,
+            );
     }
 
-    /// Mean latency of serial-phase samples: the paper's
-    /// `AverCycles_serial` estimate of post-fix access cost, falling back
-    /// to the configured default when no serial samples exist.
+    /// `AverCycles_serial`: the paper's serial-phase estimate of post-fix
+    /// access cost, falling back to the configured default when no serial
+    /// samples exist.
+    ///
+    /// The paper averages; this reproduction takes the *median* sampled
+    /// latency. A short serial phase yields only a few dozen samples, and
+    /// whether one of them lands on a cold miss is an accident of sampling
+    /// alignment (layout fixes shift it between converge iterations, since
+    /// relocated storage changes which initialisation accesses miss) — a
+    /// single sampled 220-cycle miss among thirty 4-cycle hits triples the
+    /// mean and with it every predicted post-fix cost. The median is
+    /// immune to that tail while agreeing with the mean on steady-state
+    /// serial traffic.
     pub fn aver_cycles_serial(&self) -> f64 {
         if self.serial_samples == 0 {
-            self.config.default_serial_latency
-        } else {
-            self.serial_cycles as f64 / self.serial_samples as f64
+            return self.config.default_serial_latency;
         }
+        let mut keys: Vec<Cycles> = self.serial_latencies.keys().copied().collect();
+        keys.sort_unstable();
+        // 0-indexed positions of the lower and upper medians; they
+        // coincide for an odd count.
+        let lower_index = (self.serial_samples - 1) / 2;
+        let upper_index = self.serial_samples / 2;
+        let (mut lower, mut upper) = (None, None);
+        let mut seen = 0u64;
+        for &latency in &keys {
+            let count = self.serial_latencies[&latency];
+            if lower.is_none() && seen + count > lower_index {
+                lower = Some(latency);
+            }
+            if upper.is_none() && seen + count > upper_index {
+                upper = Some(latency);
+                break;
+            }
+            seen += count;
+        }
+        let lower = lower.expect("counts cover the median") as f64;
+        let upper = upper.expect("counts cover the median") as f64;
+        (lower + upper) / 2.0
     }
 
     /// Per-object accumulators in first-touch order.
@@ -396,6 +448,12 @@ impl Detector {
     /// The shadow map (line-level state), for classification passes.
     pub fn shadow(&self) -> &ShadowMap<LineState> {
         &self.shadow
+    }
+
+    /// Co-residency accumulator of one cache line (present once the line
+    /// reached detailed tracking and received an attributed sample).
+    pub fn line_accum(&self, line: CacheLineId) -> Option<&LineAccum> {
+        self.lines.get(&line)
     }
 
     /// Samples ingested in total.
@@ -511,6 +569,47 @@ mod tests {
         assert_eq!(detector.objects().count(), 0);
         assert_eq!(detector.serial_samples(), 10);
         assert!((detector.aver_cycles_serial() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_latency_is_the_median_not_the_mean() {
+        // One sampled cold miss among thirty hits: the mean would report
+        // (220 + 30*4)/31 ≈ 11, tripling every predicted post-fix cost;
+        // the median must stay at the hit latency.
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        let serial = |latency: u64| Sample {
+            latency,
+            ..sample(0, base, AccessKind::Write, PhaseKind::Serial)
+        };
+        for _ in 0..30 {
+            detector.ingest(&space, &serial(4));
+        }
+        detector.ingest(&space, &serial(220));
+        assert_eq!(detector.serial_samples(), 31);
+        assert!(
+            (detector.aver_cycles_serial() - 4.0).abs() < 1e-9,
+            "a single cold miss must not move the baseline: {}",
+            detector.aver_cycles_serial()
+        );
+    }
+
+    #[test]
+    fn serial_latency_even_count_averages_the_two_middles() {
+        // Two samples at 4, two at 10: the two middle values straddle the
+        // histogram keys, so the median is (4 + 10) / 2.
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        for latency in [4u64, 4, 10, 10] {
+            detector.ingest(
+                &space,
+                &Sample {
+                    latency,
+                    ..sample(0, base, AccessKind::Write, PhaseKind::Serial)
+                },
+            );
+        }
+        assert!((detector.aver_cycles_serial() - 7.0).abs() < 1e-9);
     }
 
     #[test]
@@ -659,6 +758,44 @@ mod tests {
         );
         assert_eq!(accum.thread(ThreadId(2)).map(|t| t.accesses), Some(3));
         assert!(accum.thread(ThreadId(3)).is_some(), "some reads survive");
+    }
+
+    #[test]
+    fn co_resident_objects_tracked_per_line() {
+        // Two 24-byte allocations from one thread pack into one 64-byte
+        // line (32-byte size class): the classic inter-object shape.
+        let mut space = AddressSpace::new();
+        let a = space
+            .heap_mut()
+            .alloc(ThreadId(0), 24, CallStack::single("app.c", 1))
+            .unwrap();
+        let b = space
+            .heap_mut()
+            .alloc(ThreadId(0), 24, CallStack::single("app.c", 2))
+            .unwrap();
+        assert_eq!(a.line(64), b.line(64), "neighbours must pack");
+        let mut detector = Detector::new(DetectorConfig::default());
+        for _ in 0..20 {
+            detector.ingest(
+                &space,
+                &sample(1, a, AccessKind::Write, PhaseKind::Parallel),
+            );
+            detector.ingest(
+                &space,
+                &sample(2, b.offset(8), AccessKind::Write, PhaseKind::Parallel),
+            );
+        }
+        assert_eq!(detector.objects().count(), 2);
+        let accum = detector.line_accum(a.line(64)).expect("tracked line");
+        assert_eq!(accum.residents().len(), 2, "both objects co-resident");
+        // Evicting either co-resident leaves a single-thread residual.
+        for &key in accum.residents() {
+            assert!(!accum.contended_without(key));
+        }
+        // The line's slices account for every attributed detailed sample.
+        let total: u64 = accum.slices().map(|(_, s)| s.accesses).sum();
+        let per_object: u64 = detector.objects().map(|o| o.accesses()).sum();
+        assert_eq!(total, per_object);
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Line-level co-residency tracking.
+//!
+//! Cheetah's §3.2 assessment is *per object*: it credits only the threads
+//! that touch the object being fixed. But cache-line contention is a
+//! property of the **line** — when the allocator packs two small objects
+//! into one 64-byte line, padding either object away frees its neighbour
+//! too, and a per-object model predicts ~no payoff for a fix that in fact
+//! removes all of the line's ping-pong (the `inter_object` workload).
+//!
+//! [`LineAccum`] is the detector-side record making the joint payoff
+//! computable: for every cache line under detailed tracking it keeps the
+//! set of *co-resident* objects observed on the line and each resident's
+//! per-(thread, phase) sampled traffic, including write counts. From it,
+//! [`LineAccum::residency_for`] derives the [`LineResidency`] view one
+//! instance's assessment consumes: the instance's own traffic on the line,
+//! the whole line's traffic, and whether the line would *stay contended*
+//! if the instance were evicted — the test deciding whether the fix's
+//! credit extends to every thread on the line or only to the evicted
+//! object's own threads.
+
+use crate::detect::detector::{ObjectKey, ThreadOnObject};
+use cheetah_sim::util::FastMap;
+use cheetah_sim::{AccessKind, CacheLineId, Cycles, ThreadId};
+
+/// Sampled traffic of one co-resident object by one thread in one phase.
+///
+/// Unlike [`ThreadOnObject`] this keeps the write count: deciding whether a
+/// line stays contended after an eviction needs to know whether the
+/// residual traffic still contains a writer (read-only co-residents cannot
+/// invalidate each other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineSlice {
+    /// Sampled accesses.
+    pub accesses: u64,
+    /// Their total latency in cycles.
+    pub cycles: Cycles,
+    /// Sampled writes among the accesses.
+    pub writes: u64,
+}
+
+impl LineSlice {
+    fn as_traffic(self) -> ThreadOnObject {
+        ThreadOnObject {
+            accesses: self.accesses,
+            cycles: self.cycles,
+        }
+    }
+}
+
+/// Accumulated co-residency state of one cache line under detailed
+/// tracking: which objects were sampled on the line and how much traffic
+/// each (object, thread, phase) combination contributed.
+#[derive(Debug, Clone)]
+pub struct LineAccum {
+    /// The line.
+    pub line: CacheLineId,
+    residents: Vec<ObjectKey>,
+    slices: FastMap<(ObjectKey, ThreadId, u32), LineSlice>,
+    order: Vec<(ObjectKey, ThreadId, u32)>,
+}
+
+impl LineAccum {
+    /// Fresh accumulator for `line`.
+    pub fn new(line: CacheLineId) -> Self {
+        LineAccum {
+            line,
+            residents: Vec::new(),
+            slices: FastMap::default(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Records one attributed, detailed sample on the line.
+    pub fn record(
+        &mut self,
+        key: ObjectKey,
+        thread: ThreadId,
+        phase: u32,
+        kind: AccessKind,
+        latency: Cycles,
+    ) {
+        use std::collections::hash_map::Entry;
+
+        if !self.residents.contains(&key) {
+            self.residents.push(key);
+        }
+        let slot = (key, thread, phase);
+        let slice = match self.slices.entry(slot) {
+            Entry::Vacant(vacant) => {
+                self.order.push(slot);
+                vacant.insert(LineSlice::default())
+            }
+            Entry::Occupied(occupied) => occupied.into_mut(),
+        };
+        slice.accesses += 1;
+        slice.cycles += latency;
+        if kind.is_write() {
+            slice.writes += 1;
+        }
+    }
+
+    /// The objects with sampled traffic on the line, in first-touch order.
+    pub fn residents(&self) -> &[ObjectKey] {
+        &self.residents
+    }
+
+    /// Every (object, thread, phase) slice in first-touch order.
+    pub fn slices(&self) -> impl Iterator<Item = ((ObjectKey, ThreadId, u32), LineSlice)> + '_ {
+        self.order.iter().map(move |key| (*key, self.slices[key]))
+    }
+
+    /// Whether the line would still be contended with `evicted` relocated
+    /// away: two distinct threads in the same parallel phase among the
+    /// remaining residents' traffic, at least one of them writing.
+    pub fn contended_without(&self, evicted: ObjectKey) -> bool {
+        let rest: Vec<_> = self
+            .order
+            .iter()
+            .filter(|&&(key, _, _)| key != evicted)
+            .map(|slot| (slot.1, slot.2, self.slices[slot].writes > 0))
+            .collect();
+        rest.iter().enumerate().any(|(i, &(t_a, p_a, writes_a))| {
+            rest.iter()
+                .skip(i + 1)
+                .any(|&(t_b, p_b, writes_b)| t_a != t_b && p_a == p_b && (writes_a || writes_b))
+        })
+    }
+
+    /// The co-residency view of the line from the perspective of one
+    /// instance (identified by `key`), ready for assessment.
+    pub fn residency_for(&self, key: ObjectKey) -> LineResidency {
+        let mut own: Vec<((ThreadId, u32), ThreadOnObject)> = Vec::new();
+        let mut all: Vec<((ThreadId, u32), ThreadOnObject)> = Vec::new();
+        for ((object, thread, phase), slice) in self.slices() {
+            if object == key {
+                merge(&mut own, (thread, phase), slice.as_traffic());
+            }
+            merge(&mut all, (thread, phase), slice.as_traffic());
+        }
+        LineResidency {
+            line: self.line,
+            residents: self.residents.clone(),
+            own,
+            all,
+            residual_contended: self.contended_without(key),
+        }
+    }
+}
+
+fn merge(
+    into: &mut Vec<((ThreadId, u32), ThreadOnObject)>,
+    slot: (ThreadId, u32),
+    traffic: ThreadOnObject,
+) {
+    match into.iter_mut().find(|(key, _)| *key == slot) {
+        Some((_, existing)) => {
+            existing.accesses += traffic.accesses;
+            existing.cycles += traffic.cycles;
+        }
+        None => into.push((slot, traffic)),
+    }
+}
+
+/// Co-residency profile of one cache line of a sharing instance — the
+/// input of the line-granular assessment path
+/// ([`crate::assess::AssessModel::LineLevel`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineResidency {
+    /// The cache line.
+    pub line: CacheLineId,
+    /// Every object with sampled traffic on the line (including the
+    /// instance itself), in first-touch order.
+    pub residents: Vec<ObjectKey>,
+    /// The instance's own per-(thread, phase) traffic on this line.
+    pub own: Vec<((ThreadId, u32), ThreadOnObject)>,
+    /// The whole line's per-(thread, phase) traffic across all residents.
+    pub all: Vec<((ThreadId, u32), ThreadOnObject)>,
+    /// Whether the line stays contended after evicting this instance. When
+    /// `false`, relocating the instance frees the line entirely and every
+    /// thread's traffic on the line is credited with post-fix latency; when
+    /// `true`, only the instance's own traffic is.
+    pub residual_contended: bool,
+}
+
+impl LineResidency {
+    /// Number of co-resident objects on the line (1 = the instance alone).
+    pub fn co_resident_count(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// The traffic this line's repair relieves for `(thread, phase)`: the
+    /// whole line when the residual is uncontended, otherwise only the
+    /// instance's own share.
+    pub fn relieved(&self, thread: ThreadId, phase: u32) -> ThreadOnObject {
+        let source = if self.residual_contended {
+            &self.own
+        } else {
+            &self.all
+        };
+        traffic_of(source, thread, phase)
+    }
+
+    /// Threads this line's repair touches, first-touch order: every
+    /// thread with traffic on the line. Where the residual stays
+    /// contended the co-residents' threads are still *partially*
+    /// relieved (their queueing wait shrinks with the sharer count), so
+    /// they count as related for the report totals.
+    pub fn relieved_threads(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.all.iter().map(|((thread, _), _)| *thread)
+    }
+
+    /// The co-residents' traffic left on the line after evicting this
+    /// instance, for `(thread, phase)`: whole-line minus own.
+    pub fn residual(&self, thread: ThreadId, phase: u32) -> ThreadOnObject {
+        let all = traffic_of(&self.all, thread, phase);
+        let own = traffic_of(&self.own, thread, phase);
+        ThreadOnObject {
+            accesses: all.accesses - own.accesses,
+            cycles: all.cycles - own.cycles,
+        }
+    }
+
+    /// Distinct threads with any traffic on the line within `phase`.
+    pub fn sharers_in_phase(&self, phase: u32) -> usize {
+        distinct_threads(&self.all, phase, &[])
+    }
+
+    /// Distinct threads still on the line within `phase` after evicting
+    /// this instance.
+    pub fn residual_sharers_in_phase(&self, phase: u32) -> usize {
+        distinct_threads(&self.all, phase, &self.own)
+    }
+}
+
+/// The `(thread, phase)` slice of a traffic list, zero when absent.
+fn traffic_of(
+    source: &[((ThreadId, u32), ThreadOnObject)],
+    thread: ThreadId,
+    phase: u32,
+) -> ThreadOnObject {
+    source
+        .iter()
+        .find(|((t, p), _)| *t == thread && *p == phase)
+        .map(|(_, traffic)| *traffic)
+        .unwrap_or_default()
+}
+
+/// Counts distinct threads of `source` in `phase` whose accesses are not
+/// fully cancelled by the matching `minus` slice.
+fn distinct_threads(
+    source: &[((ThreadId, u32), ThreadOnObject)],
+    phase: u32,
+    minus: &[((ThreadId, u32), ThreadOnObject)],
+) -> usize {
+    source
+        .iter()
+        .filter(|((t, p), traffic)| {
+            *p == phase && {
+                let subtracted = minus
+                    .iter()
+                    .find(|((mt, mp), _)| mt == t && *mp == phase)
+                    .map(|(_, m)| m.accesses)
+                    .unwrap_or(0);
+                traffic.accesses > subtracted
+            }
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_heap::ObjectId;
+
+    const A: ObjectKey = ObjectKey::Heap(ObjectId(0));
+    const B: ObjectKey = ObjectKey::Heap(ObjectId(1));
+    const C: ObjectKey = ObjectKey::Heap(ObjectId(2));
+
+    fn line() -> CacheLineId {
+        cheetah_sim::Addr(0x4000_0000).line(64)
+    }
+
+    #[test]
+    fn records_residents_and_slices_in_first_touch_order() {
+        let mut accum = LineAccum::new(line());
+        accum.record(A, ThreadId(1), 1, AccessKind::Write, 100);
+        accum.record(B, ThreadId(2), 1, AccessKind::Write, 150);
+        accum.record(A, ThreadId(1), 1, AccessKind::Read, 50);
+        assert_eq!(accum.residents(), &[A, B]);
+        let slices: Vec<_> = accum.slices().collect();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(
+            slices[0].1,
+            LineSlice {
+                accesses: 2,
+                cycles: 150,
+                writes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn two_writers_joint_credit_after_eviction() {
+        let mut accum = LineAccum::new(line());
+        accum.record(A, ThreadId(1), 1, AccessKind::Write, 100);
+        accum.record(B, ThreadId(2), 1, AccessKind::Write, 100);
+        // Evicting either object leaves a single-thread residual.
+        assert!(!accum.contended_without(A));
+        assert!(!accum.contended_without(B));
+        let residency = accum.residency_for(A);
+        assert_eq!(residency.co_resident_count(), 2);
+        assert!(!residency.residual_contended);
+        // Joint credit: thread 2's traffic on B is relieved too.
+        assert_eq!(residency.relieved(ThreadId(2), 1).accesses, 1);
+        assert_eq!(residency.relieved(ThreadId(1), 1).cycles, 100);
+    }
+
+    #[test]
+    fn three_writers_keep_residual_contention() {
+        let mut accum = LineAccum::new(line());
+        accum.record(A, ThreadId(1), 1, AccessKind::Write, 100);
+        accum.record(B, ThreadId(2), 1, AccessKind::Write, 100);
+        accum.record(C, ThreadId(3), 1, AccessKind::Write, 100);
+        // Evicting one of three writers leaves two contending residents.
+        assert!(accum.contended_without(A));
+        let residency = accum.residency_for(A);
+        assert!(residency.residual_contended);
+        // Credit shrinks to the evicted object's own traffic.
+        assert_eq!(residency.relieved(ThreadId(2), 1).accesses, 0);
+        assert_eq!(residency.relieved(ThreadId(1), 1).accesses, 1);
+    }
+
+    #[test]
+    fn read_only_residual_is_not_contended() {
+        let mut accum = LineAccum::new(line());
+        accum.record(A, ThreadId(1), 1, AccessKind::Write, 100);
+        accum.record(B, ThreadId(2), 1, AccessKind::Read, 90);
+        accum.record(B, ThreadId(3), 1, AccessKind::Read, 90);
+        // B's readers cannot invalidate each other once A is gone.
+        assert!(!accum.contended_without(A));
+        // Evicting B instead leaves only A's single writer.
+        assert!(!accum.contended_without(B));
+    }
+
+    #[test]
+    fn cross_phase_residual_is_not_contended() {
+        let mut accum = LineAccum::new(line());
+        accum.record(A, ThreadId(1), 1, AccessKind::Write, 100);
+        accum.record(B, ThreadId(2), 1, AccessKind::Write, 100);
+        accum.record(C, ThreadId(3), 3, AccessKind::Write, 100);
+        // B (phase 1) and C (phase 3) never run concurrently.
+        assert!(!accum.contended_without(A));
+    }
+
+    #[test]
+    fn intra_object_residual_counts_as_contended() {
+        let mut accum = LineAccum::new(line());
+        accum.record(A, ThreadId(1), 1, AccessKind::Write, 100);
+        // B is touched by two threads itself (intra-object sharing): the
+        // line stays hot even with A gone.
+        accum.record(B, ThreadId(2), 1, AccessKind::Write, 100);
+        accum.record(B, ThreadId(3), 1, AccessKind::Write, 100);
+        assert!(accum.contended_without(A));
+    }
+
+    #[test]
+    fn sole_resident_relieves_exactly_its_own_traffic() {
+        let mut accum = LineAccum::new(line());
+        accum.record(A, ThreadId(1), 1, AccessKind::Write, 100);
+        accum.record(A, ThreadId(2), 1, AccessKind::Write, 120);
+        let residency = accum.residency_for(A);
+        assert_eq!(residency.co_resident_count(), 1);
+        assert!(!residency.residual_contended);
+        assert_eq!(residency.own, residency.all);
+        let threads: Vec<_> = residency.relieved_threads().collect();
+        assert_eq!(threads, vec![ThreadId(1), ThreadId(2)]);
+    }
+}

@@ -17,7 +17,12 @@
 //!   of fixing an instance without fixing it (Eq. 1–4): replace the
 //!   object's sampled latencies with the serial-phase average, scale each
 //!   thread's runtime by its predicted cycle ratio, and re-time the
-//!   fork-join phase graph.
+//!   fork-join phase graph. This reproduction adds a *line-level* credit
+//!   model ([`AssessModel::LineLevel`], the default): the detector tracks
+//!   the co-resident objects of every contended line, and a repair that
+//!   leaves a line uncontended is credited with every thread's traffic on
+//!   the line — the joint payoff of cross-object fixes the per-object
+//!   model misses.
 //! * **Reporting** ([`report`]): Fig. 5-style reports with object bounds,
 //!   invalidation counts, latency totals, predicted improvement and the
 //!   allocation callsite or global symbol name.
@@ -26,7 +31,7 @@
 //! [`cheetah_sim::ExecObserver`] so that profiling a simulated program is
 //! one constructor call — see the type-level example.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
@@ -37,11 +42,16 @@ pub mod detect;
 pub mod profiler;
 pub mod report;
 
-pub use assess::{assess, AssessContext, Assessment, ThreadAssessment};
+pub use assess::{
+    assess, assess_with_model, AssessContext, AssessModel, Assessment, ThreadAssessment,
+};
 pub use classify::{
     collect_instances, ObjectDescriptor, ObjectOrigin, SharingInstance, SharingKind, WordReport,
 };
 pub use config::{CheetahConfig, DetectorConfig};
-pub use detect::{Detector, ObjectAccum, ObjectKey, ThreadOnObject, TwoEntryTable, WriteOutcome};
+pub use detect::{
+    Detector, LineAccum, LineResidency, LineSlice, ObjectAccum, ObjectKey, ThreadOnObject,
+    TwoEntryTable, WriteOutcome,
+};
 pub use profiler::{CheetahProfiler, Profile};
 pub use report::{format_prediction_table, format_word_profile, AssessedInstance, PredictionRow};

@@ -9,7 +9,7 @@
 //! construct, pass to [`cheetah_sim::Machine::run`] — mirroring the paper's
 //! claim that deployment needs fewer than five lines of change.
 
-use crate::assess::{assess, AssessContext};
+use crate::assess::{assess_with_model, AssessContext, AssessModel};
 use crate::classify::collect_instances;
 use crate::config::CheetahConfig;
 use crate::detect::detector::Detector;
@@ -53,6 +53,7 @@ pub struct CheetahProfiler<'a> {
     phases: PhaseTracker,
     threads: ThreadRegistry,
     detector: Detector,
+    assess_model: AssessModel,
     end_time: Cycles,
 }
 
@@ -69,6 +70,7 @@ impl<'a> CheetahProfiler<'a> {
             phases: PhaseTracker::new(),
             threads: ThreadRegistry::new(),
             detector: Detector::new(config.detector),
+            assess_model: config.assess_model,
             end_time: 0,
         }
     }
@@ -85,11 +87,12 @@ impl<'a> CheetahProfiler<'a> {
             aver_cycles_nofs: aver_cycles_serial,
             app_runtime: self.end_time,
             cycles_per_instruction: self.detector.config().cycles_per_instruction,
+            coherence_latency: self.detector.config().coherence_miss_latency,
         };
         let mut assessed: Vec<AssessedInstance> = instances
             .into_iter()
             .map(|instance| {
-                let assessment = assess(&instance, &ctx);
+                let assessment = assess_with_model(&instance, &ctx, self.assess_model);
                 AssessedInstance {
                     instance,
                     assessment,

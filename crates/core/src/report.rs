@@ -235,8 +235,10 @@ mod tests {
                     offset: 0,
                     stats: word,
                 }],
+                line_residency: vec![],
             },
             assessment: Assessment {
+                model: crate::assess::AssessModel::LineLevel,
                 improvement: 5.76172748,
                 real_runtime: 7738,
                 predicted_runtime: 1343.0,

@@ -1,0 +1,159 @@
+//! Equivalence property of the assessment credit models: with exactly one
+//! object per cache line, the line-level model *is* the per-object model.
+//!
+//! The line-granular path generalises §3.2's per-object credit to joint
+//! line payoffs, keeping the paper's model as the reference
+//! (`AssessModel::PerObject`, the `shards = 1` of assessment). On sole
+//! -resident lines the generalisation must change nothing — not "about
+//! the same": the relieved traffic sums the same integers and feeds the
+//! same float expressions, so predictions are asserted bitwise equal on
+//! arbitrary sampled traffic.
+
+use cheetah_core::{
+    assess_with_model, collect_instances, AssessContext, AssessModel, CheetahConfig, Detector,
+};
+use cheetah_heap::{AddressSpace, CallStack};
+use cheetah_pmu::Sample;
+use cheetah_runtime::{PhaseInterval, ThreadRegistry};
+use cheetah_sim::{AccessKind, PhaseKind, ThreadId};
+use proptest::prelude::*;
+
+/// One synthetic sampled access.
+#[derive(Debug, Clone)]
+struct Traffic {
+    object: usize,
+    word: u64,
+    thread: u32,
+    write: bool,
+    latency: u64,
+    phase: u32,
+}
+
+fn arb_traffic(objects: usize) -> impl Strategy<Value = Vec<Traffic>> {
+    prop::collection::vec(
+        (
+            (0..objects, 0u64..16),
+            (1u32..6, proptest::bool::ANY),
+            (1u64..400, 1u32..3),
+        ),
+        20..400,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(
+                |((object, word), (thread, write), (latency, phase_half))| Traffic {
+                    object,
+                    word,
+                    thread,
+                    write,
+                    latency,
+                    // Parallel phases get odd indices (1 or 3) so a thread
+                    // can appear in two distinct phases.
+                    phase: phase_half * 2 - 1,
+                },
+            )
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With one 64-byte object per line (the 64-byte size class is
+    /// line-sized and line-aligned), line-level and per-object
+    /// assessments are bitwise identical for every detected instance.
+    #[test]
+    fn sole_resident_lines_make_the_models_identical(
+        traffic in arb_traffic(4),
+        aver_tenths in 10u64..500,
+        cpi_hundredths in 0u64..200,
+    ) {
+        let aver = aver_tenths as f64 / 10.0;
+        let cpi = cpi_hundredths as f64 / 100.0;
+        let mut space = AddressSpace::new();
+        let addrs: Vec<_> = (0..4)
+            .map(|i| {
+                space
+                    .heap_mut()
+                    .alloc(ThreadId(0), 64, CallStack::single("prop.c", i))
+                    .unwrap()
+            })
+            .collect();
+        for pair in addrs.windows(2) {
+            prop_assert_ne!(pair[0].line(64), pair[1].line(64));
+        }
+
+        let mut detector = Detector::new(CheetahConfig::default().detector);
+        let mut registry = ThreadRegistry::new();
+        for t in 1..6u32 {
+            registry.on_start(ThreadId(t), "w", 0, 1);
+        }
+        for entry in &traffic {
+            let sample = Sample {
+                thread: ThreadId(entry.thread),
+                addr: addrs[entry.object].offset(entry.word * 4),
+                kind: if entry.write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                latency: entry.latency,
+                time: 0,
+                phase_index: entry.phase,
+                phase_kind: PhaseKind::Parallel,
+            };
+            registry.record_sample(sample.thread, sample.phase_index, sample.latency);
+            detector.ingest(&space, &sample);
+        }
+        for t in 1..6u32 {
+            registry.on_exit(ThreadId(t), 10_000);
+        }
+
+        let phases = vec![
+            PhaseInterval {
+                index: 1,
+                kind: PhaseKind::Parallel,
+                start: 0,
+                end: 10_000,
+                threads: (1..6).map(ThreadId).collect(),
+            },
+            PhaseInterval {
+                index: 3,
+                kind: PhaseKind::Parallel,
+                start: 10_000,
+                end: 20_000,
+                threads: (1..6).map(ThreadId).collect(),
+            },
+        ];
+        let ctx = AssessContext {
+            phases: &phases,
+            threads: &registry,
+            aver_cycles_nofs: aver,
+            app_runtime: 20_000,
+            cycles_per_instruction: cpi,
+            coherence_latency: 150.0,
+        };
+
+        for instance in collect_instances(&detector, &space) {
+            // Precondition of the property: every line hosts one object.
+            for line in &instance.line_residency {
+                prop_assert_eq!(line.residents.len(), 1, "sole resident");
+            }
+            let per_object = assess_with_model(&instance, &ctx, AssessModel::PerObject);
+            let line_level = assess_with_model(&instance, &ctx, AssessModel::LineLevel);
+            prop_assert_eq!(
+                per_object.improvement.to_bits(),
+                line_level.improvement.to_bits(),
+                "improvement must be bitwise equal: {} vs {}",
+                per_object.improvement,
+                line_level.improvement
+            );
+            prop_assert_eq!(per_object.predicted_runtime.to_bits(), line_level.predicted_runtime.to_bits());
+            prop_assert_eq!(per_object.total_threads, line_level.total_threads);
+            prop_assert_eq!(per_object.total_thread_accesses, line_level.total_thread_accesses);
+            prop_assert_eq!(per_object.total_thread_cycles, line_level.total_thread_cycles);
+            prop_assert_eq!(&per_object.per_thread, &line_level.per_thread);
+        }
+    }
+}

@@ -74,6 +74,11 @@ pub struct IterationRecord {
     pub label: String,
     /// Strategy of the applied plan.
     pub strategy: RepairStrategy,
+    /// Largest number of co-resident objects on the fixed instance's lines
+    /// at fix time (2+ marks a cross-object repair, whose `predicted`
+    /// value is the joint line payoff under the default line-level
+    /// assessment).
+    pub co_residents: usize,
     /// Cheetah's predicted improvement for fixing this instance, taken
     /// from the profile of the build this iteration started from.
     pub predicted: f64,
@@ -158,10 +163,15 @@ impl ConvergenceTrace {
         for it in &self.iterations {
             let _ = writeln!(
                 out,
-                "  #{} {} [{}] predicted {:.2}x measured {:.2}x ({} -> {} cycles, {} left)",
+                "  #{} {} [{}{}] predicted {:.2}x measured {:.2}x ({} -> {} cycles, {} left)",
                 it.iteration,
                 it.label,
                 it.strategy,
+                if it.co_residents > 1 {
+                    format!(", {} co-resident", it.co_residents)
+                } else {
+                    String::new()
+                },
                 it.predicted,
                 it.measured,
                 it.cycles_before,
@@ -276,6 +286,7 @@ where
         let (plan, predicted) = candidates.swap_remove(0);
         let label = plan.label.clone();
         let strategy = plan.strategy;
+        let co_residents = plan.co_residents;
         let cycles_before = profile.total_cycles;
         plans.push(plan);
         let next = profile_with(&plans)?;
@@ -289,6 +300,7 @@ where
             iteration: iterations.len() as u32 + 1,
             label,
             strategy,
+            co_residents,
             predicted,
             measured,
             cycles_before,

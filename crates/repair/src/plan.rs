@@ -110,6 +110,11 @@ pub struct RepairPlan {
     /// The rewriter must not let a whole-span relocation drag them onto a
     /// cluster's private lines.
     pub pinned_word_offsets: Vec<u64>,
+    /// Largest number of co-resident objects on any of the instance's
+    /// contended lines at planning time (1 = sole resident; 2+ marks a
+    /// cross-object repair whose payoff is joint with its line
+    /// neighbours).
+    pub co_residents: usize,
 }
 
 impl fmt::Display for RepairPlan {
@@ -129,6 +134,13 @@ impl fmt::Display for RepairPlan {
 /// with deterministic tie-breaks (object start address, then label) so
 /// iterative repair fixes instances in a reproducible order even when the
 /// assessment predicts identical payoffs.
+///
+/// Under the default line-level assessment
+/// ([`cheetah_core::AssessModel::LineLevel`]) the payoff passed in here is
+/// the *joint line payoff*: fixing an object whose eviction frees a whole
+/// co-resident line is credited with every thread on the line, so
+/// cross-object repairs rank by what the fix actually buys rather than by
+/// the fixed object's own share alone.
 pub fn rank(candidates: &mut [(RepairPlan, f64)]) {
     candidates.sort_by(|(a, pa), (b, pb)| {
         pb.total_cmp(pa)
@@ -246,6 +258,7 @@ pub fn synthesize(instance: &SharingInstance, line_size: u64) -> Option<RepairPl
         line_size,
         clusters,
         pinned_word_offsets,
+        co_residents: instance.max_co_residents(),
     })
 }
 
@@ -289,6 +302,7 @@ mod tests {
             per_thread_phase: vec![],
             truly_shared_accesses: 0,
             words,
+            line_residency: vec![],
         }
     }
 
@@ -375,6 +389,7 @@ mod tests {
             line_size: 64,
             clusters: vec![],
             pinned_word_offsets: vec![],
+            co_residents: 1,
         };
         let mut candidates = vec![
             (plan(0x300, "c"), 1.0),

@@ -233,6 +233,7 @@ mod tests {
             line_size: 64,
             clusters,
             pinned_word_offsets: vec![],
+            co_residents: 1,
         }
     }
 
@@ -350,6 +351,7 @@ mod tests {
             line_size: 64,
             clusters: vec![],
             pinned_word_offsets: vec![],
+            co_residents: 1,
         };
         let map = apply(&plan, &mut space).unwrap();
         let target = map.translate(base);
@@ -373,6 +375,7 @@ mod tests {
             line_size: 64,
             clusters: vec![],
             pinned_word_offsets: vec![],
+            co_residents: 1,
         };
         assert!(matches!(
             apply(&plan, &mut space),
@@ -393,6 +396,7 @@ mod tests {
             line_size: 64,
             clusters: vec![],
             pinned_word_offsets: vec![],
+            co_residents: 1,
         };
         let map = apply(&plan, &mut space).unwrap();
         let target = map.translate(g);

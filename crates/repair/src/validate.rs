@@ -125,6 +125,7 @@ impl ValidationHarness {
         config.detector.default_serial_latency = machine.config().latency.l1_hit as f64;
         config.detector.cycles_per_instruction =
             machine.config().latency.cycles_per_instruction as f64;
+        config.detector.coherence_miss_latency = machine.config().latency.remote_dirty as f64;
         ValidationHarness { machine, config }
     }
 

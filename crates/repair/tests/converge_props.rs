@@ -4,10 +4,15 @@
 //!     workload configurations;
 //! (b) it is deterministic — bit-identical iteration traces across runs;
 //! (c) the inter-object workload (two small objects per cache line)
-//!     reaches zero residual instances through the pad-to-line path.
+//!     reaches zero residual instances through the pad-to-line path;
+//! (d) under the line-level assessment the inter-object convergence trace
+//!     predicts the joint payoff of each cross-object repair — the
+//!     regression pinned by `inter_object_trace_predicts_joint_payoff`.
 
-use cheetah_core::CheetahConfig;
-use cheetah_repair::{converge, ConvergeConfig, RepairStrategy, ValidationHarness};
+use cheetah_core::{AssessModel, CheetahConfig};
+use cheetah_repair::{
+    converge, ConvergeConfig, ConvergenceTrace, RepairStrategy, ValidationHarness,
+};
 use cheetah_sim::{Machine, MachineConfig};
 use cheetah_workloads::{find, AppConfig};
 use proptest::prelude::*;
@@ -100,6 +105,77 @@ fn inter_object_pads_to_zero_residual() {
         trace.total_improvement() > 2.0,
         "padding away the shared lines must pay off: {trace}"
     );
+}
+
+/// (d) Regression for the flat ~1.0x-per-step bug (ROADMAP "Cross-object
+/// assessment"): under the default line-level model the `inter_object`
+/// convergence trace predicts the *joint* payoff of padding one
+/// co-resident — the first iteration's prediction is strictly above 1.0
+/// and every iteration (including the final one, where the whole payoff
+/// lands) is within 20% of measured. The per-object reference model on
+/// the identical workload still predicts ~1.0x for the very fix that
+/// measures >10x — the bug this PR kills, kept observable via
+/// [`AssessModel::PerObject`].
+#[test]
+fn inter_object_trace_predicts_joint_payoff() {
+    let app = find("inter_object").unwrap();
+    let config = AppConfig {
+        threads: 8,
+        scale: 0.1,
+        fixed: false,
+        seed: 1,
+    };
+    let trace_with = |model: AssessModel| -> ConvergenceTrace {
+        let harness = ValidationHarness::calibrated(
+            Machine::new(MachineConfig::with_cores(48)),
+            CheetahConfig::scaled(64).with_assess_model(model),
+        );
+        converge(
+            &harness,
+            "inter_object",
+            || app.build(&config),
+            &ConvergeConfig::exhaustive(16),
+        )
+        .expect("plans apply")
+    };
+
+    let line = trace_with(AssessModel::LineLevel);
+    assert!(line.converged && line.residual_significant == 0, "{line}");
+    assert!(!line.iterations.is_empty());
+    let first = &line.iterations[0];
+    assert!(
+        first.predicted > 1.0,
+        "first-step prediction must be strictly above 1.0, got {:.6}",
+        first.predicted
+    );
+    assert_eq!(first.co_residents, 2, "inter-object lines pack two objects");
+    for it in &line.iterations {
+        assert!(
+            it.relative_error() < 0.20,
+            "iteration {} predicted {:.4}x vs measured {:.4}x ({:.1}% off): {line}",
+            it.iteration,
+            it.predicted,
+            it.measured,
+            it.relative_error() * 100.0
+        );
+    }
+    let last = line.iterations.last().unwrap();
+    assert!(
+        last.predicted > 2.0 && last.measured > 2.0,
+        "the final fix carries the joint payoff: {line}"
+    );
+
+    // The per-object reference model converges through the same fixes but
+    // flat-lines the predictions: its final step predicts ~1.0x against a
+    // measured >2x.
+    let per_object = trace_with(AssessModel::PerObject);
+    assert_eq!(per_object.iterations.len(), line.iterations.len());
+    let last_obj = per_object.iterations.last().unwrap();
+    assert!(
+        last_obj.predicted < 1.05 && last_obj.measured > 2.0,
+        "per-object model must still show the flat-prediction bug: {per_object}"
+    );
+    assert!(last_obj.relative_error() > 0.5);
 }
 
 /// Iteration records chain: each step's `cycles_after` is the next step's

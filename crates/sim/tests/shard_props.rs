@@ -322,6 +322,66 @@ fn fully_contended_run_identical() {
     assert!(classic.coherence.invalidations > 100);
 }
 
+/// The cross-object workloads (co-resident objects packed into shared
+/// cache lines — the line-level assessment's stress cases) execute
+/// bit-identically across shard counts {1, 2, 4}: reports, the full
+/// surfaced event stream, and the sampled sequence all match the classic
+/// loop record for record.
+#[test]
+fn cross_object_workloads_identical_across_shard_counts() {
+    use cheetah_workloads::{find, AppConfig};
+
+    for name in [
+        "inter_object",
+        "packed_triplet",
+        "struct_straddle",
+        "reader_writer",
+    ] {
+        let app = find(name).expect("registered workload");
+        let config = AppConfig {
+            threads: 6,
+            scale: 0.02,
+            fixed: false,
+            seed: 1,
+        };
+        let run_at = |shards: u32| {
+            let machine = Machine::new(MachineConfig::with_cores(16).with_shards(shards));
+            let mut recorder = Recorder::default();
+            let report = machine.run(app.build(&config).program, &mut recorder);
+            let mut sampler = ModuloSampler {
+                period: 7,
+                trap: 500,
+                samples: Vec::new(),
+            };
+            let sampled_report = machine.run(app.build(&config).program, &mut sampler);
+            (report, recorder, sampled_report, sampler.samples)
+        };
+        let (report1, recorder1, sampled1, samples1) = run_at(1);
+        for shards in [2u32, 4] {
+            let (report, recorder, sampled, samples) = run_at(shards);
+            assert_eq!(report1, report, "{name} report at {shards} shards");
+            assert_eq!(
+                recorder1.records, recorder.records,
+                "{name} event stream at {shards} shards"
+            );
+            assert_eq!(
+                recorder1.exits, recorder.exits,
+                "{name} thread exits at {shards} shards"
+            );
+            assert_eq!(
+                sampled1, sampled,
+                "{name} perturbed report at {shards} shards"
+            );
+            assert_eq!(samples1, samples, "{name} samples at {shards} shards");
+        }
+        assert!(
+            report1.coherence.invalidations > 100,
+            "{name} must actually contend ({} invalidations)",
+            report1.coherence.invalidations
+        );
+    }
+}
+
 /// Reads and writes of `AccessKind` reach observers with the right kinds
 /// under sharding (spot check of record fidelity beyond plain equality).
 #[test]

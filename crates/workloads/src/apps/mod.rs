@@ -10,9 +10,12 @@
 pub mod interobject;
 pub mod linear_regression;
 pub mod microbench;
+pub mod packed_triplet;
 pub mod parsec;
 pub mod phoenix;
+pub mod reader_writer;
 pub mod streamcluster;
+pub mod struct_straddle;
 
 use cheetah_heap::{AddressSpace, CallStack};
 use cheetah_sim::{Addr, ThreadId};

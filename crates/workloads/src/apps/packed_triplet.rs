@@ -1,0 +1,178 @@
+//! Three-object packed line: three hot counters per 64-byte cache line.
+//!
+//! The `inter_object` workload packs *two* co-resident objects per line —
+//! the case where evicting either object frees the line entirely. This
+//! workload stresses the next regime: **three** 16-byte counters share each
+//! line (the 16-byte size class packs four blocks per line; the fourth
+//! block is a cold spacer allocation no thread touches). Evicting one
+//! counter still leaves two contending neighbours, so a line-level
+//! assessment must *not* extend the joint credit until the second fix on
+//! the line — the `residual_contended` test of
+//! `cheetah_core::detect::lines`.
+//!
+//! ```c
+//! typedef struct { long hits; long misses; } counter_t;   // 16 bytes
+//! counter_t *counters[NTHREADS];   // counters[t] = malloc(16), packed 3+1
+//! void worker(int t) {
+//!     for (i = 0; i < N; i++) { counters[t]->hits++; counters[t]->misses++; }
+//! }
+//! ```
+//!
+//! Convergence therefore takes **two** pad-to-line fixes per fully packed
+//! line: the first predicted with own-traffic credit only (its line stays
+//! contended), the second with the full joint payoff. The `fixed` build
+//! pads each counter to a whole line.
+
+use crate::apps::alloc_main;
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use cheetah_heap::AddressSpace;
+use cheetah_sim::{Addr, ProgramBuilder, ThreadSpec};
+
+use crate::patterns::{OpTemplate, Segment, SegmentsStream};
+
+/// Unpadded counter struct: the 16-byte size class, four blocks per line.
+const STRUCT_BYTES: u64 = 16;
+/// The padded (fixed) struct occupies the 64-byte class: one per line.
+const FIXED_STRUCT_BYTES: u64 = 64;
+/// How many hot counters share one line in the broken build.
+const HOT_PER_LINE: u64 = 3;
+/// Updates per worker, before scaling.
+const BASE_UPDATES: u64 = 30_000;
+
+/// Builds the packed-triplet workload: one 16-byte counter per thread,
+/// three hot counters (plus one cold spacer) per cache line.
+pub fn build(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let updates = config.iters(BASE_UPDATES);
+    let size = if config.fixed {
+        FIXED_STRUCT_BYTES
+    } else {
+        STRUCT_BYTES
+    };
+
+    let mut counters: Vec<Addr> = Vec::new();
+    for t in 0..u64::from(config.threads) {
+        counters.push(alloc_main(
+            &mut space,
+            size,
+            "packed_triplet.c",
+            30 + t as u32,
+        ));
+        if !config.fixed && (t + 1) % HOT_PER_LINE == 0 {
+            // Cold spacer: fills the line's fourth 16-byte block so the
+            // next counter starts a fresh line with exactly three hot
+            // co-residents again.
+            let _ = alloc_main(&mut space, STRUCT_BYTES, "packed_triplet.c", 99);
+        }
+    }
+
+    // Serial phase: zero every counter — serial-phase samples feed the
+    // profiler's AverCycles_serial baseline.
+    let init = SegmentsStream::new(
+        counters
+            .iter()
+            .map(|&c| {
+                Segment::new(
+                    vec![
+                        OpTemplate::write_fixed(c),
+                        OpTemplate::write_fixed(c.offset(8)),
+                        OpTemplate::Work(6),
+                    ],
+                    64,
+                )
+            })
+            .collect(),
+    );
+
+    let workers = counters
+        .iter()
+        .enumerate()
+        .map(|(t, &counter)| {
+            ThreadSpec::new(
+                format!("worker-{t}"),
+                SegmentsStream::new(vec![Segment::new(
+                    vec![
+                        // counters[t]->hits++ then the misses field.
+                        OpTemplate::read_fixed(counter),
+                        OpTemplate::write_fixed(counter),
+                        OpTemplate::write_fixed(counter.offset(8)),
+                        OpTemplate::Work(10),
+                    ],
+                    updates,
+                )]),
+            )
+        })
+        .collect();
+
+    let program = ProgramBuilder::new("packed_triplet")
+        .serial(ThreadSpec::new("init", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::{Machine, MachineConfig, NullObserver};
+
+    fn run(threads: u32, fixed: bool) -> u64 {
+        let config = AppConfig {
+            threads,
+            scale: 0.1,
+            fixed,
+            seed: 1,
+        };
+        let machine = Machine::new(MachineConfig::with_cores(16));
+        machine
+            .run(build(&config).program, &mut NullObserver)
+            .total_cycles
+    }
+
+    #[test]
+    fn three_counters_share_each_line_when_broken() {
+        let instance = build(&AppConfig::with_threads(6).scaled(0.01));
+        let objects = instance.space.heap().objects();
+        // 6 counters + 2 spacers.
+        assert_eq!(objects.len(), 8);
+        let hot: Vec<_> = objects
+            .iter()
+            .filter(|o| o.callsite.to_string() != "packed_triplet.c: 99")
+            .collect();
+        assert_eq!(hot.len(), 6);
+        assert_eq!(hot[0].start.line(64), hot[1].start.line(64));
+        assert_eq!(hot[1].start.line(64), hot[2].start.line(64));
+        assert_ne!(hot[2].start.line(64), hot[3].start.line(64));
+        assert_eq!(hot[3].start.line(64), hot[5].start.line(64));
+    }
+
+    #[test]
+    fn padded_counters_get_private_lines() {
+        let instance = build(&AppConfig::with_threads(6).scaled(0.01).fixed());
+        let objects = instance.space.heap().objects();
+        assert_eq!(objects.len(), 6, "no spacers in the fixed build");
+        for pair in objects.windows(2) {
+            assert_ne!(pair[0].start.line(64), pair[1].start.line(64));
+        }
+    }
+
+    #[test]
+    fn padding_fix_gives_real_speedup() {
+        let broken = run(6, false);
+        let fixed = run(6, true);
+        assert!(
+            broken as f64 > 1.5 * fixed as f64,
+            "broken={broken} fixed={fixed}"
+        );
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let config = AppConfig::with_threads(6).scaled(0.02);
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let a = machine.run(build(&config).program, &mut NullObserver);
+        let b = machine.run(build(&config).program, &mut NullObserver);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+}

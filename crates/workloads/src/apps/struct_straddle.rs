@@ -1,0 +1,177 @@
+//! Array-of-small-structs straddling cache lines, one global struct per
+//! thread.
+//!
+//! The heap workloads exercise co-residency through the allocator's size
+//! classes; this one reproduces the *global* variant: a statically sized
+//! per-thread stats array whose 24-byte elements are only 8-byte aligned,
+//! so elements **straddle** line boundaries and every line hosts parts of
+//! two or three neighbouring structs:
+//!
+//! ```c
+//! typedef struct { long count; long sum; long max; } stat_t;   // 24 bytes
+//! stat_t thread_stats[NTHREADS];            // global, 8-byte aligned
+//! void worker(int t) {
+//!     for (i = 0; i < N; i++) { thread_stats[t].count++; }
+//! }
+//! ```
+//!
+//! Each element is registered as its own symbol (`thread_stats[t]`), the
+//! way a binary's symbol table attributes a split array. The 24-byte
+//! stride packs each line with the hot `count` words of *up to three*
+//! elements (the group sizes vary with where the stride lands relative to
+//! line boundaries), so — like `packed_triplet` — evicting one element of
+//! a three-strong line leaves a contended residual pair, while the last
+//! element on a line carries the full joint payoff. Unlike the heap
+//! micros, fixes here take the *global* pad-to-line path: padded shadow
+//! storage in the heap stands in for recompiling with
+//! `__attribute__((aligned(64)))` — which is exactly what the `fixed`
+//! build models by registering the elements line-aligned.
+
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use cheetah_heap::AddressSpace;
+use cheetah_sim::{Addr, ProgramBuilder, ThreadSpec};
+
+use crate::patterns::{OpTemplate, Segment, SegmentsStream};
+
+/// Element size of the stats array: three 8-byte fields.
+const STRUCT_BYTES: u64 = 24;
+/// Broken alignment: natural 8-byte alignment packs and straddles.
+const BROKEN_ALIGN: u64 = 8;
+/// Fixed alignment: every element starts its own line.
+const FIXED_ALIGN: u64 = 64;
+/// Updates per worker, before scaling.
+const BASE_UPDATES: u64 = 30_000;
+
+/// Builds the straddling-structs workload: one 24-byte global stats struct
+/// per thread, packed back to back in the broken build.
+pub fn build(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let align = if config.fixed {
+        FIXED_ALIGN
+    } else {
+        BROKEN_ALIGN
+    };
+    let updates = config.iters(BASE_UPDATES);
+
+    let stats: Vec<Addr> = (0..config.threads)
+        .map(|t| {
+            space
+                .globals_mut()
+                .register(format!("thread_stats[{t}]"), STRUCT_BYTES, align)
+                .expect("globals segment fits the stats array")
+        })
+        .collect();
+
+    // Serial phase: main zeroes the array (and feeds AverCycles_serial).
+    let init = SegmentsStream::new(
+        stats
+            .iter()
+            .map(|&s| {
+                Segment::new(
+                    vec![
+                        OpTemplate::write_fixed(s),
+                        OpTemplate::write_fixed(s.offset(8)),
+                        OpTemplate::write_fixed(s.offset(16)),
+                        OpTemplate::Work(6),
+                    ],
+                    64,
+                )
+            })
+            .collect(),
+    );
+
+    let workers = stats
+        .iter()
+        .enumerate()
+        .map(|(t, &stat)| {
+            ThreadSpec::new(
+                format!("worker-{t}"),
+                SegmentsStream::new(vec![Segment::new(
+                    vec![
+                        // thread_stats[t].count++: the hot field is the
+                        // element's first word, so each worker's traffic
+                        // lands on exactly one line even when its element's
+                        // extent straddles two.
+                        OpTemplate::read_fixed(stat),
+                        OpTemplate::write_fixed(stat),
+                        OpTemplate::write_fixed(stat),
+                        OpTemplate::Work(10),
+                    ],
+                    updates,
+                )]),
+            )
+        })
+        .collect();
+
+    let program = ProgramBuilder::new("struct_straddle")
+        .serial(ThreadSpec::new("init", init))
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::{Machine, MachineConfig, NullObserver};
+
+    fn run(threads: u32, fixed: bool) -> u64 {
+        let config = AppConfig {
+            threads,
+            scale: 0.1,
+            fixed,
+            seed: 1,
+        };
+        let machine = Machine::new(MachineConfig::with_cores(16));
+        machine
+            .run(build(&config).program, &mut NullObserver)
+            .total_cycles
+    }
+
+    #[test]
+    fn elements_pack_and_straddle_when_broken() {
+        let instance = build(&AppConfig::with_threads(4).scaled(0.01));
+        let symbols = instance.space.globals().symbols();
+        assert_eq!(symbols.len(), 4);
+        // Back-to-back packing: 24-byte stride.
+        assert_eq!(symbols[1].start.0 - symbols[0].start.0, 24);
+        // The third element straddles the first line boundary.
+        let straddler = &symbols[2];
+        assert_ne!(
+            straddler.start.line(64),
+            Addr(straddler.end().0 - 1).line(64),
+            "element 2 must span two lines"
+        );
+        // Its first line is shared with elements 0 and 1.
+        assert_eq!(straddler.start.line(64), symbols[0].start.line(64));
+    }
+
+    #[test]
+    fn aligned_elements_get_private_lines() {
+        let instance = build(&AppConfig::with_threads(4).scaled(0.01).fixed());
+        let symbols = instance.space.globals().symbols();
+        for pair in symbols.windows(2) {
+            assert_ne!(pair[0].start.line(64), pair[1].start.line(64));
+        }
+    }
+
+    #[test]
+    fn alignment_fix_gives_real_speedup() {
+        let broken = run(4, false);
+        let fixed = run(4, true);
+        assert!(
+            broken as f64 > 1.5 * fixed as f64,
+            "broken={broken} fixed={fixed}"
+        );
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let config = AppConfig::with_threads(4).scaled(0.02);
+        let machine = Machine::new(MachineConfig::with_cores(8));
+        let a = machine.run(build(&config).program, &mut NullObserver);
+        let b = machine.run(build(&config).program, &mut NullObserver);
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+}

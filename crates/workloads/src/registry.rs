@@ -195,6 +195,24 @@ pub const APPS: &[App] = &[
         expectation: Expectation::SignificantFalseSharing,
         builder: apps::interobject::build,
     },
+    App {
+        name: "packed_triplet",
+        suite: "micro",
+        expectation: Expectation::SignificantFalseSharing,
+        builder: apps::packed_triplet::build,
+    },
+    App {
+        name: "struct_straddle",
+        suite: "micro",
+        expectation: Expectation::SignificantFalseSharing,
+        builder: apps::struct_straddle::build,
+    },
+    App {
+        name: "reader_writer",
+        suite: "micro",
+        expectation: Expectation::SignificantFalseSharing,
+        builder: apps::reader_writer::build,
+    },
 ];
 
 /// The 17 applications of the paper's Fig. 4 (excludes the
@@ -225,7 +243,8 @@ mod tests {
     #[test]
     fn seventeen_evaluated_apps() {
         assert_eq!(evaluated_apps().count(), 17);
-        assert_eq!(APPS.len(), 19); // + microbench, inter_object
+        // + microbench and the four cross-object micros.
+        assert_eq!(APPS.len(), 22);
     }
 
     #[test]
@@ -258,7 +277,10 @@ mod tests {
                 "linear_regression",
                 "streamcluster",
                 "microbench",
-                "inter_object"
+                "inter_object",
+                "packed_triplet",
+                "struct_straddle",
+                "reader_writer",
             ]
         );
     }

@@ -28,6 +28,14 @@ fn main() {
         // line-neighbour too, so convergence takes several pad-to-line
         // iterations.
         ("inter_object", 8, 0.1, 64, 16),
+        // Three hot counters per line: the first fix on a line leaves a
+        // contended pair (partial credit), the second carries the joint
+        // payoff.
+        ("packed_triplet", 6, 0.1, 64, 16),
+        // Hot writer + read-mostly neighbour: only the counter is ever
+        // reported, yet padding it frees the reader too — visible in the
+        // final step's prediction.
+        ("reader_writer", 4, 0.1, 64, 16),
     ];
     for (name, threads, scale, period, cores) in cases {
         let app = find(name).expect("registered app");

@@ -142,6 +142,10 @@ fn matrix_extremes_converge_with_bounded_error() {
         ("linear_regression", 128),
         ("streamcluster", 64),
         ("microbench", 256),
+        // Cross-object cells: the line-level assessment's stress cases.
+        ("inter_object", 64),
+        ("packed_triplet", 48),
+        ("reader_writer", 64),
     ];
     let cells: Vec<_> = table2_matrix()
         .into_iter()
@@ -164,7 +168,10 @@ fn matrix_extremes_converge_with_bounded_error() {
             &harness,
             cell.app.name(),
             || cell.app.build(&config),
-            &ConvergeConfig::default(),
+            &ConvergeConfig {
+                max_iterations: cell.max_iterations,
+                min_predicted_improvement: cell.min_predicted_improvement,
+            },
         )
         .expect("synthesized repairs apply");
         assert!(
@@ -189,6 +196,18 @@ fn matrix_extremes_converge_with_bounded_error() {
             cell.period,
             trace.worst_error() * 100.0
         );
+        if cell.min_predicted_improvement == 0.0 {
+            // Cross-object cells: the line-level model must see past the
+            // fixed object — no flat ~1.0x first steps.
+            assert!(
+                trace.iterations[0].predicted > 1.0,
+                "{} t{} p{}: first-step prediction stuck at {:.6} — {trace}",
+                cell.app.name(),
+                cell.threads,
+                cell.period,
+                trace.iterations[0].predicted
+            );
+        }
     }
 }
 
