@@ -1,16 +1,28 @@
-//! Regression gate for the prediction-validation matrix.
+//! Regression gates for the committed benchmark baselines.
 //!
 //! ```text
 //! bench_compare <baseline.json> <fresh.json> [--tolerance-points 5]
+//! bench_compare --sim <baseline.json> <fresh.json> [--tolerance-points 10]
 //! ```
 //!
-//! Matches `BENCH_repair.json` cells between a committed baseline and a
-//! freshly generated file by `(workload, threads, period, instance)` and
-//! exits nonzero if any cell's relative prediction error regressed by more
-//! than the tolerance (percentage points), or if a baseline cell vanished
-//! from the fresh matrix. New cells (matrix growth) only warn.
+//! Default mode matches `BENCH_repair.json` cells between a committed
+//! baseline and a freshly generated file by
+//! `(workload, threads, period, instance)` and exits nonzero if any cell's
+//! relative prediction error regressed by more than the tolerance
+//! (percentage points), or if a baseline cell vanished from the fresh
+//! matrix. New cells (matrix growth) only warn.
 //!
-//! The parser is deliberately minimal — the emitter writes one record per
+//! `--sim` mode gates `BENCH_sim.json` instead: for the streaming rows
+//! (`streamcluster`, `streaming_histogram` — the workloads extent
+//! classification exists for) every sharded cell must not replay more
+//! order-dependent events (`ordered_events`) than the recorded baseline
+//! allows, and must not run slower than the classic single-threaded loop
+//! (speedup below 1 beyond the tolerance). Event counts are deterministic,
+//! so their tolerance is a fixed 5%-of-baseline slack for benign
+//! reclassifications; the wall-clock tolerance is `--tolerance-points`
+//! interpreted as percent.
+//!
+//! The parser is deliberately minimal — the emitters write one record per
 //! line with scalar fields only — so the workspace stays free of a JSON
 //! dependency.
 
@@ -64,18 +76,143 @@ fn parse(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(cells)
 }
 
+/// One sharded cell of a BENCH_sim.json file.
+#[derive(Debug, Clone, Copy)]
+struct SimCell {
+    ordered_events: u64,
+    speedup: f64,
+}
+
+/// Parses the per-cell records of a BENCH_sim.json file into
+/// `(workload t<threads> s<shards> -> cell)` for sharded cells.
+fn parse_sim(path: &str) -> Result<BTreeMap<String, SimCell>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut cells = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"workload\"") {
+            continue;
+        }
+        let workload = field(line, "workload").ok_or("record without workload")?;
+        let threads = field(line, "threads").ok_or("record without threads")?;
+        let shards: u32 = field(line, "shards")
+            .ok_or("record without shards")?
+            .parse()
+            .map_err(|e| format!("bad shards in {path}: {e}"))?;
+        if shards < 2 {
+            continue;
+        }
+        let ordered_events: u64 = match field(line, "ordered_events") {
+            // Pre-extent baselines carry no event counts; skip them so the
+            // gate starts enforcing once a counted baseline is committed.
+            None => continue,
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("bad ordered_events in {path}: {e}"))?,
+        };
+        let speedup: f64 = field(line, "speedup")
+            .ok_or("record without speedup")?
+            .parse()
+            .map_err(|e| format!("bad speedup in {path}: {e}"))?;
+        cells.insert(
+            format!("{workload} t{threads} s{shards}"),
+            SimCell {
+                ordered_events,
+                speedup,
+            },
+        );
+    }
+    if cells.is_empty() {
+        return Err(format!("{path}: no sharded sim records found"));
+    }
+    Ok(cells)
+}
+
+/// The workloads whose sharded rows the sim gate enforces: the streaming
+/// shapes extent classification exists for.
+const SIM_GATED: [&str; 2] = ["streamcluster", "streaming_histogram"];
+
+/// Event-count slack for benign reclassifications (fraction of baseline).
+const SIM_EVENT_SLACK: f64 = 0.05;
+
+/// The `--sim` gate; `tolerance` is the wall-clock fraction.
+fn compare_sim(baseline_path: &str, fresh_path: &str, tolerance: f64) -> ExitCode {
+    let (baseline, fresh) = match (parse_sim(baseline_path), parse_sim(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0usize;
+    for (key, base) in &baseline {
+        let gated = SIM_GATED.iter().any(|w| key.starts_with(w));
+        match fresh.get(key) {
+            None => {
+                eprintln!("MISSING  {key}: cell present in baseline but not regenerated");
+                failures += 1;
+            }
+            Some(cell) => {
+                let event_limit =
+                    (base.ordered_events as f64 * (1.0 + SIM_EVENT_SLACK)).ceil() as u64;
+                let events_bad = gated && cell.ordered_events > event_limit;
+                let speed_bad = gated && cell.speedup < 1.0 - tolerance;
+                let status = if events_bad || speed_bad {
+                    failures += 1;
+                    "REGRESS"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{status:8} {key}: ordered {} -> {} (limit {event_limit}), \
+                     speedup {:.2}x -> {:.2}x{}",
+                    base.ordered_events,
+                    cell.ordered_events,
+                    base.speedup,
+                    cell.speedup,
+                    if gated { "" } else { " [informational]" },
+                );
+            }
+        }
+    }
+    for key in fresh.keys() {
+        if !baseline.contains_key(key) {
+            println!("NEW      {key}: not in baseline (bench grew)");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_compare --sim: {failures} sharded cell(s) replay more ordered events \
+             than the baseline, run slower than the classic loop, or went missing"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_compare --sim: all {} baseline cells within limits",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sim_mode = args.first().is_some_and(|a| a == "--sim");
+    if sim_mode {
+        args.remove(0);
+    }
     let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
         (Some(b), Some(f)) => (b.clone(), f.clone()),
         _ => {
-            eprintln!("usage: bench_compare <baseline.json> <fresh.json> [--tolerance-points N]");
+            eprintln!(
+                "usage: bench_compare [--sim] <baseline.json> <fresh.json> [--tolerance-points N]"
+            );
             return ExitCode::from(2);
         }
     };
     // Remaining arguments must parse exactly; a typo that silently fell
     // back to the default would loosen the CI gate without anyone noticing.
-    let mut tolerance_points = 5.0f64;
+    let mut tolerance_points = if sim_mode { 10.0f64 } else { 5.0f64 };
     let mut rest = args[2..].iter();
     while let Some(arg) = rest.next() {
         let value = match (arg.as_str(), arg.strip_prefix("--tolerance-points=")) {
@@ -92,6 +229,9 @@ fn main() -> ExitCode {
         }
     }
     let tolerance = tolerance_points / 100.0;
+    if sim_mode {
+        return compare_sim(&baseline_path, &fresh_path, tolerance);
+    }
 
     let (baseline, fresh) = match (parse(&baseline_path), parse(&fresh_path)) {
         (Ok(b), Ok(f)) => (b, f),

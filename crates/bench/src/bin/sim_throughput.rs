@@ -1,33 +1,46 @@
-//! Simulator throughput: single- vs. multi-shard wall-clock on the
-//! Table-2 matrix rows.
+//! Simulator throughput: single- vs. multi-shard wall-clock and
+//! merged-event counts on the Table-2 matrix rows.
 //!
-//! For every `(workload, threads)` row of the validation matrix this
-//! harness times the core simulation pipeline of one matrix cell — a
-//! native run and a profiled run of both the broken and the repaired
-//! build — at several shard counts, and verifies on the way that every
-//! shard count produces the bit-identical [`cheetah_sim::RunReport`]
+//! For every `(workload, threads)` row of the validation matrix — plus the
+//! `streaming_histogram` rows, the adversarial case for extent
+//! classification — this harness times the core simulation pipeline of one
+//! matrix cell (a native run and a profiled run of both the broken and the
+//! repaired build) at several shard counts, and verifies on the way that
+//! every shard count produces the bit-identical [`cheetah_sim::RunReport`]
 //! (determinism is a hard failure here, not a statistic).
+//!
+//! Each cell runs as the **median of N repeats** (rep-major, so slow drift
+//! cannot bias one shard count), and the [`cheetah_sim::metrics`] counters
+//! are captured alongside wall-clock: `merged` (events the merge replays
+//! individually), `folded` (accesses batch-folded by precompute and
+//! settled-run folding), `surfaced` (observer deliveries) and `ordered`
+//! (merged − surfaced: replay forced by coherence ordering alone — the
+//! number extent classification exists to shrink). Event counts are
+//! deterministic per (cell, shard count), so they are asserted stable
+//! across repeats rather than aggregated.
 //!
 //! Emits a human table on stdout and machine-readable records to
 //! `BENCH_sim.json` (current directory). With `--check`, exits nonzero if
 //! any thread-count row is slower sharded (shards >= 2) than
 //! single-threaded beyond the tolerance — the CI regression gate for the
-//! sharded execution path.
+//! sharded execution path. `bench_compare --sim` adds the cross-commit
+//! gate on the recorded event counts.
 //!
 //! Usage: `sim_throughput [--shards 1,2,4] [--reps N] [--tolerance 0.10]
 //! [--check]`
 
 use cheetah_core::{CheetahConfig, CheetahProfiler};
-use cheetah_sim::{Machine, MachineConfig, NullObserver, RunReport};
-use cheetah_workloads::{table2_matrix, SweepCell};
+use cheetah_sim::{metrics, ExecMetrics, Machine, MachineConfig, NullObserver, RunReport};
+use cheetah_workloads::{find, table2_matrix, SweepCell, SWEEP_THREAD_COUNTS};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::Instant;
 
 /// One timed pipeline execution; returns the profiled broken-build report
-/// (the determinism witness) and the wall-clock nanoseconds.
-fn run_cell(cell: &SweepCell, shards: u32) -> (RunReport, u128) {
+/// (the determinism witness), the wall-clock nanoseconds and the event
+/// counters accumulated over the cell's four runs.
+fn run_cell(cell: &SweepCell, shards: u32) -> (RunReport, u128, ExecMetrics) {
     let machine = Machine::new(MachineConfig::with_cores(cell.cores).with_shards(shards));
     let cheetah = CheetahConfig::scaled(cell.period);
     let broken = cell.app_config();
@@ -35,6 +48,7 @@ fn run_cell(cell: &SweepCell, shards: u32) -> (RunReport, u128) {
         fixed: true,
         ..broken
     };
+    let before = metrics::snapshot();
     let start = Instant::now();
     let mut witness = None;
     for (config, profiled) in [
@@ -55,7 +69,8 @@ fn run_cell(cell: &SweepCell, shards: u32) -> (RunReport, u128) {
         }
     }
     let wall = start.elapsed().as_nanos();
-    (witness.expect("broken profiled run executed"), wall)
+    let events = metrics::snapshot().since(&before);
+    (witness.expect("broken profiled run executed"), wall, events)
 }
 
 struct Record {
@@ -65,6 +80,13 @@ struct Record {
     shards: u32,
     wall_ns: u128,
     speedup: f64,
+    events: ExecMetrics,
+}
+
+impl Record {
+    fn ordered_events(&self) -> u64 {
+        self.events.merged_events - self.events.surfaced_events
+    }
 }
 
 fn parse_args() -> (Vec<u32>, u32, f64, bool) {
@@ -98,14 +120,24 @@ fn parse_args() -> (Vec<u32>, u32, f64, bool) {
         shards.contains(&1),
         "--shards must include 1 (the baseline)"
     );
+    assert!(reps >= 1, "--reps must be at least 1");
     (shards, reps, tolerance, check)
 }
 
-fn main() {
-    let (shard_counts, reps, tolerance, check) = parse_args();
+/// Median of the recorded repeat times.
+fn median(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    }
+}
 
-    // One row per (workload, threads): the matrix's first period for the
-    // workload (the second period only re-samples the same simulation).
+/// The bench rows: the matrix's `(workload, threads)` pairs at the first
+/// period each, plus the streaming-classification stress rows.
+fn bench_cells() -> Vec<SweepCell> {
     let mut cells: Vec<SweepCell> = Vec::new();
     for cell in table2_matrix() {
         if !cells
@@ -115,18 +147,58 @@ fn main() {
             cells.push(cell);
         }
     }
+    let hist = find("streaming_histogram").expect("registered workload");
+    for threads in SWEEP_THREAD_COUNTS {
+        cells.push(SweepCell {
+            app: hist,
+            threads,
+            period: 64,
+            scale: 0.5,
+            cores: 48,
+            min_predicted_improvement: 1.005,
+            max_iterations: 8,
+        });
+    }
+    cells
+}
+
+fn main() {
+    let (shard_counts, reps, tolerance, check) = parse_args();
+    let cells = bench_cells();
 
     let mut records: Vec<Record> = Vec::new();
     for cell in &cells {
-        // Best-of-reps, rep-major: interleaving shard counts within each
+        // Median-of-reps, rep-major: interleaving shard counts within each
         // rep keeps slow drift (thermal, noisy neighbours) from biasing
-        // one shard count's measurements against another's.
-        let mut best: Vec<u128> = vec![u128::MAX; shard_counts.len()];
+        // one shard count's measurements against another's — and a median
+        // is robust to the isolated stalls a loaded 1-CPU host produces.
+        let mut walls: Vec<Vec<u128>> = vec![Vec::with_capacity(reps as usize); shard_counts.len()];
+        let mut events: Vec<Vec<ExecMetrics>> =
+            vec![Vec::with_capacity(reps as usize); shard_counts.len()];
         let mut baseline_report: Option<RunReport> = None;
         for _ in 0..reps {
             for (i, &shards) in shard_counts.iter().enumerate() {
-                let (report, wall) = run_cell(cell, shards);
-                best[i] = best[i].min(wall);
+                let (report, wall, cell_events) = run_cell(cell, shards);
+                walls[i].push(wall);
+                if let Some(first) = events[i].first() {
+                    assert_eq!(
+                        (
+                            first.merged_events,
+                            first.folded_events,
+                            first.surfaced_events
+                        ),
+                        (
+                            cell_events.merged_events,
+                            cell_events.folded_events,
+                            cell_events.surfaced_events
+                        ),
+                        "{} threads={} shards={}: event counts changed between repeats",
+                        cell.app.name(),
+                        cell.threads,
+                        shards
+                    );
+                }
+                events[i].push(cell_events);
                 match &baseline_report {
                     None => baseline_report = Some(report),
                     Some(baseline) => assert_eq!(
@@ -140,20 +212,34 @@ fn main() {
                 }
             }
         }
-        let baseline_wall = best[0];
+        let medians: Vec<u128> = walls.iter_mut().map(|w| median(w)).collect();
+        let baseline_wall = medians[0];
         for (i, &shards) in shard_counts.iter().enumerate() {
+            // Event counts are repeat-stable (asserted above); the pass
+            // timings are noisy, so report their per-field medians to stay
+            // consistent with the median wall-clock.
+            let mut cell_events = events[i][0];
+            let ns_median = |f: fn(&ExecMetrics) -> u64| -> u64 {
+                let mut ns: Vec<u128> = events[i].iter().map(|e| u128::from(f(e))).collect();
+                median(&mut ns) as u64
+            };
+            cell_events.classify_ns = ns_median(|e| e.classify_ns);
+            cell_events.precompute_ns = ns_median(|e| e.precompute_ns);
+            cell_events.merge_ns = ns_median(|e| e.merge_ns);
             records.push(Record {
                 workload: cell.app.name(),
                 threads: cell.threads,
                 period: cell.period,
                 shards,
-                wall_ns: best[i],
-                speedup: baseline_wall as f64 / best[i] as f64,
+                wall_ns: medians[i],
+                speedup: baseline_wall as f64 / medians[i] as f64,
+                events: cell_events,
             });
         }
     }
 
-    println!("Simulator throughput: matrix-cell pipeline wall-clock by shard count\n");
+    println!("Simulator throughput: matrix-cell pipeline wall-clock by shard count");
+    println!("(median of {reps} repeats; events: merged | ordered = merged - surfaced | folded)\n");
     println!(
         "{}",
         cheetah_bench::row(&[
@@ -162,6 +248,9 @@ fn main() {
             "shards".into(),
             "wall_ms".into(),
             "speedup".into(),
+            "merged".into(),
+            "ordered".into(),
+            "folded".into(),
         ])
     );
     for r in &records {
@@ -173,14 +262,20 @@ fn main() {
                 r.shards.to_string(),
                 format!("{:.1}", r.wall_ns as f64 / 1e6),
                 format!("{:.2}x", r.speedup),
+                r.events.merged_events.to_string(),
+                r.ordered_events().to_string(),
+                r.events.folded_events.to_string(),
             ])
         );
     }
 
     // Aggregate rows by thread count: the matrix-row view of the gate.
-    let mut rows: BTreeMap<(u32, u32), u128> = BTreeMap::new();
+    let mut rows: BTreeMap<(u32, u32), (u128, u64, u64)> = BTreeMap::new();
     for r in &records {
-        *rows.entry((r.threads, r.shards)).or_insert(0) += r.wall_ns;
+        let row = rows.entry((r.threads, r.shards)).or_insert((0, 0, 0));
+        row.0 += r.wall_ns;
+        row.1 += r.events.merged_events;
+        row.2 += r.ordered_events();
     }
     println!("\nPer-row aggregate (all workloads at a thread count):\n");
     println!(
@@ -190,14 +285,15 @@ fn main() {
             "shards".into(),
             "wall_ms".into(),
             "speedup".into(),
+            "ordered".into(),
         ])
     );
-    let mut row_records: Vec<(u32, u32, u128, f64)> = Vec::new();
+    let mut row_records: Vec<(u32, u32, u128, f64, u64, u64)> = Vec::new();
     let mut regressions: Vec<String> = Vec::new();
-    for (&(threads, shards), &wall) in &rows {
-        let base = rows[&(threads, 1)];
+    for (&(threads, shards), &(wall, merged, ordered)) in &rows {
+        let base = rows[&(threads, 1)].0;
         let speedup = base as f64 / wall as f64;
-        row_records.push((threads, shards, wall, speedup));
+        row_records.push((threads, shards, wall, speedup, merged, ordered));
         println!(
             "{}",
             cheetah_bench::row(&[
@@ -205,6 +301,7 @@ fn main() {
                 shards.to_string(),
                 format!("{:.1}", wall as f64 / 1e6),
                 format!("{:.2}x", speedup),
+                ordered.to_string(),
             ])
         );
         if shards >= 2 && (wall as f64) > base as f64 * (1.0 + tolerance) {
@@ -224,14 +321,30 @@ fn main() {
         "  \"host_parallelism\": {},",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+    let _ = writeln!(json, "  \"reps\": {reps},");
     json.push_str("  \"results\": [\n");
     let cell_records: Vec<String> = records
         .iter()
         .map(|r| {
             format!(
                 "    {{\"workload\": \"{}\", \"threads\": {}, \"period\": {}, \
-                 \"shards\": {}, \"wall_ns\": {}, \"speedup\": {:.4}, \"identical\": true}}",
-                r.workload, r.threads, r.period, r.shards, r.wall_ns, r.speedup
+                 \"shards\": {}, \"wall_ns\": {}, \"speedup\": {:.4}, \
+                 \"merged_events\": {}, \"folded_events\": {}, \"surfaced_events\": {}, \
+                 \"ordered_events\": {}, \"classify_ns\": {}, \"precompute_ns\": {}, \
+                 \"merge_ns\": {}, \"identical\": true}}",
+                r.workload,
+                r.threads,
+                r.period,
+                r.shards,
+                r.wall_ns,
+                r.speedup,
+                r.events.merged_events,
+                r.events.folded_events,
+                r.events.surfaced_events,
+                r.ordered_events(),
+                r.events.classify_ns,
+                r.events.precompute_ns,
+                r.events.merge_ns,
             )
         })
         .collect();
@@ -239,10 +352,11 @@ fn main() {
     json.push_str("\n  ],\n  \"rows\": [\n");
     let row_json: Vec<String> = row_records
         .iter()
-        .map(|(threads, shards, wall, speedup)| {
+        .map(|(threads, shards, wall, speedup, merged, ordered)| {
             format!(
                 "    {{\"threads\": {threads}, \"shards\": {shards}, \
-                 \"wall_ns\": {wall}, \"speedup\": {speedup:.4}}}"
+                 \"wall_ns\": {wall}, \"speedup\": {speedup:.4}, \
+                 \"merged_events\": {merged}, \"ordered_events\": {ordered}}}"
             )
         })
         .collect();

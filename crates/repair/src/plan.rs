@@ -163,7 +163,11 @@ pub(crate) fn spans_disjoint(clusters: &[ThreadCluster]) -> bool {
 /// Whether relocating the object to a line-aligned base would already put
 /// every cluster's words on lines no other cluster touches.
 fn alignment_separates(clusters: &[ThreadCluster], line_size: u64) -> bool {
-    let mut line_owner: std::collections::BTreeMap<u64, usize> = Default::default();
+    // Per-line map on the repair planner's hot path (consulted for every
+    // candidate plan each converge iteration): the vendored FxHash-style
+    // hasher, not the default SipHash — only membership and ownership are
+    // queried, never iteration order.
+    let mut line_owner: cheetah_sim::util::FastMap<u64, usize> = Default::default();
     for (index, cluster) in clusters.iter().enumerate() {
         for &offset in &cluster.word_offsets {
             let line = offset / line_size;

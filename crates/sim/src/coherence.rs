@@ -301,8 +301,17 @@ impl AccessResult {
 pub struct Directory {
     latency: LatencyModel,
     lines: FastMap<CacheLineId, LineEntry>,
+    /// Extent overlay: contiguous line ranges `[start, end)` restored with
+    /// one uniform MESI state by the sharded executor's extent write-back
+    /// (sorted, disjoint, busy windows cleared). Per-line entries in
+    /// `lines` always shadow the overlay, so the overlay never needs
+    /// splitting when a single line inside a range diverges — the merge
+    /// simply materialises that line into `lines`.
+    overlay: Vec<(u64, u64, LineState)>,
     /// Lines that have ever been cached: the (infinite) shared LLC contents.
     llc: FastSet<CacheLineId>,
+    /// Extent form of LLC residency (union with `llc`), sorted disjoint.
+    llc_ranges: Vec<(u64, u64)>,
     /// Last line touched per core, for next-line prefetch detection.
     last_line: FastMap<CoreId, CacheLineId>,
     stats: CoherenceStats,
@@ -321,7 +330,9 @@ impl Directory {
         Directory {
             latency,
             lines: FastMap::default(),
+            overlay: Vec::new(),
             llc: FastSet::default(),
+            llc_ranges: Vec::new(),
             last_line: FastMap::default(),
             stats: CoherenceStats::default(),
         }
@@ -332,9 +343,41 @@ impl Directory {
         &self.stats
     }
 
-    /// Number of lines currently tracked in a valid state.
+    /// Number of lines currently tracked in a valid state (per-line entries
+    /// plus lines covered by extent-overlay ranges; lines present in both
+    /// count once).
     pub fn tracked_lines(&self) -> usize {
-        self.lines.len()
+        let overlay_lines: u64 = self
+            .overlay
+            .iter()
+            .map(|&(start, end, _)| end - start)
+            .sum();
+        // One binary search per per-line key beats scanning the key set per
+        // range: O(|lines| log |overlay|), not O(|overlay| x |lines|).
+        let shadowed = self
+            .lines
+            .keys()
+            .filter(|l| self.overlay_state(**l).is_some())
+            .count() as u64;
+        self.lines.len() + (overlay_lines - shadowed) as usize
+    }
+
+    /// Looks a line up in the extent overlay.
+    fn overlay_state(&self, line: CacheLineId) -> Option<LineState> {
+        let idx = self.overlay.partition_point(|&(_, end, _)| end <= line.0);
+        match self.overlay.get(idx) {
+            Some(&(start, _, state)) if start <= line.0 => Some(state),
+            _ => None,
+        }
+    }
+
+    /// Whether the LLC holds the line (per-line set or extent ranges).
+    fn llc_contains(&self, line: CacheLineId) -> bool {
+        if self.llc.contains(&line) {
+            return true;
+        }
+        let idx = self.llc_ranges.partition_point(|&(_, end)| end <= line.0);
+        matches!(self.llc_ranges.get(idx), Some(&(start, _)) if start <= line.0)
     }
 
     /// Simulates one access starting at time `now`; returns how it was
@@ -387,13 +430,13 @@ impl Directory {
         now: Cycles,
         sequential: bool,
     ) -> AccessResult {
-        // Queue behind any in-flight transaction on the line.
-        let wait = self
-            .lines
-            .get(&line)
-            .map_or(0, |entry| entry.busy_until.saturating_sub(now));
-        let prev = self.lines.get(&line).map(|e| e.state);
-        let in_llc = prev.is_none() && self.llc.contains(&line);
+        // Queue behind any in-flight transaction on the line. Overlay
+        // ranges carry no busy window (extent write-back happens at phase
+        // joins, after every transaction completed).
+        let entry = self.lines.get(&line);
+        let wait = entry.map_or(0, |entry| entry.busy_until.saturating_sub(now));
+        let prev = entry.map(|e| e.state).or_else(|| self.overlay_state(line));
+        let in_llc = prev.is_none() && self.llc_contains(line);
         let t = transition(prev, in_llc, core, kind);
         self.set_state(line, t.state);
         if t.llc_insert {
@@ -441,18 +484,99 @@ impl Directory {
 
     // --- Sharded-execution hooks (crate-internal; see `crate::shard`). ---
 
-    /// A line's current MESI state (`None` = Invalid / never cached),
-    /// read-only — the seed for a worker-local private-line simulation.
-    /// The busy window is irrelevant to the reader: every pre-phase
-    /// transaction completes before any phase member starts (each thread's
-    /// clock advances past its own transactions, and phase members start
-    /// at or after the previous phase's join).
-    pub(crate) fn line_state_of(&self, line: CacheLineId) -> Option<LineState> {
-        self.lines.get(&line).map(|entry| entry.state)
+    /// A line's seed state for worker-local simulation, with provenance:
+    /// `from_map` is true when the state came from a *per-line* entry. The
+    /// extent write-back needs this distinction — a line whose state lives
+    /// in a per-line entry must be restored per line (the entry would
+    /// shadow any overlay range written for it), while overlay-seeded and
+    /// cold lines may fold into a range restore.
+    pub(crate) fn seed_of(&self, line: CacheLineId) -> (Option<LineState>, bool) {
+        match self.lines.get(&line) {
+            Some(entry) => (Some(entry.state), true),
+            None => (self.overlay_state(line), false),
+        }
+    }
+
+    /// Whether the LLC holds the line; seed-side companion of
+    /// [`Directory::seed_of`] for cold lines.
+    pub(crate) fn llc_resident(&self, line: CacheLineId) -> bool {
+        self.llc_contains(line)
+    }
+
+    /// Overwrites every line of `[start, end)` with one uniform MESI state
+    /// (busy windows cleared): the extent form of
+    /// [`Directory::restore_line_state`], used when a sharded phase proves
+    /// a whole private run of lines ended in the same state.
+    ///
+    /// The caller must ensure no *stale* per-line entry covers the range —
+    /// per-line entries shadow the overlay, so such a line would keep its
+    /// pre-phase state. The sharded write-back guarantees this by routing
+    /// every line that was seeded from a per-line entry through
+    /// [`Directory::restore_line_state`] instead.
+    pub(crate) fn restore_extent(&mut self, start: u64, end: u64, state: LineState) {
+        debug_assert!(start < end, "empty extent restore");
+        // Splice the new range over whatever overlay ranges it overlaps,
+        // preserving any non-overlapped head/tail pieces.
+        let first = self.overlay.partition_point(|&(_, e, _)| e <= start);
+        let mut replacement: Vec<(u64, u64, LineState)> = Vec::with_capacity(3);
+        let mut last = first;
+        if let Some(&(s, _, st)) = self.overlay.get(first) {
+            if s < start {
+                replacement.push((s, start, st));
+            }
+        }
+        replacement.push((start, end, state));
+        while let Some(&(s, e, st)) = self.overlay.get(last) {
+            if s >= end {
+                break;
+            }
+            if e > end {
+                replacement.push((end, e, st));
+            }
+            last += 1;
+        }
+        // Merge with equal-state neighbours to keep the overlay compact.
+        self.overlay.splice(first..last, replacement);
+        let idx = self.overlay.partition_point(|&(_, e, _)| e < start);
+        let mut i = idx.saturating_sub(1);
+        while i + 1 < self.overlay.len() {
+            let (s0, e0, st0) = self.overlay[i];
+            let (s1, e1, st1) = self.overlay[i + 1];
+            if e0 == s1 && st0 == st1 {
+                self.overlay[i] = (s0, e1, st0);
+                self.overlay.remove(i + 1);
+            } else if s1 > end {
+                break;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Marks every line of `[start, end)` LLC-resident (extent form of
+    /// [`Directory::llc_insert`]; union semantics).
+    pub(crate) fn llc_insert_range(&mut self, start: u64, end: u64) {
+        debug_assert!(start < end, "empty LLC range");
+        let first = self.llc_ranges.partition_point(|&(_, e)| e < start);
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut last = first;
+        while let Some(&(s, e)) = self.llc_ranges.get(last) {
+            if s > new_end {
+                break;
+            }
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            last += 1;
+        }
+        self.llc_ranges
+            .splice(first..last, std::iter::once((new_start, new_end)));
     }
 
     /// Overwrites a line's MESI state after a sharded phase simulated it
-    /// locally (busy window cleared; see [`Directory::line_state_of`]).
+    /// locally (busy window cleared — every pre-phase transaction
+    /// completes before any phase member starts, so the reader of
+    /// [`Directory::seed_of`] never needs it).
     pub(crate) fn restore_line_state(&mut self, line: CacheLineId, state: LineState) {
         self.lines.insert(
             line,
@@ -735,6 +859,101 @@ mod tests {
         assert_eq!(hit.wait, 0);
         let next = dir.access(C1, L, AccessKind::Read, lat.memory + 1);
         assert_eq!(next.wait, 0);
+    }
+
+    #[test]
+    fn overlay_seeds_and_per_line_entries_shadow_it() {
+        let mut dir = Directory::default();
+        dir.restore_extent(10, 20, LineState::Exclusive(C0));
+        // Overlay-covered lines seed without per-line provenance.
+        assert_eq!(
+            dir.seed_of(CacheLineId(15)),
+            (Some(LineState::Exclusive(C0)), false)
+        );
+        assert_eq!(dir.seed_of(CacheLineId(9)), (None, false));
+        assert_eq!(dir.seed_of(CacheLineId(20)), (None, false));
+        // An access through the directory materialises a per-line entry,
+        // which shadows the overlay from then on.
+        let result = dir.access(C1, CacheLineId(15), AccessKind::Read, 0);
+        assert_eq!(result.outcome, AccessOutcome::RemoteClean);
+        let (state, from_map) = dir.seed_of(CacheLineId(15));
+        assert!(from_map);
+        assert!(matches!(state, Some(LineState::Shared(_))));
+        // Untouched neighbours still read from the overlay.
+        assert_eq!(
+            dir.seed_of(CacheLineId(16)),
+            (Some(LineState::Exclusive(C0)), false)
+        );
+    }
+
+    #[test]
+    fn overlay_splice_replaces_overlaps_and_keeps_tails() {
+        let mut dir = Directory::default();
+        dir.restore_extent(10, 30, LineState::Exclusive(C0));
+        dir.restore_extent(15, 20, LineState::Modified(C1));
+        for (line, expect) in [
+            (10, LineState::Exclusive(C0)),
+            (14, LineState::Exclusive(C0)),
+            (15, LineState::Modified(C1)),
+            (19, LineState::Modified(C1)),
+            (20, LineState::Exclusive(C0)),
+            (29, LineState::Exclusive(C0)),
+        ] {
+            assert_eq!(
+                dir.seed_of(CacheLineId(line)),
+                (Some(expect), false),
+                "line {line}"
+            );
+        }
+        // A restore spanning several existing ranges replaces them all.
+        dir.restore_extent(12, 25, LineState::Exclusive(C2));
+        assert_eq!(
+            dir.seed_of(CacheLineId(18)),
+            (Some(LineState::Exclusive(C2)), false)
+        );
+        assert_eq!(
+            dir.seed_of(CacheLineId(25)),
+            (Some(LineState::Exclusive(C0)), false)
+        );
+    }
+
+    #[test]
+    fn overlay_busy_window_is_clear() {
+        let mut dir = Directory::default();
+        dir.restore_extent(5, 8, LineState::Modified(C0));
+        assert_eq!(dir.busy_wait(CacheLineId(6), 0), 0);
+        assert_eq!(dir.busy_until_of(CacheLineId(6)), 0);
+    }
+
+    #[test]
+    fn llc_ranges_union_with_per_line_set() {
+        let mut dir = Directory::default();
+        dir.llc_insert_range(100, 200);
+        dir.llc_insert(CacheLineId(500));
+        assert!(dir.llc_resident(CacheLineId(100)));
+        assert!(dir.llc_resident(CacheLineId(199)));
+        assert!(!dir.llc_resident(CacheLineId(200)));
+        assert!(dir.llc_resident(CacheLineId(500)));
+        // Overlapping and touching inserts merge.
+        dir.llc_insert_range(150, 250);
+        dir.llc_insert_range(250, 300);
+        assert!(dir.llc_resident(CacheLineId(299)));
+        assert_eq!(dir.llc_ranges.len(), 1);
+        // A cold read of an LLC-range line is an LLC refill, not memory.
+        let result = dir.access(C0, CacheLineId(120), AccessKind::Read, 0);
+        assert_eq!(result.outcome, AccessOutcome::LlcHit);
+    }
+
+    #[test]
+    fn tracked_lines_counts_overlay_without_double_counting() {
+        let mut dir = Directory::default();
+        dir.restore_extent(0, 10, LineState::Exclusive(C0));
+        assert_eq!(dir.tracked_lines(), 10);
+        // Materialise one overlaid line into the per-line map.
+        dir.access(C1, CacheLineId(3), AccessKind::Read, 0);
+        assert_eq!(dir.tracked_lines(), 10);
+        dir.access(C1, CacheLineId(50), AccessKind::Read, 0);
+        assert_eq!(dir.tracked_lines(), 11);
     }
 
     #[test]

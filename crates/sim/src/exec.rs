@@ -183,6 +183,9 @@ struct Execution<'a> {
     latency: LatencyModel,
     /// Resolved shard count; `>= 2` enables the sharded parallel-phase path.
     shards: u32,
+    /// Accesses replayed individually by the classic loop (flushed into
+    /// [`crate::metrics`] once per run to keep atomics off the hot path).
+    classic_ops: u64,
 }
 
 impl<'a> Execution<'a> {
@@ -193,6 +196,7 @@ impl<'a> Execution<'a> {
             directory: Directory::new(config.latency.clone()),
             latency: config.latency.clone(),
             shards: config.resolved_shards(),
+            classic_ops: 0,
         }
     }
 
@@ -332,6 +336,7 @@ impl<'a> Execution<'a> {
             },
         );
 
+        crate::metrics::count_merged(self.classic_ops);
         RunReport {
             program: program_name,
             total_cycles: total,
@@ -398,6 +403,7 @@ impl<'a> Execution<'a> {
                 thread.clock += n * self.latency.cycles_per_instruction;
             }
             Op::Read(addr) | Op::Write(addr) => {
+                self.classic_ops += 1;
                 let kind = if matches!(op, Op::Write(_)) {
                     AccessKind::Write
                 } else {

@@ -1,0 +1,413 @@
+//! Extent-based line classification for sharded execution.
+//!
+//! A parallel phase's lines are classified by who touches them: private
+//! (one worker), read-shared (several workers, no writes) or write-shared.
+//! PR 3 classified per line, paying hash-map traffic proportional to the
+//! number of distinct lines — ruinous for streaming phases that touch tens
+//! of thousands of one-shot private lines. This module classifies whole
+//! **extents** instead: each worker contributes a sorted list of
+//! [`LineExtent`]s (from its stream's declared [`crate::footprint`] or, as
+//! a fallback, coalesced from its materialised touch set), and a single
+//! boundary sweep over all workers' extents produces the phase's
+//! [`ClassExtent`] table. Classification cost is proportional to the
+//! number of *extents moved*, not lines touched — the cache-conscious
+//! batching argument, applied to the simulator's own bookkeeping.
+
+use crate::types::CacheLineId;
+use crate::util::FastMap;
+
+/// A contiguous run of cache lines touched by one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LineExtent {
+    /// First line id.
+    pub(crate) start: u64,
+    /// One past the last line id.
+    pub(crate) end: u64,
+    /// Whether the worker may write anywhere in the run.
+    pub(crate) wrote: bool,
+}
+
+/// How every line of one classified extent participates in the phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExtClass {
+    /// Touched by exactly one worker (the payload slot index).
+    Private(u32),
+    /// Touched by several workers, none of whom writes.
+    ReadShared,
+    /// Touched by several workers, at least one of whom writes.
+    WriteShared,
+}
+
+/// One classified extent of the phase table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ClassExtent {
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) class: ExtClass,
+}
+
+/// The phase's classification table: sorted disjoint extents covering
+/// every line any worker may touch.
+#[derive(Debug, Default)]
+pub(crate) struct ClassTable {
+    extents: Vec<ClassExtent>,
+}
+
+impl ClassTable {
+    /// Classifies the phase from every worker's extent list (sorted and
+    /// disjoint per worker) via one boundary sweep.
+    pub(crate) fn build(per_worker: &[Vec<LineExtent>]) -> ClassTable {
+        // Boundary events: (position, +1 open / -1 close, worker, wrote).
+        let mut events: Vec<(u64, i32, u32, bool)> = Vec::new();
+        for (slot, extents) in per_worker.iter().enumerate() {
+            for extent in extents {
+                // An empty (or inverted) extent claims no lines; skipping it
+                // keeps the sweep's open/close counts balanced even when a
+                // hand-built footprint bypassed the normalising builder.
+                if extent.start >= extent.end {
+                    continue;
+                }
+                events.push((extent.start, 1, slot as u32, extent.wrote));
+                events.push((extent.end, -1, slot as u32, extent.wrote));
+            }
+        }
+        // Closes before opens at equal positions so touching extents of
+        // different workers do not look concurrently active.
+        events.sort_unstable_by_key(|&(pos, delta, slot, _)| (pos, delta, slot));
+
+        // Active multiset per worker: (extent count, writing-extent count).
+        let mut active: FastMap<u32, (u32, u32)> = FastMap::default();
+        let mut writers: u32 = 0;
+        let mut extents: Vec<ClassExtent> = Vec::new();
+        let mut cursor = 0u64;
+        let mut i = 0usize;
+        while i < events.len() {
+            let pos = events[i].0;
+            if pos > cursor && !active.is_empty() {
+                let class = match active.len() {
+                    1 => ExtClass::Private(*active.keys().next().expect("one active worker")),
+                    _ if writers > 0 => ExtClass::WriteShared,
+                    _ => ExtClass::ReadShared,
+                };
+                match extents.last_mut() {
+                    Some(last) if last.end == cursor && last.class == class => last.end = pos,
+                    _ => extents.push(ClassExtent {
+                        start: cursor,
+                        end: pos,
+                        class,
+                    }),
+                }
+            }
+            cursor = pos;
+            while i < events.len() && events[i].0 == pos {
+                let (_, delta, slot, wrote) = events[i];
+                i += 1;
+                let entry = active.entry(slot).or_insert((0, 0));
+                if delta > 0 {
+                    entry.0 += 1;
+                    if wrote {
+                        entry.1 += 1;
+                        if entry.1 == 1 {
+                            writers += 1;
+                        }
+                    }
+                } else {
+                    entry.0 -= 1;
+                    if wrote {
+                        entry.1 -= 1;
+                        if entry.1 == 0 {
+                            writers -= 1;
+                        }
+                    }
+                    if entry.0 == 0 {
+                        active.remove(&slot);
+                    }
+                }
+            }
+        }
+        ClassTable { extents }
+    }
+
+    /// The classified extents, sorted and disjoint.
+    pub(crate) fn extents(&self) -> &[ClassExtent] {
+        &self.extents
+    }
+
+    /// Looks the line's extent index up by binary search; `None` when the
+    /// line lies outside every declared footprint (a contract violation by
+    /// some stream).
+    pub(crate) fn find(&self, line: CacheLineId) -> Option<usize> {
+        let idx = self.extents.partition_point(|e| e.end <= line.0);
+        (idx < self.extents.len() && self.extents[idx].start <= line.0).then_some(idx)
+    }
+}
+
+/// Coalesces one worker's exact per-line touch map (the materialisation
+/// fallback for streams without a declared footprint) into sorted extents.
+/// Adjacent lines merge only when their write flags agree, keeping the
+/// read/write boundary exact.
+pub(crate) fn extents_from_touched(touched: &FastMap<CacheLineId, bool>) -> Vec<LineExtent> {
+    let mut lines: Vec<(u64, bool)> = touched.iter().map(|(l, &w)| (l.0, w)).collect();
+    lines.sort_unstable();
+    let mut extents: Vec<LineExtent> = Vec::new();
+    for (line, wrote) in lines {
+        match extents.last_mut() {
+            Some(last) if last.end == line && last.wrote == wrote => last.end = line + 1,
+            _ => extents.push(LineExtent {
+                start: line,
+                end: line + 1,
+                wrote,
+            }),
+        }
+    }
+    extents
+}
+
+/// A sorted list of disjoint line-id ranges with cheap coalescing inserts;
+/// the accumulator behind extent-granular directory write-back.
+///
+/// Sequential sweeps (the streaming pattern the extent table exists for)
+/// always extend the last-inserted range in O(1); arbitrary insert order
+/// degrades to a `Vec::insert` shift, which callers bound by spilling to a
+/// per-line map once the list fragments.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct RangeList {
+    ranges: Vec<(u64, u64)>,
+    /// Index of the most recently extended range (locality cursor).
+    cursor: usize,
+}
+
+impl RangeList {
+    /// Number of disjoint ranges.
+    pub(crate) fn fragments(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The ranges, sorted and disjoint.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// Whether `line` is recorded.
+    pub(crate) fn contains(&mut self, line: u64) -> bool {
+        if let Some(&(s, e)) = self.ranges.get(self.cursor) {
+            if s <= line && line < e {
+                return true;
+            }
+        }
+        let idx = self.ranges.partition_point(|&(_, e)| e <= line);
+        if idx < self.ranges.len() && self.ranges[idx].0 <= line {
+            self.cursor = idx;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records `line`, coalescing with neighbours. Idempotent.
+    pub(crate) fn insert(&mut self, line: u64) {
+        // Fast path: extend the cursor range at either edge.
+        if let Some(&(s, e)) = self.ranges.get(self.cursor) {
+            if s <= line && line < e {
+                return;
+            }
+            if line == e
+                && self
+                    .ranges
+                    .get(self.cursor + 1)
+                    .is_none_or(|n| n.0 > line + 1)
+            {
+                self.ranges[self.cursor].1 = line + 1;
+                return;
+            }
+            if line + 1 == s && (self.cursor == 0 || self.ranges[self.cursor - 1].1 < line) {
+                self.ranges[self.cursor].0 = line;
+                return;
+            }
+        }
+        let idx = self.ranges.partition_point(|&(_, e)| e <= line);
+        if idx < self.ranges.len() && self.ranges[idx].0 <= line {
+            self.cursor = idx;
+            return; // already present
+        }
+        // Try extending the neighbours around the insertion point.
+        let extends_next = idx < self.ranges.len() && self.ranges[idx].0 == line + 1;
+        let extends_prev = idx > 0 && self.ranges[idx - 1].1 == line;
+        match (extends_prev, extends_next) {
+            (true, true) => {
+                self.ranges[idx - 1].1 = self.ranges[idx].1;
+                self.ranges.remove(idx);
+                self.cursor = idx - 1;
+            }
+            (true, false) => {
+                self.ranges[idx - 1].1 = line + 1;
+                self.cursor = idx - 1;
+            }
+            (false, true) => {
+                self.ranges[idx].0 = line;
+                self.cursor = idx;
+            }
+            (false, false) => {
+                self.ranges.insert(idx, (line, line + 1));
+                self.cursor = idx;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(start: u64, end: u64, wrote: bool) -> LineExtent {
+        LineExtent { start, end, wrote }
+    }
+
+    #[test]
+    fn disjoint_extents_are_private() {
+        let table = ClassTable::build(&[vec![ext(0, 10, true)], vec![ext(10, 20, false)]]);
+        assert_eq!(
+            table.extents(),
+            &[
+                ClassExtent {
+                    start: 0,
+                    end: 10,
+                    class: ExtClass::Private(0)
+                },
+                ClassExtent {
+                    start: 10,
+                    end: 20,
+                    class: ExtClass::Private(1)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn overlap_classification_splits_at_boundaries() {
+        // Worker 0 reads [0,20); worker 1 writes [10,30).
+        let table = ClassTable::build(&[vec![ext(0, 20, false)], vec![ext(10, 30, true)]]);
+        assert_eq!(
+            table.extents(),
+            &[
+                ClassExtent {
+                    start: 0,
+                    end: 10,
+                    class: ExtClass::Private(0)
+                },
+                ClassExtent {
+                    start: 10,
+                    end: 20,
+                    class: ExtClass::WriteShared
+                },
+                ClassExtent {
+                    start: 20,
+                    end: 30,
+                    class: ExtClass::Private(1)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn read_only_overlap_is_read_shared() {
+        let table = ClassTable::build(&[
+            vec![ext(5, 15, false)],
+            vec![ext(5, 15, false)],
+            vec![ext(5, 15, false)],
+        ]);
+        assert_eq!(
+            table.extents(),
+            &[ClassExtent {
+                start: 5,
+                end: 15,
+                class: ExtClass::ReadShared
+            }]
+        );
+    }
+
+    #[test]
+    fn same_worker_overlapping_read_and_write_extents_stay_private() {
+        // A worker may declare a read extent and a write extent over the
+        // same lines; alone it is still private.
+        let table = ClassTable::build(&[vec![ext(0, 8, false), ext(0, 8, true)]]);
+        assert_eq!(
+            table.extents(),
+            &[ClassExtent {
+                start: 0,
+                end: 8,
+                class: ExtClass::Private(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn find_resolves_inside_and_rejects_gaps() {
+        let table = ClassTable::build(&[vec![ext(0, 4, true), ext(8, 12, true)]]);
+        assert_eq!(table.find(CacheLineId(1)), Some(0));
+        assert_eq!(table.find(CacheLineId(9)), Some(1));
+        assert_eq!(table.find(CacheLineId(5)), None);
+        assert_eq!(table.find(CacheLineId(12)), None);
+    }
+
+    #[test]
+    fn touching_extents_of_different_workers_do_not_mix() {
+        let table = ClassTable::build(&[vec![ext(0, 10, true)], vec![ext(10, 20, true)]]);
+        assert_eq!(table.extents().len(), 2);
+        assert!(matches!(table.extents()[0].class, ExtClass::Private(0)));
+        assert!(matches!(table.extents()[1].class, ExtClass::Private(1)));
+    }
+
+    #[test]
+    fn extents_from_touched_coalesces_runs() {
+        let mut touched: FastMap<CacheLineId, bool> = FastMap::default();
+        for l in 0..100u64 {
+            touched.insert(CacheLineId(l), false);
+        }
+        touched.insert(CacheLineId(200), true);
+        let extents = extents_from_touched(&touched);
+        assert_eq!(extents, vec![ext(0, 100, false), ext(200, 201, true)]);
+    }
+
+    #[test]
+    fn range_list_sequential_and_random() {
+        let mut list = RangeList::default();
+        for l in 0..1000u64 {
+            list.insert(l);
+        }
+        assert_eq!(list.fragments(), 1);
+        list.insert(2000);
+        list.insert(1999);
+        list.insert(2001);
+        assert_eq!(list.fragments(), 2);
+        assert!(list.contains(500));
+        assert!(list.contains(1999));
+        assert!(!list.contains(1500));
+        // Bridge the gap one line at a time from both sides.
+        list.insert(1000);
+        list.insert(1998);
+        assert_eq!(list.fragments(), 2);
+        assert!(list.contains(1000));
+        assert!(list.contains(1998));
+        // Closing the last gap through the cursor fast path merges too.
+        for l in 1001..1998 {
+            list.insert(l);
+        }
+        assert_eq!(list.fragments(), 1);
+        assert!(list.contains(1500));
+        // Idempotent.
+        list.insert(500);
+        assert_eq!(list.fragments(), 1);
+    }
+
+    #[test]
+    fn range_list_merges_when_gap_closes() {
+        let mut list = RangeList::default();
+        list.insert(0);
+        list.insert(2);
+        assert_eq!(list.fragments(), 2);
+        list.insert(1);
+        assert_eq!(list.fragments(), 1);
+        assert!(list.contains(0) && list.contains(1) && list.contains(2));
+    }
+}

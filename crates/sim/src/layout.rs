@@ -246,6 +246,49 @@ impl LayoutMap {
         }
     }
 
+    /// Translates the byte range `[start, end)`, splitting it at remapping
+    /// boundaries; returns the translated pieces (unsorted, possibly
+    /// touching). Used to push [`crate::footprint`] extents through a
+    /// layout rewrite without enumerating addresses.
+    ///
+    /// ```
+    /// use cheetah_sim::layout::{LayoutMap, Remapping};
+    /// use cheetah_sim::Addr;
+    /// let map = LayoutMap::new(vec![Remapping::new(Addr(0x120), 0x20, Addr(0x1000))])?;
+    /// let mut pieces = map.translate_range(0x100, 0x180);
+    /// pieces.sort_unstable();
+    /// assert_eq!(pieces, vec![(0x100, 0x120), (0x140, 0x180), (0x1000, 0x1020)]);
+    /// # Ok::<(), cheetah_sim::layout::LayoutError>(())
+    /// ```
+    pub fn translate_range(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
+        let mut pieces = Vec::new();
+        let mut cursor = start;
+        // Rules are sorted by source start; walk the ones overlapping the
+        // range, emitting identity gaps between them.
+        let mut idx = self
+            .rules
+            .partition_point(|rule| rule.from_end().0 <= start);
+        while cursor < end && idx < self.rules.len() {
+            let rule = &self.rules[idx];
+            if rule.from.0 >= end {
+                break;
+            }
+            if cursor < rule.from.0 {
+                pieces.push((cursor, rule.from.0));
+                cursor = rule.from.0;
+            }
+            let stop = end.min(rule.from_end().0);
+            let offset = cursor - rule.from.0;
+            pieces.push((rule.to.0 + offset, rule.to.0 + (stop - rule.from.0)));
+            cursor = stop;
+            idx += 1;
+        }
+        if cursor < end {
+            pieces.push((cursor, end));
+        }
+        pieces
+    }
+
     /// Merges two maps whose rules must remain disjoint (e.g. the plans of
     /// two different sharing instances).
     ///

@@ -49,8 +49,11 @@
 
 pub mod coherence;
 pub mod exec;
+pub(crate) mod extent;
+pub mod footprint;
 pub mod latency;
 pub mod layout;
+pub mod metrics;
 pub mod observer;
 pub mod program;
 pub mod report;
@@ -61,8 +64,10 @@ pub mod util;
 
 pub use coherence::{Directory, SharerSet, MAX_CORES};
 pub use exec::{ConfigError, Machine, MachineConfig};
+pub use footprint::{ByteExtent, Footprint, FootprintBuilder};
 pub use latency::{AccessOutcome, LatencyModel};
 pub use layout::{LayoutError, LayoutMap, Remapping};
+pub use metrics::ExecMetrics;
 pub use observer::{
     AccessRecord, CountingObserver, ExecObserver, NullObserver, SampleJudgement, SamplerFork,
     ThreadSampler,

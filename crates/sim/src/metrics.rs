@@ -1,0 +1,137 @@
+//! Execution-path event counters, for benchmarks and CI gates.
+//!
+//! The sharded executor's value proposition is that the single-threaded
+//! merge replays only *order-dependent* events, with everything else
+//! batch-folded in the parallel precompute passes. These counters make
+//! that claim measurable: `sim_throughput` snapshots them around each run
+//! and emits merged/folded/surfaced counts next to wall-clock, and the CI
+//! gate fails if a streaming workload starts replaying per-line again.
+//!
+//! The counters are process-global atomics, deliberately **outside**
+//! [`crate::RunReport`]: reports are bit-identical across shard counts,
+//! while these counts describe the execution *strategy* and legitimately
+//! differ between the classic loop and sharded runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static MERGED: AtomicU64 = AtomicU64::new(0);
+static FOLDED: AtomicU64 = AtomicU64::new(0);
+static SURFACED: AtomicU64 = AtomicU64::new(0);
+static CLASSIFY_NS: AtomicU64 = AtomicU64::new(0);
+static PRECOMPUTE_NS: AtomicU64 = AtomicU64::new(0);
+static MERGE_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Counter snapshot; see [`snapshot`] for field meanings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecMetrics {
+    /// Events processed *individually* in global order: every classic-loop
+    /// access, and in sharded runs each directory event, each walked
+    /// hit-run read, each heap pop and each surfaced access the merge
+    /// replays one by one.
+    pub merged_events: u64,
+    /// Accesses folded in batches without individual global-order
+    /// processing: precomputed private accesses absorbed into event leads
+    /// and settled hit-run reads folded in O(1) per run.
+    pub folded_events: u64,
+    /// Accesses surfaced to the observer (sample delivery and
+    /// every-access observers); a subset of the work counted in
+    /// `merged_events` for sharded runs.
+    pub surfaced_events: u64,
+    /// Wall-clock nanoseconds spent in sharded phases' footprint /
+    /// materialisation / classification pass.
+    pub classify_ns: u64,
+    /// Wall-clock nanoseconds spent in sharded phases' parallel
+    /// precompute-and-fold pass.
+    pub precompute_ns: u64,
+    /// Wall-clock nanoseconds spent in sharded phases' deterministic merge.
+    pub merge_ns: u64,
+}
+
+impl ExecMetrics {
+    /// Element-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &ExecMetrics) -> ExecMetrics {
+        ExecMetrics {
+            merged_events: self.merged_events - earlier.merged_events,
+            folded_events: self.folded_events - earlier.folded_events,
+            surfaced_events: self.surfaced_events - earlier.surfaced_events,
+            classify_ns: self.classify_ns - earlier.classify_ns,
+            precompute_ns: self.precompute_ns - earlier.precompute_ns,
+            merge_ns: self.merge_ns - earlier.merge_ns,
+        }
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> ExecMetrics {
+    ExecMetrics {
+        merged_events: MERGED.load(Ordering::Relaxed),
+        folded_events: FOLDED.load(Ordering::Relaxed),
+        surfaced_events: SURFACED.load(Ordering::Relaxed),
+        classify_ns: CLASSIFY_NS.load(Ordering::Relaxed),
+        precompute_ns: PRECOMPUTE_NS.load(Ordering::Relaxed),
+        merge_ns: MERGE_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets all counters to zero.
+pub fn reset() {
+    MERGED.store(0, Ordering::Relaxed);
+    FOLDED.store(0, Ordering::Relaxed);
+    SURFACED.store(0, Ordering::Relaxed);
+    CLASSIFY_NS.store(0, Ordering::Relaxed);
+    PRECOMPUTE_NS.store(0, Ordering::Relaxed);
+    MERGE_NS.store(0, Ordering::Relaxed);
+}
+
+/// Adds one sharded phase's pass timings.
+#[inline]
+pub(crate) fn add_pass_timings(classify_ns: u64, precompute_ns: u64, merge_ns: u64) {
+    CLASSIFY_NS.fetch_add(classify_ns, Ordering::Relaxed);
+    PRECOMPUTE_NS.fetch_add(precompute_ns, Ordering::Relaxed);
+    MERGE_NS.fetch_add(merge_ns, Ordering::Relaxed);
+}
+
+/// Adds `n` individually merge-ordered events.
+#[inline]
+pub(crate) fn count_merged(n: u64) {
+    MERGED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Adds `n` batch-folded accesses.
+#[inline]
+pub(crate) fn count_folded(n: u64) {
+    FOLDED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Adds `n` observer-surfaced accesses.
+#[inline]
+pub(crate) fn count_surfaced(n: u64) {
+    SURFACED.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = ExecMetrics {
+            merged_events: 10,
+            folded_events: 20,
+            surfaced_events: 5,
+            ..ExecMetrics::default()
+        };
+        let b = ExecMetrics {
+            merged_events: 4,
+            folded_events: 8,
+            surfaced_events: 1,
+            ..ExecMetrics::default()
+        };
+        assert_eq!(b.since(&b), ExecMetrics::default());
+        let d = a.since(&b);
+        assert_eq!(
+            (d.merged_events, d.folded_events, d.surfaced_events),
+            (6, 12, 4)
+        );
+    }
+}

@@ -9,6 +9,7 @@
 //! Streams are consumed destructively — running a program uses it up, so
 //! workload generators hand out a fresh `Program` per run.
 
+use crate::footprint::{ByteExtent, Footprint, FootprintBuilder};
 use crate::layout::LayoutMap;
 use crate::types::{AccessKind, Addr};
 use std::sync::Arc;
@@ -50,6 +51,26 @@ impl Op {
 pub trait AccessStream: Send {
     /// Produces the next operation, or `None` when the thread finishes.
     fn next_op(&mut self) -> Option<Op>;
+
+    /// A byte-range superset of everything the stream will touch, queried
+    /// by the sharded executor *before* the first [`AccessStream::next_op`]
+    /// call (see [`crate::footprint`] for the soundness contract). Streams
+    /// that cannot bound their accesses keep the default
+    /// [`Footprint::Unknown`] and are classified per touched line instead.
+    fn footprint(&self) -> Footprint {
+        Footprint::Unknown
+    }
+}
+
+/// Exact footprint of a slice of materialised ops.
+fn ops_footprint(ops: &[Op]) -> Footprint {
+    let mut builder = FootprintBuilder::default();
+    for op in ops {
+        if let Some((addr, kind)) = op.mem_ref() {
+            builder.push(ByteExtent::word(addr, kind.is_write()));
+        }
+    }
+    builder.finish()
 }
 
 /// An [`AccessStream`] over a pre-built vector of ops; convenient in tests.
@@ -78,6 +99,10 @@ impl OpsStream {
 impl AccessStream for OpsStream {
     fn next_op(&mut self) -> Option<Op> {
         self.ops.next()
+    }
+
+    fn footprint(&self) -> Footprint {
+        ops_footprint(self.ops.as_slice())
     }
 }
 
@@ -147,6 +172,13 @@ impl AccessStream for LoopStream {
             self.done_iterations += 1;
         }
         Some(op)
+    }
+
+    fn footprint(&self) -> Footprint {
+        if self.done_iterations >= self.iterations {
+            return Footprint::Bounded(Vec::new());
+        }
+        ops_footprint(&self.body)
     }
 }
 
@@ -342,6 +374,23 @@ impl AccessStream for RemappedStream {
             Op::Read(addr) => Op::Read(self.map.translate(addr)),
             Op::Write(addr) => Op::Write(self.map.translate(addr)),
         })
+    }
+
+    fn footprint(&self) -> Footprint {
+        // Translate the inner footprint range by range, splitting at
+        // remapping boundaries so relocated slices keep extent hints.
+        match self.inner.footprint() {
+            Footprint::Unknown => Footprint::Unknown,
+            Footprint::Bounded(extents) => {
+                let mut builder = FootprintBuilder::default();
+                for extent in extents {
+                    for (start, end) in self.map.translate_range(extent.start, extent.end) {
+                        builder.push(ByteExtent::new(start, end, extent.wrote));
+                    }
+                }
+                builder.finish()
+            }
+        }
     }
 }
 

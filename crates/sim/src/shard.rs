@@ -7,9 +7,9 @@
 //! two passes whose result is **bit-identical** to the classic loop:
 //!
 //! 1. **Precompute** (fanned out over host threads): each worker's access
-//!    stream is materialised and replayed *locally*. Three facts make most
-//!    of the work timing-independent and therefore precomputable before any
-//!    global interleaving is known:
+//!    stream is replayed *locally*. Three facts make most of the work
+//!    timing-independent and therefore precomputable before any global
+//!    interleaving is known:
 //!    * streams are deterministic state machines — the op sequence never
 //!      depends on timing;
 //!    * MESI transitions (`coherence::transition`) depend only on
@@ -21,16 +21,41 @@
 //!    * sampling decisions ([`crate::observer::ThreadSampler`]) are pure
 //!      functions of the thread's retired-instruction index.
 //!
-//!    Lines are classified by who touches them in the phase: **private**
-//!    lines (one worker) are simulated entirely in the precompute pass
-//!    against worker-local state seeded from the shared directory;
-//!    **read-shared** lines (several workers, no writes) reduce to one
-//!    directory access per worker — every later read by the same core is a
-//!    provable L1 hit; **write-shared** lines (the false-sharing traffic
-//!    itself) stay fully ordered. The pass folds runs of precomputed work
-//!    into `lead` cycles and emits an *event* for everything that needs
-//!    global time or the observer. Consecutive unsampled read-shared hits
-//!    collapse into a single *hit-run* event.
+//! ## Extent-based classification
+//!
+//! Lines are classified by who touches them in the phase — **private**
+//! (one worker, simulated entirely in precompute), **read-shared**
+//! (several workers, no writes: one directory access per worker, every
+//! later read a provable L1 hit) or **write-shared** (the false-sharing
+//! traffic itself, fully ordered). PR 3 discovered the classes per *line*,
+//! paying several hash-map operations for every distinct line — the
+//! dominant cost of streaming phases that touch tens of thousands of
+//! one-shot private lines. Classification is now per **extent**: each
+//! stream declares its footprint as a few contiguous byte ranges
+//! ([`crate::footprint`]), a single boundary sweep classifies the union
+//! (`extent::ClassTable`), and the per-access hot loop resolves a
+//! line's class with one cached range comparison. Streams without a
+//! declared footprint fall back to materialisation, and their touched
+//! lines enter the sweep as coalesced one-line extents — interleaved
+//! footprints degrade to exactly the per-line behaviour of PR 3, never to
+//! an incorrect classification.
+//!
+//! ## Write-private folding
+//!
+//! A private line's whole phase history is computed in precompute; only
+//! *sampled* private accesses become events, everything else folds into
+//! the next event's `lead` cycles. The per-line residue PR 3 still paid —
+//! a map entry per line for the final MESI state, a directory insert per
+//! line at write-back — is now folded too: completed private lines
+//! accumulate into uniform-state **runs** (`extent::RangeList`)
+//! and are written back as whole extents
+//! (`Directory::restore_extent`), so a streaming
+//! worker's million-access private-write sweep costs the directory a
+//! handful of range splices instead of thousands of per-line events. Lines
+//! whose state diverges from their run (or that were seeded from a
+//! per-line directory entry, which would shadow a range restore) spill
+//! into a per-line exception map — correctness never depends on the
+//! folding succeeding.
 //!
 //! 2. **Merge** (single-threaded): the per-worker event streams are merged
 //!    on a min-heap keyed by `(timestamp, worker, seq)` — the exact order
@@ -42,84 +67,64 @@
 //!    becomes a merge barrier: the main thread resumes at the merged
 //!    maximum end time, exactly as it would have at the classic join.
 //!
-//! ## The hit-run settling argument
+//! ## The hit-run settling argument, per line
 //!
 //! A read-shared line's busy windows can only be created by *first-touch*
-//! accesses (its hits never occupy the line), and every worker touching the
-//! line performs exactly one first touch. Once all first touches have been
-//! merged and the last window has expired, no later read of the line can
-//! ever wait — so a run of such hits has no observable effect other than
-//! advancing its own worker's clock and counting L1 hits, and the merge
-//! processes the entire run in O(run length) additions without touching the
-//! heap or the directory. Before that settling point the merge walks the
-//! run read by read against the real busy windows, yielding to the heap at
-//! the horizon exactly like the classic loop.
+//! accesses (its hits never occupy the line). Once a line can provably
+//! never be occupied again, a run of hits on it has no observable effect
+//! other than advancing its own worker's clock and counting L1 hits — so
+//! the merge folds the entire run in O(1) using its precomputed lead sum.
+//! PR 3 waited for *every* read-shared line's first touches globally; the
+//! settling condition is now per line, and earlier: after a line's first
+//! two first-touches merge it is in `Shared` state, where further first
+//! touches are LLC hits that do not occupy the line — except
+//! prefetch-substituted sequential fills, which the precompute pass counts
+//! per line in advance (`seq_pending`). A line is *settled* once all its
+//! first touches merged, or two merged and no sequential fills remain
+//! outstanding; its busy window is then final, and every hit run over
+//! settled lines whose windows have passed folds without touching the heap
+//! or the directory. Before that point the merge walks runs read by read
+//! against the real busy windows, yielding at the horizon exactly like the
+//! classic loop.
 //!
 //! Determinism is structural: the precompute pass is per-worker (the
 //! partitioning of workers onto host threads cannot affect its output) and
 //! the merge order is a pure function of worker clocks, so *any* shard
 //! count — including the classic path at `shards = 1` — yields the same
 //! [`crate::RunReport`]. The property tests in `tests/shard_props.rs` and
-//! the `sim_throughput` bench gate assert exactly that.
+//! the `sim_throughput` bench gate assert exactly that; the
+//! [`crate::metrics`] counters expose how much was merged vs folded.
 
 use crate::coherence::{prefetchable, transition, Directory, LineState};
 use crate::exec::{MachineConfig, ThreadCtx};
+use crate::extent::{extents_from_touched, ClassTable, ExtClass, LineExtent, RangeList};
+use crate::footprint::Footprint;
 use crate::latency::{AccessOutcome, LatencyModel};
+use crate::metrics;
 use crate::observer::{AccessRecord, ExecObserver, SamplerFork};
 use crate::program::{AccessStream, Op, OpsStream};
 use crate::types::{AccessKind, Addr, CacheLineId, CoreId, Cycles, PhaseKind, ThreadId};
-use crate::util::FastMap;
+use crate::util::{FastMap, FastSet};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// How a cache line participates in the current parallel phase, from one
-/// worker's point of view. Pre-resolved per worker before the precompute
-/// pass so the per-access hot loop costs at most one map lookup.
-#[derive(Debug, Clone, Copy)]
-enum LineClass {
-    /// Placeholder for a private line whose MESI state currently lives in
-    /// the worker's hot cache; overwritten on eviction or the final flush.
-    PrivateHot,
-    /// Touched by this worker only: fully simulated in its precompute pass
-    /// against the carried MESI state (`None` = never cached).
-    Private(Option<LineState>),
-    /// Read-shared (several workers, reads only) and already touched by
-    /// this worker: every further read is a provable L1 hit needing only
-    /// the busy-window check. A read-shared line's *first* touch resolves
-    /// straight to this class while emitting the directory event.
-    ReadSharedTouched,
-    /// Touched by several workers with at least one write: every access is
-    /// merged in global order.
-    WriteShared,
-}
+/// Ways of the private hot-line cache (direct-mapped).
+const HOT_WAYS: usize = 4;
+/// Once a uniform-state run list fragments this far, further non-extending
+/// lines spill to the per-line exception map instead of `Vec::insert`.
+const FRAG_CAP: usize = 512;
+/// Widest hit-run line span checked line by line for early folding; wider
+/// runs wait for global settling as in PR 3.
+const MAX_FOLD_SPAN: u64 = 16;
 
-/// Phase-global classification of one line: which worker touched it first,
-/// how many workers touch it, and whether anyone writes it.
-struct LineInfo {
-    owner: u32,
-    touchers: u32,
-    wrote: bool,
-}
-
-/// A line's class as resolved for one access in the precompute hot loop.
-enum Resolved {
-    /// Private to this worker; payload is the MESI state before the access.
-    Private(Option<LineState>),
-    /// This worker's first touch of a read-shared line (directory event).
-    ReadSharedFirst,
-    /// A later read of a read-shared line (provable L1 hit).
-    ReadSharedHit,
-    /// Write-shared: full directory event.
-    WriteShared,
-}
-
-/// One read inside a hit-run: `lead` cycles of folded local work since the
-/// previous read (0 for the first — the event's own lead covers it), then
-/// an L1 hit on a read-shared line. Unsampled by construction, so no
-/// observer fields are needed; replica perturbation is folded into the
-/// following lead.
+/// One read inside a hit-run: `cum_lead` is the folded local work since the
+/// run started, *inclusive* of the gap before this read (the first read's
+/// gap is 0 — the event's own lead covers it). Cumulative form makes both
+/// the per-read walk (adjacent differences) and the O(1) fold from any
+/// resume cursor (suffix = total − prefix) cheap. Unsampled by
+/// construction, so no observer fields are needed.
 struct HitRead {
-    lead: Cycles,
+    cum_lead: Cycles,
     addr: Addr,
 }
 
@@ -140,8 +145,8 @@ enum EvKind {
         /// Precomputed next-line-prefetch condition (the worker's own
         /// access sequence determines it).
         sequential: bool,
-        /// First touch of a read-shared line: decrements the line's
-        /// outstanding-first-touch count for hit-run settling.
+        /// First touch of a read-shared line: updates the line's settling
+        /// state when merged.
         settles: bool,
         surfaced: bool,
         perturbation: Option<Cycles>,
@@ -154,8 +159,14 @@ enum EvKind {
         instrs_before: u64,
         perturbation: Option<Cycles>,
     },
-    /// A run of unsampled read-shared hits (see the module docs).
-    HitRun { reads: Box<[HitRead]> },
+    /// A run of unsampled read-shared hits (see the module docs). The line
+    /// span and lead sum let the merge fold the run in O(1) once every
+    /// line in the span has settled.
+    HitRun {
+        reads: Box<[HitRead]>,
+        min_line: u64,
+        max_line: u64,
+    },
     /// A private access that must be surfaced to the observer (sampled, or
     /// the observer demanded every access); outcome and cost precomputed.
     Private {
@@ -178,7 +189,8 @@ struct MatAccess {
     write: bool,
 }
 
-/// Materialisation output of one worker stream.
+/// Materialisation output of one worker stream (the fallback for streams
+/// without a declared footprint).
 struct Mat {
     accesses: Vec<MatAccess>,
     /// Compute instructions after the last access.
@@ -187,39 +199,377 @@ struct Mat {
     touched: FastMap<CacheLineId, bool>,
 }
 
+/// Feeds accesses to the precompute pass: either a live stream (footprint
+/// known in advance, no materialisation) or a materialised trace
+/// (fallback).
+enum OpFeed {
+    Stream {
+        stream: Box<dyn AccessStream>,
+        trailing: u64,
+    },
+    Mat(Mat, usize),
+}
+
+impl OpFeed {
+    /// Next access, folding compute ops into `work_before`.
+    fn next_access(&mut self) -> Option<MatAccess> {
+        match self {
+            OpFeed::Stream { stream, trailing } => {
+                let mut work = 0u64;
+                loop {
+                    match stream.next_op() {
+                        Some(Op::Work(n)) => work += n,
+                        Some(Op::Read(addr)) => {
+                            return Some(MatAccess {
+                                work_before: work,
+                                addr,
+                                write: false,
+                            })
+                        }
+                        Some(Op::Write(addr)) => {
+                            return Some(MatAccess {
+                                work_before: work,
+                                addr,
+                                write: true,
+                            })
+                        }
+                        None => {
+                            *trailing = work;
+                            return None;
+                        }
+                    }
+                }
+            }
+            OpFeed::Mat(mat, cursor) => {
+                let access = mat.accesses.get(*cursor)?;
+                *cursor += 1;
+                Some(MatAccess {
+                    work_before: access.work_before,
+                    addr: access.addr,
+                    write: access.write,
+                })
+            }
+        }
+    }
+
+    /// Compute instructions after the last access (valid once exhausted).
+    fn trailing_work(&self) -> u64 {
+        match self {
+            OpFeed::Stream { trailing, .. } => *trailing,
+            OpFeed::Mat(mat, _) => mat.trailing_work,
+        }
+    }
+}
+
+/// Worker-local simulation of private lines, shared by the fused serial
+/// path and the parallel precompute pass: a direct-mapped hot cache in
+/// front of uniform-state run accumulators, with a per-line exception map
+/// as the always-correct spill path.
+struct PrivateSim {
+    hot: [(CacheLineId, LineState, bool); HOT_WAYS],
+    /// Lines that must be restored per line: seeded from a per-line
+    /// directory entry (which would shadow a range restore) or diverged
+    /// from their run's uniform state.
+    exceptions: FastMap<CacheLineId, LineState>,
+    /// Completed lines grouped by final state, coalesced into ranges.
+    buckets: Vec<(LineState, RangeList)>,
+    /// Lines that became LLC-resident during the phase, coalesced; spills
+    /// to `llc_lines` once fragmented.
+    llc_ranges: RangeList,
+    llc_lines: Vec<CacheLineId>,
+    stats: crate::stats::CoherenceStats,
+}
+
+const NO_LINE: CacheLineId = CacheLineId(u64::MAX);
+
+impl PrivateSim {
+    fn new(core: CoreId) -> Self {
+        PrivateSim {
+            hot: [(NO_LINE, LineState::Exclusive(core), false); HOT_WAYS],
+            exceptions: FastMap::default(),
+            buckets: Vec::new(),
+            llc_ranges: RangeList::default(),
+            llc_lines: Vec::new(),
+            stats: crate::stats::CoherenceStats::default(),
+        }
+    }
+
+    /// Final state of a line already touched this phase (not in the hot
+    /// cache); `pinned` marks per-line-restore lines.
+    fn lookup(&mut self, line: CacheLineId) -> Option<(LineState, bool)> {
+        if !self.exceptions.is_empty() {
+            if let Some(&state) = self.exceptions.get(&line) {
+                return Some((state, true));
+            }
+        }
+        for (state, ranges) in &mut self.buckets {
+            if ranges.contains(line.0) {
+                return Some((*state, false));
+            }
+        }
+        None
+    }
+
+    /// Records a line's final-so-far state after it leaves the hot cache.
+    fn deposit(&mut self, line: CacheLineId, state: LineState, pinned: bool) {
+        if pinned {
+            self.exceptions.insert(line, state);
+            return;
+        }
+        for (bucket_state, ranges) in &mut self.buckets {
+            if ranges.contains(line.0) {
+                if *bucket_state != state {
+                    // Diverged from its run: shadow the stale range entry.
+                    self.exceptions.insert(line, state);
+                }
+                return;
+            }
+        }
+        let bucket = match self
+            .buckets
+            .iter_mut()
+            .position(|(bucket_state, _)| *bucket_state == state)
+        {
+            Some(idx) => &mut self.buckets[idx].1,
+            None => {
+                self.buckets.push((state, RangeList::default()));
+                &mut self.buckets.last_mut().expect("just pushed").1
+            }
+        };
+        if bucket.fragments() >= FRAG_CAP {
+            self.exceptions.insert(line, state);
+        } else {
+            bucket.insert(line.0);
+        }
+    }
+
+    /// Records LLC residency.
+    fn llc_insert(&mut self, line: CacheLineId) {
+        if self.llc_ranges.fragments() >= FRAG_CAP {
+            self.llc_lines.push(line);
+        } else {
+            self.llc_ranges.insert(line.0);
+        }
+    }
+
+    /// Simulates one private access; returns its outcome and cost.
+    ///
+    /// `sequential` is the precomputed next-line-prefetch condition.
+    #[inline]
+    fn access(
+        &mut self,
+        directory: &Directory,
+        latency: &LatencyModel,
+        core: CoreId,
+        line: CacheLineId,
+        write: bool,
+        sequential: bool,
+    ) -> (AccessOutcome, Cycles) {
+        let way = (line.0 as usize) & (HOT_WAYS - 1);
+        let (prev, pinned) = if self.hot[way].0 == line {
+            let prev = self.hot[way].1;
+            // The overwhelmingly common case: the line is already owned.
+            let owned_hit = match prev {
+                LineState::Modified(owner) => owner == core,
+                LineState::Exclusive(owner) if !write => owner == core,
+                LineState::Exclusive(owner) if owner == core => {
+                    self.hot[way].1 = LineState::Modified(core);
+                    true
+                }
+                _ => false,
+            };
+            if owned_hit {
+                self.stats.record(AccessOutcome::L1Hit);
+                return (AccessOutcome::L1Hit, latency.l1_hit);
+            }
+            (Some(prev), self.hot[way].2)
+        } else {
+            // Promote into the hot cache, depositing the evicted line.
+            let seeded = match self.lookup(line) {
+                Some((state, pinned)) => (Some(state), pinned),
+                None => directory.seed_of(line),
+            };
+            if self.hot[way].0 != NO_LINE {
+                let (old_line, old_state, old_pinned) = self.hot[way];
+                self.deposit(old_line, old_state, old_pinned);
+            }
+            self.hot[way] = (
+                line,
+                seeded.0.unwrap_or(LineState::Exclusive(core)),
+                seeded.1,
+            );
+            seeded
+        };
+        // `in_llc` only matters for cold lines.
+        let in_llc = prev.is_none() && directory.llc_resident(line);
+        let t = transition(
+            prev,
+            in_llc,
+            core,
+            if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        );
+        self.hot[way] = (line, t.state, pinned);
+        if t.llc_insert {
+            self.llc_insert(line);
+        }
+        self.stats.invalidations += t.invalidated;
+        let outcome = if sequential && prefetchable(t.outcome) {
+            AccessOutcome::Prefetched
+        } else {
+            t.outcome
+        };
+        self.stats.record(outcome);
+        (outcome, latency.cost(outcome))
+    }
+
+    /// Folds every completed line back into the shared directory: uniform
+    /// runs as extent restores, exceptions per line (after the ranges, so
+    /// their per-line entries shadow any stale range membership).
+    fn write_back(mut self, directory: &mut Directory) {
+        for (line, state, pinned) in self.hot {
+            if line != NO_LINE {
+                self.deposit(line, state, pinned);
+            }
+        }
+        for (state, ranges) in &self.buckets {
+            for (start, end) in ranges.iter() {
+                directory.restore_extent(start, end, *state);
+            }
+        }
+        for (&line, &state) in &self.exceptions {
+            directory.restore_line_state(line, state);
+        }
+        for (start, end) in self.llc_ranges.iter() {
+            directory.llc_insert_range(start, end);
+        }
+        for &line in &self.llc_lines {
+            directory.llc_insert(line);
+        }
+        directory.absorb_stats(&self.stats);
+    }
+}
+
 /// Precompute output of one worker.
 struct WorkerPlan {
     events: Vec<Ev>,
     instructions: u64,
     reads: u64,
     writes: u64,
-    /// The worker's line view after the pass; private entries carry the
-    /// final MESI states for write-back.
-    view: FastMap<CacheLineId, LineClass>,
-    /// Private lines that became LLC-resident during the phase.
-    llc_new: Vec<CacheLineId>,
+    /// The worker's private-line simulation state, for write-back.
+    sim: PrivateSim,
+    /// The worker's read-shared first touches with their prefetch flags;
+    /// seeds the merge's per-line settling state.
+    rs_first_touches: Vec<(CacheLineId, bool)>,
     /// Final last-touched line of the worker's core (prefetch tracker).
     last_line: Option<CacheLineId>,
-    /// Coherence statistics of the precomputed private accesses.
-    stats: crate::stats::CoherenceStats,
+    /// Metrics: accesses folded into event leads during precompute.
+    folded: u64,
 }
 
-/// Hit-run settling state: once every read-shared line's first touches have
-/// merged and the last busy window has passed, hit runs fold in O(1) per
-/// read with no directory traffic.
+/// Per-line settling state of one read-shared line (see module docs).
+struct SettleLine {
+    /// First touches not yet merged.
+    outstanding: u32,
+    /// Unmerged first touches with the sequential-prefetch flag (the only
+    /// post-`Shared` accesses that can occupy the line).
+    seq_pending: u32,
+    /// First touches merged so far.
+    merged: u32,
+    /// The line's busy window is final and folded into the horizon.
+    settled: bool,
+}
+
+impl SettleLine {
+    fn can_settle(&self) -> bool {
+        self.outstanding == 0 || (self.merged >= 2 && self.seq_pending == 0)
+    }
+}
+
+/// Merge-side settling bookkeeping.
 struct Settle {
-    /// Outstanding first-touch counts per read-shared line.
-    outstanding: FastMap<CacheLineId, u32>,
-    /// Read-shared lines whose first touches have not all merged yet.
+    lines: FastMap<CacheLineId, SettleLine>,
+    /// Read-shared lines whose busy window is not final yet.
     unsettled_lines: usize,
-    /// Latest busy-window end among fully-settled lines.
+    /// Latest busy-window end among settled lines.
     horizon: Cycles,
 }
 
 impl Settle {
-    /// Whether a hit run starting at `now` is provably wait-free.
+    fn new(plans: &[WorkerPlan]) -> Settle {
+        let mut lines: FastMap<CacheLineId, SettleLine> = FastMap::default();
+        for plan in plans {
+            for &(line, sequential) in &plan.rs_first_touches {
+                let entry = lines.entry(line).or_insert(SettleLine {
+                    outstanding: 0,
+                    seq_pending: 0,
+                    merged: 0,
+                    settled: false,
+                });
+                entry.outstanding += 1;
+                entry.seq_pending += u32::from(sequential);
+            }
+        }
+        Settle {
+            unsettled_lines: lines.len(),
+            lines,
+            horizon: 0,
+        }
+    }
+
+    /// Whether every read-shared line is settled and quiet at `now`.
     fn all_settled(&self, now: Cycles) -> bool {
         self.unsettled_lines == 0 && self.horizon <= now
+    }
+
+    /// Records one merged first touch; folds the line's (now possibly
+    /// final) busy window into the horizon.
+    fn merge_first_touch(&mut self, directory: &Directory, line: CacheLineId, sequential: bool) {
+        let entry = self
+            .lines
+            .get_mut(&line)
+            .expect("settling line was announced by precompute");
+        entry.outstanding -= 1;
+        entry.merged += 1;
+        if sequential {
+            entry.seq_pending -= 1;
+        }
+        if !entry.settled && entry.can_settle() {
+            entry.settled = true;
+            self.unsettled_lines -= 1;
+            self.horizon = self.horizon.max(directory.busy_until_of(line));
+        }
+    }
+
+    /// Whether a hit run spanning `[min_line, max_line]` starting at
+    /// `start` is provably wait-free: either everything settled globally,
+    /// or every read-shared line in the (narrow) span individually settled
+    /// with its final window expired.
+    fn run_foldable(
+        &self,
+        directory: &Directory,
+        min_line: u64,
+        max_line: u64,
+        start: Cycles,
+    ) -> bool {
+        if self.all_settled(start) {
+            return true;
+        }
+        if max_line - min_line >= MAX_FOLD_SPAN {
+            return false;
+        }
+        for line in min_line..=max_line {
+            let line = CacheLineId(line);
+            if let Some(entry) = self.lines.get(&line) {
+                if !entry.settled || directory.busy_until_of(line) > start {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -227,11 +577,10 @@ impl Settle {
 /// drop-in replacement for the classic `Execution::run_serial`.
 ///
 /// A serial phase is the degenerate sharded phase: one thread, no other
-/// actor, so *every* line is private and no materialisation,
-/// classification or merge is needed at all. The stream executes in a
-/// single fused pass whose wins mirror the parallel precompute: a
-/// hot-line cache plus a compact state map instead of the directory's
-/// multi-lookup path, and the sampling replica skipping the per-access
+/// actor, so *every* line is private and no classification or merge is
+/// needed at all. The stream executes in a single fused pass over the same
+/// [`PrivateSim`] machinery as the parallel precompute — hot-line cache,
+/// uniform-run write-back, sampling replica skipping the per-access
 /// observer callback. The replica forks from the main thread's *current*
 /// sampling state, so repeated serial phases chain exactly.
 pub(crate) fn run_serial_sharded(
@@ -241,30 +590,22 @@ pub(crate) fn run_serial_sharded(
     main: &mut ThreadCtx,
     phase_index: u32,
 ) {
-    const HOT_WAYS: usize = 4;
     let line_size = config.cache_line_size;
     let latency = &config.latency;
     let cpi = latency.cycles_per_instruction;
-    let l1_cost = latency.l1_hit;
     let core = main.core;
     let mut fork = observer.fork_sampler(main.id);
     let mut next_tag: u64 = match &fork {
         SamplerFork::Replica(replica) => replica.next_tag(),
         _ => 0,
     };
-
-    // Phase-local MESI states: a hot direct-mapped cache backed by a map of
-    // evicted lines; first touches fall through to the shared directory.
-    let mut states: FastMap<CacheLineId, LineState> = FastMap::default();
-    let mut hot: [(CacheLineId, LineState); HOT_WAYS] =
-        [(CacheLineId(u64::MAX), LineState::Exclusive(core)); HOT_WAYS];
-    let mut llc_new: Vec<CacheLineId> = Vec::new();
-    let mut stats = crate::stats::CoherenceStats::default();
+    let mut sim = PrivateSim::new(core);
     let mut next_sequential: u64 = directory
         .last_line_for(core)
         .map_or(u64::MAX, |l| l.0.wrapping_add(1));
     let mut last_line = directory.last_line_for(core);
     let mut clock = main.clock;
+    let (mut folded, mut surfaced_count) = (0u64, 0u64);
 
     while let Some(op) = main.stream.next_op() {
         match op {
@@ -274,11 +615,6 @@ pub(crate) fn run_serial_sharded(
             }
             Op::Read(addr) | Op::Write(addr) => {
                 let write = matches!(op, Op::Write(_));
-                let kind = if write {
-                    AccessKind::Write
-                } else {
-                    AccessKind::Read
-                };
                 let line = addr.line(line_size);
                 let (perturbation, surfaced) = match &mut fork {
                     SamplerFork::Transparent => (Some(0), false),
@@ -295,59 +631,18 @@ pub(crate) fn run_serial_sharded(
                 };
                 let sequential = next_sequential == line.0;
                 next_sequential = line.0.wrapping_add(1);
-                let way = (line.0 as usize) & (HOT_WAYS - 1);
-                let prev = if hot[way].0 == line {
-                    Some(hot[way].1)
-                } else {
-                    // Promote, writing the evicted line's state back.
-                    if hot[way].0 != CacheLineId(u64::MAX) {
-                        let (old_line, old_state) = hot[way];
-                        states.insert(old_line, old_state);
-                    }
-                    hot[way].0 = line;
-                    let seeded = match states.get(&line) {
-                        Some(&state) => Some(state),
-                        // First touch this phase: seed from the directory.
-                        None => directory.line_state_of(line),
-                    };
-                    if let Some(state) = seeded {
-                        hot[way].1 = state;
-                    }
-                    seeded
-                };
-                // The overwhelmingly common case: the line is already owned.
-                let owned_hit = match prev {
-                    Some(LineState::Modified(owner)) => owner == core,
-                    Some(LineState::Exclusive(owner)) if !write => owner == core,
-                    Some(LineState::Exclusive(owner)) if owner == core => {
-                        hot[way].1 = LineState::Modified(core);
-                        true
-                    }
-                    _ => false,
-                };
-                let (outcome, cost) = if owned_hit {
-                    (AccessOutcome::L1Hit, l1_cost)
-                } else {
-                    let t = transition(prev, false, core, kind);
-                    hot[way].1 = t.state;
-                    if t.llc_insert {
-                        llc_new.push(line);
-                    }
-                    stats.invalidations += t.invalidated;
-                    let outcome = if sequential && prefetchable(t.outcome) {
-                        AccessOutcome::Prefetched
-                    } else {
-                        t.outcome
-                    };
-                    (outcome, latency.cost(outcome))
-                };
-                stats.record(outcome);
+                let (outcome, cost) = sim.access(directory, latency, core, line, write, sequential);
                 let perturb = if surfaced {
+                    surfaced_count += 1;
                     let record = AccessRecord {
                         thread: main.id,
                         core,
                         addr,
-                        kind,
+                        kind: if write {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
                         outcome,
                         latency: cost,
                         start: clock,
@@ -358,6 +653,7 @@ pub(crate) fn run_serial_sharded(
                     let returned = observer.on_access(&record);
                     perturbation.unwrap_or(returned)
                 } else {
+                    folded += 1;
                     perturbation.expect("unsurfaced access has judgement")
                 };
                 clock += cost + perturb;
@@ -372,22 +668,12 @@ pub(crate) fn run_serial_sharded(
         }
     }
 
-    // Write-back: evicted and hot line states, LLC residency, prefetch
-    // tracker and statistics fold into the shared directory.
-    for (line, state) in hot {
-        if line != CacheLineId(u64::MAX) {
-            states.insert(line, state);
-        }
-    }
-    for (line, state) in states {
-        directory.restore_line_state(line, state);
-    }
-    for line in llc_new {
-        directory.llc_insert(line);
-    }
+    sim.write_back(directory);
     directory.set_last_line(core, last_line);
-    directory.absorb_stats(&stats);
     main.clock = clock;
+    metrics::count_folded(folded);
+    metrics::count_merged(surfaced_count);
+    metrics::count_surfaced(surfaced_count);
 }
 
 /// Runs one parallel phase sharded; drop-in replacement for the classic
@@ -413,58 +699,46 @@ pub(crate) fn run_parallel_sharded(
         .map(|w| observer.fork_sampler(w.id))
         .collect();
 
-    // Pass 1a: materialise each stream and collect its line-touch map.
+    // Pass 1a: footprints. Streams that declare one skip materialisation
+    // entirely; the rest are drained into a trace whose touched lines
+    // coalesce into exact extents.
     let streams: Vec<Box<dyn AccessStream>> = workers
         .iter_mut()
         .map(|w| std::mem::replace(&mut w.stream, Box::new(OpsStream::new(Vec::new()))))
         .collect();
-    let mats: Vec<Mat> = parallel_map(streams, shards, &|_slot, stream| {
-        materialize(stream, line_size)
-    });
-    let t_mat = t0.elapsed();
-
-    // Classify lines: count touchers and writes per line across workers.
-    // Private line states are *not* moved out of the directory — the
-    // precompute pass reads them through a shared borrow and the write-back
-    // overwrites them in place, so the phase costs no per-line map churn.
-    let mut info: FastMap<CacheLineId, LineInfo> = FastMap::default();
-    for (slot, mat) in mats.iter().enumerate() {
-        for (&line, &wrote) in &mat.touched {
-            match info.entry(line) {
-                std::collections::hash_map::Entry::Occupied(mut entry) => {
-                    let entry = entry.get_mut();
-                    entry.touchers += 1;
-                    entry.wrote |= wrote;
-                }
-                std::collections::hash_map::Entry::Vacant(entry) => {
-                    entry.insert(LineInfo {
-                        owner: slot as u32,
-                        touchers: 1,
-                        wrote,
-                    });
-                }
+    let footprints: Vec<Footprint> = streams.iter().map(|s| s.footprint()).collect();
+    let feeds: Vec<OpFeed> = parallel_map(
+        streams.into_iter().zip(&footprints).collect(),
+        shards,
+        &|_slot, (stream, footprint)| match footprint {
+            Footprint::Bounded(_) => OpFeed::Stream {
+                stream,
+                trailing: 0,
+            },
+            Footprint::Unknown => OpFeed::Mat(materialize(stream, line_size), 0),
+        },
+    );
+    let per_worker_extents: Vec<Vec<LineExtent>> = feeds
+        .iter()
+        .zip(&footprints)
+        .map(|(feed, footprint)| match (feed, footprint) {
+            (_, Footprint::Bounded(extents)) => byte_to_line_extents(extents, line_size),
+            (OpFeed::Mat(mat, _), _) => extents_from_touched(&mat.touched),
+            (OpFeed::Stream { .. }, Footprint::Unknown) => {
+                unreachable!("unhinted stream materialised")
             }
-        }
-    }
-    let mut settle = Settle {
-        outstanding: FastMap::default(),
-        unsettled_lines: 0,
-        horizon: 0,
-    };
-    for (&line, entry) in &info {
-        if entry.touchers > 1 && !entry.wrote {
-            settle.outstanding.insert(line, entry.touchers);
-            settle.unsettled_lines += 1;
-        }
-    }
+        })
+        .collect();
+    let table = ClassTable::build(&per_worker_extents);
+    let t_class = t0.elapsed();
 
     // Pass 1b: per-worker event precomputation, fanned out on host threads.
-    let inputs: Vec<(Mat, SamplerFork, u32, CoreId, Option<CacheLineId>)> = {
+    let inputs: Vec<(OpFeed, SamplerFork, u32, CoreId, Option<CacheLineId>)> = {
         let mut inputs = Vec::with_capacity(workers.len());
         let mut forks = forks.into_iter();
-        for (slot, (mat, worker)) in mats.into_iter().zip(workers.iter()).enumerate() {
+        for (slot, (feed, worker)) in feeds.into_iter().zip(workers.iter()).enumerate() {
             inputs.push((
-                mat,
+                feed,
                 forks.next().expect("fork per worker"),
                 slot as u32,
                 worker.core,
@@ -473,19 +747,18 @@ pub(crate) fn run_parallel_sharded(
         }
         inputs
     };
-    let t_class = t0.elapsed();
     let latency_ref = &latency;
-    let info_ref = &info;
+    let table_ref = &table;
     let directory_ref: &Directory = directory;
-    let plans: Vec<WorkerPlan> = parallel_map(inputs, shards, &|_slot, input| {
-        let (mat, fork, me, core, last_line) = input;
+    let mut plans: Vec<WorkerPlan> = parallel_map(inputs, shards, &|_slot, input| {
+        let (feed, fork, me, core, last_line) = input;
         precompute_worker(
             me,
             core,
-            mat,
+            feed,
             fork,
             last_line,
-            info_ref,
+            table_ref,
             directory_ref,
             latency_ref,
             line_size,
@@ -494,6 +767,7 @@ pub(crate) fn run_parallel_sharded(
     let t_pre = t0.elapsed();
 
     // Pass 2: deterministic merge on (timestamp, worker, seq).
+    let mut settle = Settle::new(&plans);
     let ends = merge(
         directory,
         observer,
@@ -504,44 +778,73 @@ pub(crate) fn run_parallel_sharded(
         &latency,
         line_size,
     );
+    let t_merge = t0.elapsed();
 
-    // Write-back: private line states, LLC residency, prefetch trackers and
+    // Write-back: private-line runs, LLC residency, prefetch trackers and
     // local statistics fold into the shared directory; worker totals into
     // the thread contexts.
-    for (slot, plan) in plans.into_iter().enumerate() {
-        for (line, class) in plan.view {
-            debug_assert!(
-                !matches!(class, LineClass::PrivateHot),
-                "hot lines are flushed before write-back"
-            );
-            if let LineClass::Private(state) = class {
-                let state = state.expect("touched private line has a state");
-                directory.restore_line_state(line, state);
-            }
-        }
-        for line in plan.llc_new {
-            directory.llc_insert(line);
-        }
+    let mut folded = 0u64;
+    for (slot, plan) in plans.drain(..).enumerate() {
+        folded += plan.folded;
+        plan.sim.write_back(directory);
         directory.set_last_line(workers[slot].core, plan.last_line);
-        directory.absorb_stats(&plan.stats);
         let ctx = &mut workers[slot];
         ctx.instructions = plan.instructions;
         ctx.reads = plan.reads;
         ctx.writes = plan.writes;
         ctx.clock = ends[slot];
     }
+    metrics::count_folded(folded);
+    metrics::add_pass_timings(
+        t_class.as_nanos() as u64,
+        (t_pre - t_class).as_nanos() as u64,
+        (t_merge - t_pre).as_nanos() as u64,
+    );
     if debug_timing {
         let t_all = t0.elapsed();
         eprintln!(
-            "shard phase {phase_index}: mat={:?} class={:?} pre={:?} merge={:?} total={:?}",
-            t_mat,
-            t_class - t_mat,
+            "shard phase {phase_index}: class={:?} pre={:?} merge={:?} total={:?}",
+            t_class,
             t_pre - t_class,
-            t_all - t_pre,
+            t_merge - t_pre,
             t_all
         );
     }
     ends
+}
+
+/// Converts a stream's byte-extent footprint to line extents, merging
+/// line-granularity overlaps (with OR'd write flags — a sound widening).
+fn byte_to_line_extents(
+    extents: &[crate::footprint::ByteExtent],
+    line_size: u64,
+) -> Vec<LineExtent> {
+    let mut out: Vec<LineExtent> = Vec::with_capacity(extents.len());
+    for extent in extents {
+        // Empty extents claim nothing (and would underflow the line
+        // conversion below); hand-built footprints may contain them.
+        if extent.start >= extent.end {
+            continue;
+        }
+        let start = extent.start / line_size;
+        let end = (extent.end - 1) / line_size + 1;
+        match out.last_mut() {
+            Some(last) if start < last.end => {
+                // Same or overlapping line(s): widen.
+                last.end = last.end.max(end);
+                last.wrote |= extent.wrote;
+            }
+            Some(last) if start == last.end && last.wrote == extent.wrote => {
+                last.end = end;
+            }
+            _ => out.push(LineExtent {
+                start,
+                end,
+                wrote: extent.wrote,
+            }),
+        }
+    }
+    out
 }
 
 /// Drains a stream into a compact access vector and records which lines it
@@ -555,7 +858,7 @@ fn materialize(mut stream: Box<dyn AccessStream>, line_size: u64) -> Mat {
     let mut accesses = Vec::new();
     let mut work: u64 = 0;
     let mut touched: FastMap<CacheLineId, bool> = FastMap::default();
-    let mut cache: [(CacheLineId, bool); CACHE_WAYS] = [(CacheLineId(u64::MAX), false); CACHE_WAYS];
+    let mut cache: [(CacheLineId, bool); CACHE_WAYS] = [(NO_LINE, false); CACHE_WAYS];
     while let Some(op) = stream.next_op() {
         match op {
             Op::Work(n) => work += n,
@@ -587,38 +890,38 @@ fn materialize(mut stream: Box<dyn AccessStream>, line_size: u64) -> Mat {
 /// every access through the sampling replica, and folds everything that
 /// needs no global time into event leads.
 ///
-/// The worker's line view is resolved lazily: each distinct line consults
-/// the phase classification (`info`) and, for private lines, reads the
-/// current MESI state straight out of the (shared-borrowed) directory on
-/// first touch. (Serial phases do not come through here — they use the
+/// A line's class is resolved through the phase's extent table with one
+/// cached range comparison in the common case; private lines run through
+/// [`PrivateSim`]. (Serial phases do not come through here — they use the
 /// fused loop in [`run_serial_sharded`].)
 #[allow(clippy::too_many_arguments)]
 fn precompute_worker(
     me: u32,
     core: CoreId,
-    mat: Mat,
+    mut feed: OpFeed,
     mut fork: SamplerFork,
     last_line: Option<CacheLineId>,
-    info: &FastMap<CacheLineId, LineInfo>,
+    table: &ClassTable,
     directory: &Directory,
     latency: &LatencyModel,
     line_size: u64,
 ) -> WorkerPlan {
-    let mut view: FastMap<CacheLineId, LineClass> = FastMap::default();
-    view.reserve(mat.touched.len());
-    const HOT_WAYS: usize = 4;
     let mut events: Vec<Ev> = Vec::new();
     let mut lead: Cycles = 0;
     let (mut instructions, mut reads, mut writes) = (0u64, 0u64, 0u64);
-    let mut llc_new: Vec<CacheLineId> = Vec::new();
-    let mut stats = crate::stats::CoherenceStats::default();
+    let mut sim = PrivateSim::new(core);
     let cpi = latency.cycles_per_instruction;
-    let l1_cost = latency.l1_hit;
+    let mut folded = 0u64;
     // `last.0 + 1` of the previously touched line; u64::MAX when none.
     let mut next_sequential: u64 = last_line.map_or(u64::MAX, |l| l.0.wrapping_add(1));
-    // Hot private lines, direct-mapped, held out of the view map.
-    let mut hot: [(CacheLineId, LineState); HOT_WAYS] =
-        [(CacheLineId(u64::MAX), LineState::Exclusive(core)); HOT_WAYS];
+    let mut final_line = last_line;
+    // Cached classified extent (the extent table's hot path).
+    let extents = table.extents();
+    let (mut cur_start, mut cur_end, mut cur_class) = (1u64, 0u64, ExtClass::WriteShared);
+    // Read-shared lines this worker has first-touched.
+    let mut rs_touched: RangeList = RangeList::default();
+    let mut rs_touched_spill: FastSet<CacheLineId> = FastSet::default();
+    let mut rs_first_touches: Vec<(CacheLineId, bool)> = Vec::new();
     // Pending sampling judgement threshold (see ThreadSampler::next_tag).
     let mut next_tag: u64 = match &fork {
         SamplerFork::Replica(replica) => replica.next_tag(),
@@ -627,6 +930,8 @@ fn precompute_worker(
     // Open hit run (unsampled read-shared hits) plus the lead before it.
     let mut run: Vec<HitRead> = Vec::new();
     let mut run_lead: Cycles = 0;
+    let mut run_cum: Cycles = 0;
+    let (mut run_min, mut run_max) = (u64::MAX, 0u64);
 
     macro_rules! flush_run {
         () => {
@@ -635,18 +940,26 @@ fn precompute_worker(
                     lead: run_lead,
                     kind: EvKind::HitRun {
                         reads: std::mem::take(&mut run).into_boxed_slice(),
+                        min_line: run_min,
+                        max_line: run_max,
                     },
                 });
+                #[allow(unused_assignments)]
+                {
+                    run_cum = 0;
+                    run_min = u64::MAX;
+                    run_max = 0;
+                }
             }
         };
     }
 
-    for access in &mat.accesses {
+    while let Some(access) = feed.next_access() {
         let MatAccess {
             work_before,
             addr,
             write,
-        } = *access;
+        } = access;
         instructions += work_before;
         lead += work_before * cpi;
         let kind = if write {
@@ -670,115 +983,36 @@ fn precompute_worker(
         };
         let sequential = next_sequential == line.0;
         next_sequential = line.0.wrapping_add(1);
-
-        // Hot path: a recently-used private line, entirely in registers.
-        let way = (line.0 as usize) & (HOT_WAYS - 1);
-        if hot[way].0 == line {
-            let prev = hot[way].1;
-            // The overwhelmingly common case: the line is already owned.
-            let owned_hit = match prev {
-                LineState::Modified(owner) => owner == core,
-                LineState::Exclusive(owner) if !write => owner == core,
-                LineState::Exclusive(owner) if owner == core => {
-                    hot[way].1 = LineState::Modified(core);
-                    true
-                }
-                _ => false,
-            };
-            let (outcome, cost) = if owned_hit {
-                (AccessOutcome::L1Hit, l1_cost)
-            } else {
-                let t = transition(Some(prev), false, core, kind);
-                hot[way].1 = t.state;
-                if t.llc_insert {
-                    llc_new.push(line);
-                }
-                stats.invalidations += t.invalidated;
-                let outcome = if sequential && prefetchable(t.outcome) {
-                    AccessOutcome::Prefetched
-                } else {
-                    t.outcome
-                };
-                (outcome, latency.cost(outcome))
-            };
-            stats.record(outcome);
-            if surfaced {
-                flush_run!();
-                events.push(Ev {
-                    lead: std::mem::take(&mut lead),
-                    kind: EvKind::Private {
-                        addr,
-                        kind,
-                        instrs_before: instructions,
-                        outcome,
-                        cost,
-                        perturbation,
-                    },
-                });
-            } else {
-                lead += cost + perturbation.expect("unsurfaced access has judgement");
-            }
-            instructions += 1;
-            if write {
-                writes += 1;
-            } else {
-                reads += 1;
-            }
-            continue;
+        final_line = Some(line);
+        instructions += 1;
+        if write {
+            writes += 1;
+        } else {
+            reads += 1;
         }
 
-        let class = match view.entry(line) {
-            std::collections::hash_map::Entry::Occupied(entry) => match *entry.get() {
-                LineClass::Private(prev) => Resolved::Private(prev),
-                LineClass::ReadSharedTouched => Resolved::ReadSharedHit,
-                LineClass::WriteShared => Resolved::WriteShared,
-                LineClass::PrivateHot => unreachable!("hot lines resolve via the cache"),
-            },
-            std::collections::hash_map::Entry::Vacant(vacant) => {
-                let entry = info.get(&line).expect("touched line is classified");
-                if entry.touchers == 1 {
-                    debug_assert_eq!(entry.owner, me, "private line owned elsewhere");
-                    vacant.insert(LineClass::PrivateHot);
-                    Resolved::Private(directory.line_state_of(line))
-                } else if entry.wrote {
-                    vacant.insert(LineClass::WriteShared);
-                    Resolved::WriteShared
-                } else {
-                    vacant.insert(LineClass::ReadSharedTouched);
-                    Resolved::ReadSharedFirst
-                }
-            }
-        };
-        match class {
-            Resolved::Private(prev) => {
-                // Promote into the hot cache, writing the evicted line's
-                // state back into the view. The promoted line's view slot
-                // goes stale until eviction or the final flush — nothing
-                // reads it in between.
-                if hot[way].0 != CacheLineId(u64::MAX) {
-                    let (old_line, old_state) = hot[way];
-                    // The evicted entry's view slot is always Private.
-                    *view
-                        .get_mut(&old_line)
-                        .expect("hot lines come from the view") =
-                        LineClass::Private(Some(old_state));
-                }
-                // `in_llc = false` is exact for a cold private line: LLC
-                // residency implies a directory entry, which the class
-                // would have carried.
-                let t = transition(prev, false, core, kind);
-                hot[way] = (line, t.state);
-                if t.llc_insert {
-                    llc_new.push(line);
-                }
-                stats.invalidations += t.invalidated;
-                let outcome = if sequential && prefetchable(t.outcome) {
-                    AccessOutcome::Prefetched
-                } else {
-                    t.outcome
-                };
-                let cost = latency.cost(outcome);
-                stats.record(outcome);
+        if !(cur_start <= line.0 && line.0 < cur_end) {
+            let idx = table.find(line).unwrap_or_else(|| {
+                panic!(
+                    "worker {me}: access to line {} outside every declared \
+                     footprint — a stream's Footprint::Bounded under-approximated \
+                     its accesses",
+                    line.0
+                )
+            });
+            let extent = extents[idx];
+            (cur_start, cur_end, cur_class) = (extent.start, extent.end, extent.class);
+        }
+        match cur_class {
+            ExtClass::Private(owner) => {
+                assert_eq!(
+                    owner, me,
+                    "worker {me}: access to line {} classified private to worker \
+                     {owner} — a stream's Footprint::Bounded under-approximated \
+                     its accesses",
+                    line.0
+                );
+                let (outcome, cost) = sim.access(directory, latency, core, line, write, sequential);
                 if surfaced {
                     flush_run!();
                     events.push(Ev {
@@ -786,41 +1020,53 @@ fn precompute_worker(
                         kind: EvKind::Private {
                             addr,
                             kind,
-                            instrs_before: instructions,
+                            instrs_before: instructions - 1,
                             outcome,
                             cost,
                             perturbation,
                         },
                     });
                 } else {
+                    folded += 1;
                     lead += cost + perturbation.expect("unsurfaced access has judgement");
                 }
             }
-            Resolved::ReadSharedFirst => {
-                debug_assert!(!write, "read-shared line written");
-                flush_run!();
-                events.push(Ev {
-                    lead: std::mem::take(&mut lead),
-                    kind: EvKind::Dir {
-                        addr,
-                        kind,
-                        instrs_before: instructions,
-                        sequential,
-                        settles: true,
-                        surfaced,
-                        perturbation,
-                    },
-                });
-            }
-            Resolved::ReadSharedHit => {
-                debug_assert!(!write, "read-shared line written");
-                if surfaced {
+            ExtClass::ReadShared => {
+                assert!(
+                    !write,
+                    "worker {me}: write to line {} classified read-shared — a \
+                     stream's Footprint::Bounded under-declared its writes",
+                    line.0
+                );
+                let touched = rs_touched.contains(line.0)
+                    || (!rs_touched_spill.is_empty() && rs_touched_spill.contains(&line));
+                if !touched {
+                    if rs_touched.fragments() >= FRAG_CAP {
+                        rs_touched_spill.insert(line);
+                    } else {
+                        rs_touched.insert(line.0);
+                    }
+                    rs_first_touches.push((line, sequential));
+                    flush_run!();
+                    events.push(Ev {
+                        lead: std::mem::take(&mut lead),
+                        kind: EvKind::Dir {
+                            addr,
+                            kind,
+                            instrs_before: instructions - 1,
+                            sequential,
+                            settles: true,
+                            surfaced,
+                            perturbation,
+                        },
+                    });
+                } else if surfaced {
                     flush_run!();
                     events.push(Ev {
                         lead: std::mem::take(&mut lead),
                         kind: EvKind::SharedHit {
                             addr,
-                            instrs_before: instructions,
+                            instrs_before: instructions - 1,
                             perturbation,
                         },
                     });
@@ -829,24 +1075,26 @@ fn precompute_worker(
                     // the hit, i.e. in the next lead.
                     if run.is_empty() {
                         run_lead = std::mem::take(&mut lead);
-                        run.push(HitRead { lead: 0, addr });
                     } else {
-                        run.push(HitRead {
-                            lead: std::mem::take(&mut lead),
-                            addr,
-                        });
+                        run_cum += std::mem::take(&mut lead);
                     }
+                    run.push(HitRead {
+                        cum_lead: run_cum,
+                        addr,
+                    });
+                    run_min = run_min.min(line.0);
+                    run_max = run_max.max(line.0);
                     lead += perturbation.expect("unsurfaced access has judgement");
                 }
             }
-            Resolved::WriteShared => {
+            ExtClass::WriteShared => {
                 flush_run!();
                 events.push(Ev {
                     lead: std::mem::take(&mut lead),
                     kind: EvKind::Dir {
                         addr,
                         kind,
-                        instrs_before: instructions,
+                        instrs_before: instructions - 1,
                         sequential,
                         settles: false,
                         surfaced,
@@ -855,42 +1103,24 @@ fn precompute_worker(
                 });
             }
         }
-        instructions += 1;
-        if write {
-            writes += 1;
-        } else {
-            reads += 1;
-        }
     }
-    instructions += mat.trailing_work;
-    lead += mat.trailing_work * cpi;
+    instructions += feed.trailing_work();
+    lead += feed.trailing_work() * cpi;
     flush_run!();
     events.push(Ev {
         lead,
         kind: EvKind::Exit,
     });
 
-    // Fold the hot cache back into the view for write-back.
-    for (line, state) in hot {
-        if line != CacheLineId(u64::MAX) {
-            *view.get_mut(&line).expect("hot lines come from the view") =
-                LineClass::Private(Some(state));
-        }
-    }
-    let last_line = mat
-        .accesses
-        .last()
-        .map(|a| a.addr.line(line_size))
-        .or(last_line);
     WorkerPlan {
         events,
         instructions,
         reads,
         writes,
-        view,
-        llc_new,
-        last_line,
-        stats,
+        sim,
+        rs_first_touches,
+        last_line: final_line,
+        folded,
     }
 }
 
@@ -911,12 +1141,23 @@ impl<'a> MergeWorker<'a> {
         let ev = self.pending.expect("live worker has a pending event");
         if self.run_cursor > 0 {
             match &ev.kind {
-                EvKind::HitRun { reads } => self.clock + reads[self.run_cursor].lead,
+                EvKind::HitRun { reads, .. } => self.clock + run_lead_at(reads, self.run_cursor),
                 _ => unreachable!("run cursor only on hit runs"),
             }
         } else {
             self.clock + ev.lead
         }
+    }
+}
+
+/// Folded local work between read `cursor - 1` and read `cursor` of a run
+/// (for `cursor = 0`, the event's own lead already covered it).
+#[inline]
+fn run_lead_at(reads: &[HitRead], cursor: usize) -> Cycles {
+    if cursor == 0 {
+        reads[0].cum_lead
+    } else {
+        reads[cursor].cum_lead - reads[cursor - 1].cum_lead
     }
 }
 
@@ -936,6 +1177,7 @@ fn merge(
 ) -> Vec<Cycles> {
     let l1_cost = latency.l1_hit;
     let mut ends = vec![0; workers.len()];
+    let (mut merged_count, mut folded_count, mut surfaced_count) = (0u64, 0u64, 0u64);
     let mut merge_workers: Vec<MergeWorker<'_>> = workers
         .iter()
         .zip(plans)
@@ -984,10 +1226,14 @@ fn merge(
                     surfaced,
                     perturbation,
                 } => {
+                    merged_count += 1;
                     w.clock += ev.lead;
                     let line = addr.line(line_size);
                     let result = directory.access_hinted(w.core, line, *kind, w.clock, *sequential);
                     let latency_cycles = result.latency();
+                    if *surfaced {
+                        surfaced_count += 1;
+                    }
                     let perturb = surface(
                         observer,
                         w,
@@ -1002,15 +1248,7 @@ fn merge(
                     );
                     w.clock += latency_cycles + perturb;
                     if *settles {
-                        let remaining = settle
-                            .outstanding
-                            .get_mut(&line)
-                            .expect("settling line is tracked");
-                        *remaining -= 1;
-                        if *remaining == 0 {
-                            settle.unsettled_lines -= 1;
-                            settle.horizon = settle.horizon.max(directory.busy_until_of(line));
-                        }
+                        settle.merge_first_touch(directory, line, *sequential);
                     }
                 }
                 EvKind::SharedHit {
@@ -1018,6 +1256,8 @@ fn merge(
                     instrs_before,
                     perturbation,
                 } => {
+                    merged_count += 1;
+                    surfaced_count += 1;
                     w.clock += ev.lead;
                     let line = addr.line(line_size);
                     let wait = directory.busy_wait(line, w.clock);
@@ -1037,49 +1277,61 @@ fn merge(
                     );
                     w.clock += latency_cycles + perturb;
                 }
-                EvKind::HitRun { reads } => {
+                EvKind::HitRun {
+                    reads,
+                    min_line,
+                    max_line,
+                } => {
                     let mut cursor = w.run_cursor;
                     if cursor == 0 {
                         w.clock += ev.lead;
                     }
-                    if settle.all_settled(w.clock + reads[cursor].lead) {
-                        // Settled: no read can wait, nothing global is
-                        // touched — fold the whole run atomically.
-                        for read in &reads[cursor..] {
-                            w.clock += read.lead + l1_cost;
+                    // Walk read by read against the real busy windows while
+                    // any line in the span could still be occupied, folding
+                    // the remainder the moment it settles; yield at the
+                    // horizon exactly like the classic loop (the first read
+                    // of this visit is unconditional: it was the heap
+                    // minimum).
+                    let mut first = true;
+                    loop {
+                        if cursor >= reads.len() {
+                            w.run_cursor = 0;
+                            break;
                         }
-                        directory.record_hit_batch((reads.len() - cursor) as u64);
-                        w.run_cursor = 0;
-                    } else {
-                        // Unsettled: walk read by read against the real
-                        // busy windows, yielding at the horizon like the
-                        // classic loop (the first read of this visit is
-                        // unconditional: it was the heap minimum).
-                        let mut first = true;
-                        loop {
-                            if cursor >= reads.len() {
-                                w.run_cursor = 0;
-                                break;
-                            }
-                            let read = &reads[cursor];
-                            let start = w.clock + read.lead;
-                            if !first {
-                                if let Some(h) = horizon {
-                                    if start >= h {
-                                        w.run_cursor = cursor;
-                                        w.pending = Some(ev);
-                                        heap.push(Reverse((start, slot)));
-                                        break 'burst;
-                                    }
+                        let start = w.clock + run_lead_at(reads, cursor);
+                        if settle.run_foldable(directory, *min_line, *max_line, start) {
+                            // Settled: no read can wait, nothing global is
+                            // touched — fold the rest atomically.
+                            let n = (reads.len() - cursor) as u64;
+                            let prefix = if cursor == 0 {
+                                0
+                            } else {
+                                reads[cursor - 1].cum_lead
+                            };
+                            let total = reads[reads.len() - 1].cum_lead;
+                            w.clock += (total - prefix) + n * l1_cost;
+                            directory.record_hit_batch(n);
+                            folded_count += n;
+                            w.run_cursor = 0;
+                            break;
+                        }
+                        if !first {
+                            if let Some(h) = horizon {
+                                if start >= h {
+                                    w.run_cursor = cursor;
+                                    w.pending = Some(ev);
+                                    heap.push(Reverse((start, slot)));
+                                    break 'burst;
                                 }
                             }
-                            first = false;
-                            w.clock = start;
-                            let wait = directory.busy_wait(read.addr.line(line_size), w.clock);
-                            directory.record_precomputed(AccessOutcome::L1Hit, wait);
-                            w.clock += wait + l1_cost;
-                            cursor += 1;
                         }
+                        first = false;
+                        merged_count += 1;
+                        w.clock = start;
+                        let wait = directory.busy_wait(reads[cursor].addr.line(line_size), w.clock);
+                        directory.record_precomputed(AccessOutcome::L1Hit, wait);
+                        w.clock += wait + l1_cost;
+                        cursor += 1;
                     }
                 }
                 EvKind::Private {
@@ -1090,6 +1342,8 @@ fn merge(
                     cost,
                     perturbation,
                 } => {
+                    merged_count += 1;
+                    surfaced_count += 1;
                     w.clock += ev.lead;
                     // Stats were already counted by the precompute pass.
                     let perturb = surface(
@@ -1119,6 +1373,9 @@ fn merge(
             }
         }
     }
+    metrics::count_merged(merged_count);
+    metrics::count_folded(folded_count);
+    metrics::count_surfaced(surfaced_count);
     ends
 }
 

@@ -10,11 +10,27 @@
 //!     classic loop and still match.
 
 use cheetah_sim::{
-    AccessKind, AccessRecord, Addr, CountingObserver, Cycles, ExecObserver, LoopStream, Machine,
-    MachineConfig, NullObserver, Op, OpsStream, Program, ProgramBuilder, RunReport,
-    SampleJudgement, SamplerFork, ThreadId, ThreadSampler, ThreadSpec,
+    AccessKind, AccessRecord, AccessStream, Addr, CountingObserver, Cycles, ExecObserver,
+    Footprint, LoopStream, Machine, MachineConfig, NullObserver, Op, OpsStream, Program,
+    ProgramBuilder, RunReport, SampleJudgement, SamplerFork, ThreadId, ThreadSampler, ThreadSpec,
 };
 use proptest::prelude::*;
+
+/// Wrapper hiding a stream's declared footprint, forcing the sharded
+/// executor onto the per-line materialisation fallback. Comparing runs
+/// with and without it proves extent classification and per-line
+/// classification are interchangeable.
+struct HiddenFootprint<S>(S);
+
+impl<S: AccessStream> AccessStream for HiddenFootprint<S> {
+    fn next_op(&mut self) -> Option<Op> {
+        self.0.next_op()
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint::Unknown
+    }
+}
 
 /// Workload shape: a serial init phase plus one or two parallel phases
 /// whose threads mix four traffic classes — thread-private lines, a
@@ -32,6 +48,12 @@ struct Shape {
 }
 
 fn build_program(shape: &Shape) -> Program {
+    build_program_with(shape, false)
+}
+
+/// Builds the shape's program; with `hide`, every stream's footprint is
+/// masked so classification falls back to per-line materialisation.
+fn build_program_with(shape: &Shape, hide: bool) -> Program {
     let Shape {
         threads,
         iterations,
@@ -45,9 +67,18 @@ fn build_program(shape: &Shape) -> Program {
     let read_table = Addr(0x8000);
     let private_base = Addr(0x100_000);
     let sweep_base = Addr(0x900_000);
+    let stream_base = Addr(0xA00_000);
+
+    fn spec(name: String, stream: impl AccessStream + 'static, hide: bool) -> ThreadSpec {
+        if hide {
+            ThreadSpec::new(name, HiddenFootprint(stream))
+        } else {
+            ThreadSpec::new(name, stream)
+        }
+    }
 
     let make_workers = |phase: u64| -> Vec<ThreadSpec> {
-        (0..threads)
+        let mut workers: Vec<ThreadSpec> = (0..threads)
             .map(|t| {
                 let body = vec![
                     // Contended: adjacent words of one line (false sharing).
@@ -64,12 +95,34 @@ fn build_program(shape: &Shape) -> Program {
                     Op::Read(sweep_base.offset(t * 4096 + (phase % 7) * 64 + 64)),
                     Op::Work(work),
                 ];
-                ThreadSpec::new(
+                spec(
                     format!("w{phase}-{t}"),
                     LoopStream::new(body, iterations + t),
+                    hide,
                 )
             })
-            .collect()
+            .collect();
+        // A one-shot streaming worker with a declared footprint (the
+        // extent table's fast path) ...
+        let sweep: Vec<Op> = (0..iterations * 8)
+            .map(|i| {
+                let addr = stream_base.offset(phase * 0x10_000 + i * 8);
+                if i % 3 == 0 {
+                    Op::Write(addr)
+                } else {
+                    Op::Read(addr)
+                }
+            })
+            .collect();
+        workers.push(spec(format!("stream{phase}"), OpsStream::new(sweep), hide));
+        // ... next to a worker whose stream cannot declare one (the
+        // per-line materialisation fallback), in the same phase.
+        let unhinted = cheetah_sim::IterStream::new(
+            (0..iterations * 4)
+                .map(move |i| Op::Read(stream_base.offset(0x80_000 + phase * 0x10_000 + i * 16))),
+        );
+        workers.push(ThreadSpec::new(format!("unhinted{phase}"), unhinted));
+        workers
     };
 
     let mut builder = ProgramBuilder::new("shard-prop");
@@ -79,7 +132,7 @@ fn build_program(shape: &Shape) -> Program {
             init.push(Op::Write(shared_line.offset(i * 4)));
             init.push(Op::Write(read_table.offset(i * 32)));
         }
-        builder = builder.serial(ThreadSpec::new("init", OpsStream::new(init)));
+        builder = builder.serial(spec("init".to_string(), OpsStream::new(init), hide));
     }
     builder = builder.parallel(make_workers(0));
     if second_phase {
@@ -91,6 +144,11 @@ fn build_program(shape: &Shape) -> Program {
 fn run(shape: &Shape, shards: u32, observer: &mut dyn ExecObserver) -> RunReport {
     let config = MachineConfig::with_cores(shape.cores).with_shards(shards);
     Machine::new(config).run(build_program(shape), observer)
+}
+
+fn run_hidden(shape: &Shape, shards: u32, observer: &mut dyn ExecObserver) -> RunReport {
+    let config = MachineConfig::with_cores(shape.cores).with_shards(shards);
+    Machine::new(config).run(build_program_with(shape, true), observer)
 }
 
 /// Observer recording the full surfaced access stream (EveryAccess mode)
@@ -173,7 +231,9 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
             )| {
                 Shape {
                     threads,
-                    cores: threads as u32 + 1 + extra_cores,
+                    // Room for the loop workers plus the two streaming
+                    // workers each phase appends.
+                    cores: threads as u32 + 3 + extra_cores,
                     iterations,
                     private_stride,
                     work,
@@ -221,6 +281,64 @@ proptest! {
         let sharded = run(&shape, shards, &mut sharded_sampler);
         prop_assert_eq!(&baseline, &sharded);
         prop_assert_eq!(&classic.samples, &sharded_sampler.samples);
+    }
+
+    /// (e) Extent classification is interchangeable with per-line
+    /// classification: hiding every stream's footprint (forcing the
+    /// materialisation fallback) yields the bit-identical report, the
+    /// identical surfaced event stream and the identical sample sequence
+    /// at every shard count.
+    #[test]
+    fn extent_vs_per_line_classification_identical(
+        shape in arb_shape(),
+        shards in 2u32..6,
+        period in 1u64..9,
+    ) {
+        let mut extent_rec = Recorder::default();
+        let extent_report = run(&shape, shards, &mut extent_rec);
+        let mut fallback_rec = Recorder::default();
+        let fallback_report = run_hidden(&shape, shards, &mut fallback_rec);
+        prop_assert_eq!(&extent_report, &fallback_report);
+        prop_assert_eq!(&extent_rec.records, &fallback_rec.records);
+        prop_assert_eq!(&extent_rec.exits, &fallback_rec.exits);
+        // And both match the classic loop under the same (perturbing)
+        // observer.
+        let mut classic_rec = Recorder::default();
+        let classic = run(&shape, 1, &mut classic_rec);
+        prop_assert_eq!(&classic, &extent_report);
+        prop_assert_eq!(&classic_rec.records, &extent_rec.records);
+
+        let mut extent_sampler = ModuloSampler { period, trap: 700, samples: Vec::new() };
+        let extent_sampled = run(&shape, shards, &mut extent_sampler);
+        let mut fallback_sampler = ModuloSampler { period, trap: 700, samples: Vec::new() };
+        let fallback_sampled = run_hidden(&shape, shards, &mut fallback_sampler);
+        prop_assert_eq!(&extent_sampled, &fallback_sampled);
+        prop_assert_eq!(&extent_sampler.samples, &fallback_sampler.samples);
+    }
+
+    /// (f) Extent classification under oversubscription: hidden and
+    /// declared footprints agree when the phase falls back to the classic
+    /// loop because workers share cores.
+    #[test]
+    fn extent_oversubscription_fallback_identical(
+        threads in 3u64..8,
+        shards in 2u32..6,
+        iterations in 1u64..20,
+    ) {
+        let shape = Shape {
+            threads,
+            cores: 2, // fewer cores than workers: same-core interleaving
+            iterations,
+            private_stride: 64,
+            work: 3,
+            second_phase: true,
+            serial_init: true,
+        };
+        let extent_report = run(&shape, shards, &mut NullObserver);
+        let fallback_report = run_hidden(&shape, shards, &mut NullObserver);
+        let classic = run(&shape, 1, &mut NullObserver);
+        prop_assert_eq!(&classic, &extent_report);
+        prop_assert_eq!(&extent_report, &fallback_report);
     }
 
     /// (d) Oversubscribed phases (workers > cores) take the classic
@@ -336,6 +454,7 @@ fn cross_object_workloads_identical_across_shard_counts() {
         "packed_triplet",
         "struct_straddle",
         "reader_writer",
+        "streaming_histogram",
     ] {
         let app = find(name).expect("registered workload");
         let config = AppConfig {

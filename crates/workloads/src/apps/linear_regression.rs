@@ -140,6 +140,34 @@ impl LinRegStream {
 }
 
 impl cheetah_sim::AccessStream for LinRegStream {
+    /// Exact byte ranges of the worker loop: the header fields it re-reads,
+    /// the accumulator fields it stores to, and its private points slice.
+    /// The header/accumulator extents of neighbouring threads land on the
+    /// same cache lines in the broken build — which is precisely what the
+    /// sharded executor's extent classification marks write-shared.
+    fn footprint(&self) -> cheetah_sim::Footprint {
+        if self.rep >= self.reps {
+            return cheetah_sim::Footprint::Bounded(Vec::new());
+        }
+        cheetah_sim::Footprint::bounded(vec![
+            cheetah_sim::ByteExtent::new(
+                self.args.offset(HEADER_FIELDS[0]).0,
+                self.args.offset(HEADER_FIELDS[1]).0 + 1,
+                false,
+            ),
+            cheetah_sim::ByteExtent::new(
+                self.args.offset(ACCUM_FIELDS[0]).0,
+                self.args.offset(ACCUM_FIELDS[1]).0 + 1,
+                true,
+            ),
+            cheetah_sim::ByteExtent::new(
+                self.points.0,
+                self.points.0 + self.npoints * POINT_BYTES,
+                false,
+            ),
+        ])
+    }
+
     fn next_op(&mut self) -> Option<cheetah_sim::Op> {
         use cheetah_sim::Op;
         if self.rep >= self.reps {

@@ -15,6 +15,7 @@ pub mod parsec;
 pub mod phoenix;
 pub mod reader_writer;
 pub mod streamcluster;
+pub mod streaming_histogram;
 pub mod struct_straddle;
 
 use cheetah_heap::{AddressSpace, CallStack};

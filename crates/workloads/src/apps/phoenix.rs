@@ -44,6 +44,10 @@ impl MapStream {
 }
 
 impl AccessStream for MapStream {
+    fn footprint(&self) -> cheetah_sim::Footprint {
+        self.sweep.footprint().union(self.results.footprint())
+    }
+
     fn next_op(&mut self) -> Option<Op> {
         self.counter += 1;
         if self.counter.is_multiple_of(self.ratio) {

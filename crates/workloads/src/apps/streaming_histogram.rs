@@ -1,0 +1,154 @@
+//! `streaming_histogram` — the adversarial case for extent classification.
+//!
+//! Each worker streams once over a large private input slice (tens of
+//! thousands of one-shot cache lines) and folds every chunk into a small
+//! per-thread bucket block, consulting a tiny shared translation table on
+//! the way. The broken build packs the bucket blocks at a 48-byte stride,
+//! so adjacent threads' buckets share boundary cache lines — a *minor*
+//! false-sharing tail in the style of Phoenix `histogram` (Fig. 7): real,
+//! detectable at dense sampling, worth little. The `fixed` build pads the
+//! stride to a line multiple.
+//!
+//! The shape is deliberately hostile to per-line classification: virtually
+//! all touched lines are one-shot private (classification and write-back
+//! cost would be per line), while the contended tail is a handful of lines
+//! (the part that genuinely needs merge ordering). Extent classification
+//! covers the sweep with one range per worker; `sim_throughput` carries
+//! this workload to keep the merged-event count honest.
+
+use crate::apps::alloc_main;
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use cheetah_heap::AddressSpace;
+use cheetah_sim::{ProgramBuilder, ThreadSpec};
+
+use crate::patterns::{OpTemplate, Segment, SegmentsStream};
+
+/// Input elements per thread, before scaling.
+const BASE_ELEMS: u64 = 48_000;
+/// Elements folded between bucket flushes.
+const CHUNK: u64 = 24;
+/// Bucket words per thread (6 × 8 bytes = 48 bytes).
+const BUCKET_WORDS: u64 = 6;
+/// Broken packing stride: blocks straddle 64-byte lines.
+const BROKEN_STRIDE: u64 = BUCKET_WORDS * 8;
+/// Shared translation table bytes (a few read-shared lines).
+const TABLE_BYTES: u64 = 512;
+
+/// Builds streaming_histogram.
+pub fn build(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let stride = if config.fixed {
+        BROKEN_STRIDE.next_multiple_of(64)
+    } else {
+        BROKEN_STRIDE
+    };
+    let elems_per_thread = config.iters(BASE_ELEMS);
+    let total_elems = elems_per_thread * u64::from(config.threads);
+
+    let input = alloc_main(&mut space, total_elems * 8, "streaming_histogram.c", 61);
+    let buckets = alloc_main(
+        &mut space,
+        u64::from(config.threads) * stride,
+        "streaming_histogram.c",
+        74,
+    );
+    let table = alloc_main(&mut space, TABLE_BYTES, "streaming_histogram.c", 68);
+
+    // Serial phase: read the input in and seed the translation table.
+    let init = SegmentsStream::new(vec![
+        Segment::sweep(input, total_elems * 8, 8, true, 1),
+        Segment::sweep(table, TABLE_BYTES, 8, true, 1),
+    ]);
+    let mut builder =
+        ProgramBuilder::new("streaming_histogram").serial(ThreadSpec::new("read_input", init));
+
+    let workers = (0..config.threads)
+        .map(|t| {
+            let my_input = input.offset(u64::from(t) * elems_per_thread * 8);
+            let my_buckets = buckets.offset(u64::from(t) * stride);
+            let rounds = elems_per_thread / CHUNK;
+            let mut segments = Vec::with_capacity(2 * rounds as usize);
+            for round in 0..rounds {
+                segments.push(Segment::new(
+                    vec![
+                        OpTemplate::Read {
+                            base: my_input.offset(round * CHUNK * 8),
+                            stride: 8,
+                        },
+                        OpTemplate::read_fixed(table.offset((round % (TABLE_BYTES / 8)) * 8)),
+                        OpTemplate::Work(6),
+                    ],
+                    CHUNK,
+                ));
+                segments.push(Segment::new(
+                    vec![OpTemplate::write_fixed(
+                        my_buckets.offset((round % BUCKET_WORDS) * 8),
+                    )],
+                    1,
+                ));
+            }
+            ThreadSpec::new(format!("hist-{t}"), SegmentsStream::new(segments))
+        })
+        .collect();
+    builder = builder.parallel(workers);
+
+    WorkloadInstance::new(builder.build(), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::{Machine, MachineConfig, NullObserver};
+
+    fn run(threads: u32, fixed: bool) -> u64 {
+        let config = AppConfig {
+            threads,
+            scale: 0.1,
+            fixed,
+            seed: 1,
+        };
+        let machine = Machine::new(MachineConfig::default());
+        let instance = build(&config);
+        machine
+            .run(instance.program, &mut NullObserver)
+            .total_cycles
+    }
+
+    #[test]
+    fn broken_blocks_straddle_lines_fixed_do_not() {
+        assert_ne!(BROKEN_STRIDE % 64, 0);
+        assert_eq!(BROKEN_STRIDE.next_multiple_of(64) % 64, 0);
+    }
+
+    #[test]
+    fn fix_gives_minor_improvement() {
+        let broken = run(8, false);
+        let fixed = run(8, true);
+        let improvement = broken as f64 / fixed as f64;
+        assert!(
+            improvement > 1.0 && improvement < 1.2,
+            "streaming_histogram tail should be minor: {improvement}"
+        );
+    }
+
+    #[test]
+    fn sweep_dominates_the_access_mix() {
+        let config = AppConfig {
+            threads: 4,
+            scale: 0.05,
+            fixed: false,
+            seed: 1,
+        };
+        let machine = Machine::new(MachineConfig::default());
+        let instance = build(&config);
+        let report = machine.run(instance.program, &mut NullObserver);
+        // One-shot streaming reads must dwarf the contended bucket tail.
+        let (reads, writes) = report
+            .threads
+            .iter()
+            .filter(|t| !t.id.is_main())
+            .fold((0u64, 0u64), |(r, w), t| (r + t.reads, w + t.writes));
+        assert!(reads > 20 * writes, "reads={reads} writes={writes}");
+    }
+}

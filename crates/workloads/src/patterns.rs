@@ -9,7 +9,7 @@
 //! workload stays allocation-free and deterministic no matter how many
 //! million accesses it issues.
 
-use cheetah_sim::{AccessStream, Addr, Op};
+use cheetah_sim::{AccessStream, Addr, ByteExtent, Footprint, FootprintBuilder, Op};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -130,6 +130,30 @@ impl SegmentsStream {
 }
 
 impl AccessStream for SegmentsStream {
+    /// The exact byte ranges the stream's templates cover: a stepping
+    /// operand touches `base + i * stride` for each remaining iteration,
+    /// so each template contributes one contiguous extent. This is what
+    /// lets the sharded executor classify a multi-million-access sweep
+    /// from a handful of ranges without materialising it.
+    fn footprint(&self) -> Footprint {
+        let mut builder = FootprintBuilder::default();
+        for segment in &self.segments {
+            if segment.iterations == 0 {
+                continue;
+            }
+            for template in &segment.body {
+                let (base, stride, wrote) = match *template {
+                    OpTemplate::Work(_) => continue,
+                    OpTemplate::Read { base, stride } => (base, stride, false),
+                    OpTemplate::Write { base, stride } => (base, stride, true),
+                };
+                let last = base.0 + (segment.iterations - 1) * stride;
+                builder.push(ByteExtent::new(base.0, last + 1, wrote));
+            }
+        }
+        builder.finish()
+    }
+
     fn next_op(&mut self) -> Option<Op> {
         loop {
             let segment = self.segments.get(self.segment)?;
@@ -197,6 +221,20 @@ impl RandomStream {
 }
 
 impl AccessStream for RandomStream {
+    /// The slot window, as one extent: randomized accesses have no useful
+    /// structure *within* the window, but the window itself is a tight
+    /// bound, so neighbouring workers' windows still classify by extent.
+    fn footprint(&self) -> Footprint {
+        if self.remaining == 0 && !self.emit_work {
+            return Footprint::Bounded(Vec::new());
+        }
+        Footprint::bounded(vec![ByteExtent::new(
+            self.base.0,
+            self.base.0 + self.slots * self.slot_bytes,
+            self.write_percent > 0,
+        )])
+    }
+
     fn next_op(&mut self) -> Option<Op> {
         if self.emit_work {
             self.emit_work = false;

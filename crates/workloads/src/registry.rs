@@ -213,6 +213,12 @@ pub const APPS: &[App] = &[
         expectation: Expectation::SignificantFalseSharing,
         builder: apps::reader_writer::build,
     },
+    App {
+        name: "streaming_histogram",
+        suite: "micro",
+        expectation: Expectation::MinorFalseSharing,
+        builder: apps::streaming_histogram::build,
+    },
 ];
 
 /// The 17 applications of the paper's Fig. 4 (excludes the
@@ -243,8 +249,9 @@ mod tests {
     #[test]
     fn seventeen_evaluated_apps() {
         assert_eq!(evaluated_apps().count(), 17);
-        // + microbench and the four cross-object micros.
-        assert_eq!(APPS.len(), 22);
+        // + microbench, the four cross-object micros and the
+        // streaming-classification micro.
+        assert_eq!(APPS.len(), 23);
     }
 
     #[test]
