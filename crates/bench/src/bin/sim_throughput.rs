@@ -20,16 +20,31 @@
 //! across repeats rather than aggregated.
 //!
 //! Emits a human table on stdout and machine-readable records to
-//! `BENCH_sim.json` (current directory). With `--check`, exits nonzero if
-//! any thread-count row is slower sharded (shards >= 2) than
-//! single-threaded beyond the tolerance — the CI regression gate for the
-//! sharded execution path. `bench_compare --sim` adds the cross-commit
-//! gate on the recorded event counts.
+//! `BENCH_sim.json` (current directory); each cell record carries the
+//! sharded passes' wall-clock split as a nested `pass_breakdown` object.
+//! With `--check`, exits nonzero if any thread-count row is slower sharded
+//! (shards >= 2) than single-threaded beyond the tolerance, or if any
+//! sharded cell reports a zeroed three-pass breakdown (a silently
+//! uninstrumented code path) — the CI regression gates for the sharded
+//! execution path. `bench_compare --sim` adds the cross-commit gate on the
+//! recorded event counts.
+//!
+//! With `--trace out.json` the first cell is re-run at the highest shard
+//! count through a tracing [`ObsHandle`] and the phase / classify /
+//! precompute / merge spans are exported as Perfetto-loadable Chrome
+//! trace-event JSON (`--journal out.jsonl` likewise exports the flat JSONL
+//! journal of the same run). `--locate-divergence` switches to a
+//! diagnostic mode: every cell runs at shard counts {1, max} with
+//! per-phase FNV state-hash witnesses enabled, and the harness reports the
+//! first phase whose hashes differ — turning "bit-identity assert failed
+//! somewhere" into a one-line diagnosis.
 //!
 //! Usage: `sim_throughput [--shards 1,2,4] [--reps N] [--tolerance 0.10]
-//! [--check]`
+//! [--check] [--trace out.json] [--journal out.jsonl]
+//! [--locate-divergence]`
 
 use cheetah_core::{CheetahConfig, CheetahProfiler};
+use cheetah_obs::ObsHandle;
 use cheetah_sim::{metrics, ExecMetrics, Machine, MachineConfig, NullObserver, RunReport};
 use cheetah_workloads::{find, table2_matrix, SweepCell, SWEEP_THREAD_COUNTS};
 use std::collections::BTreeMap;
@@ -37,18 +52,25 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::Instant;
 
-/// One timed pipeline execution; returns the profiled broken-build report
-/// (the determinism witness), the wall-clock nanoseconds and the event
-/// counters accumulated over the cell's four runs.
-fn run_cell(cell: &SweepCell, shards: u32) -> (RunReport, u128, ExecMetrics) {
-    let machine = Machine::new(MachineConfig::with_cores(cell.cores).with_shards(shards));
-    let cheetah = CheetahConfig::scaled(cell.period);
+/// One timed pipeline execution, reporting into `obs` (callers pass a
+/// fresh registry per call, so concurrent bench invocations and the global
+/// counters can never contaminate a cell's deltas); returns the profiled
+/// broken-build report (the determinism witness), the wall-clock
+/// nanoseconds and the event counters accumulated over the cell's four
+/// runs.
+fn run_cell(cell: &SweepCell, shards: u32, obs: &ObsHandle) -> (RunReport, u128, ExecMetrics) {
+    let machine = Machine::new(
+        MachineConfig::with_cores(cell.cores)
+            .with_shards(shards)
+            .with_obs(obs.clone()),
+    );
+    let cheetah = CheetahConfig::scaled(cell.period).with_obs(obs.clone());
     let broken = cell.app_config();
     let fixed = cheetah_workloads::AppConfig {
         fixed: true,
         ..broken
     };
-    let before = metrics::snapshot();
+    let before = metrics::snapshot_of(obs);
     let start = Instant::now();
     let mut witness = None;
     for (config, profiled) in [
@@ -69,8 +91,72 @@ fn run_cell(cell: &SweepCell, shards: u32) -> (RunReport, u128, ExecMetrics) {
         }
     }
     let wall = start.elapsed().as_nanos();
-    let events = metrics::snapshot().since(&before);
+    let events = metrics::snapshot_of(obs).since(&before);
     (witness.expect("broken profiled run executed"), wall, events)
+}
+
+/// Runs one profiled broken-build execution with per-phase state-hash
+/// witnesses enabled; returns `(index, kind, witness)` per phase, in phase
+/// order.
+fn phase_hashes(cell: &SweepCell, shards: u32) -> Vec<(u64, String, u64)> {
+    let obs = ObsHandle::fresh();
+    let machine = Machine::new(
+        MachineConfig::with_cores(cell.cores)
+            .with_shards(shards)
+            .with_obs(obs.clone())
+            .with_witness(true),
+    );
+    let cheetah = CheetahConfig::scaled(cell.period).with_obs(obs.clone());
+    let instance = cell.app.build(&cell.app_config());
+    let mut profiler = CheetahProfiler::new(cheetah, &instance.space);
+    machine.run(instance.program, &mut profiler);
+    obs.spans_sorted_by_attr("phase", "index")
+        .iter()
+        .map(|span| {
+            (
+                span.attr_u64("index").expect("phase span carries index"),
+                span.attr_str("kind").unwrap_or("?").to_string(),
+                span.attr_u64("witness").expect("witness enabled"),
+            )
+        })
+        .collect()
+}
+
+/// The `--locate-divergence` mode: reruns every cell at shard counts
+/// {1, `max_shards`} and reports the first phase whose state hashes
+/// differ. Returns the number of diverging cells.
+fn locate_divergence(cells: &[SweepCell], max_shards: u32) -> usize {
+    println!("Determinism divergence locator: per-phase state hashes, shards 1 vs {max_shards}\n");
+    let mut diverging = 0;
+    for cell in cells {
+        let name = format!("{} threads={}", cell.app.name(), cell.threads);
+        let base = phase_hashes(cell, 1);
+        let sharded = phase_hashes(cell, max_shards);
+        let diverged = base
+            .iter()
+            .zip(&sharded)
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| (a.clone(), b.clone()));
+        match diverged {
+            Some(((index, kind, left), (_, _, right))) => {
+                diverging += 1;
+                println!(
+                    "{name}: FIRST DIVERGENCE at phase #{index} ({kind}): \
+                     {left:#018x} (1 shard) vs {right:#018x} ({max_shards} shards)"
+                );
+            }
+            None if base.len() != sharded.len() => {
+                diverging += 1;
+                println!(
+                    "{name}: phase count differs: {} (1 shard) vs {} ({max_shards} shards)",
+                    base.len(),
+                    sharded.len()
+                );
+            }
+            None => println!("{name}: identical ({} phases)", base.len()),
+        }
+    }
+    diverging
 }
 
 struct Record {
@@ -89,39 +175,57 @@ impl Record {
     }
 }
 
-fn parse_args() -> (Vec<u32>, u32, f64, bool) {
-    let mut shards = vec![1u32, 2, 4];
-    let mut reps = 3u32;
-    let mut tolerance = 0.10f64;
-    let mut check = false;
+struct Args {
+    shards: Vec<u32>,
+    reps: u32,
+    tolerance: f64,
+    check: bool,
+    trace: Option<String>,
+    journal: Option<String>,
+    locate: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        shards: vec![1, 2, 4],
+        reps: 3,
+        tolerance: 0.10,
+        check: false,
+        trace: None,
+        journal: None,
+        locate: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--shards" => {
                 let list = args.next().expect("--shards needs a list");
-                shards = list
+                parsed.shards = list
                     .split(',')
                     .map(|s| s.trim().parse().expect("shard count"))
                     .collect();
             }
-            "--reps" => reps = args.next().expect("--reps needs N").parse().expect("reps"),
+            "--reps" => parsed.reps = args.next().expect("--reps needs N").parse().expect("reps"),
             "--tolerance" => {
-                tolerance = args
+                parsed.tolerance = args
                     .next()
                     .expect("--tolerance needs a fraction")
                     .parse()
                     .expect("tolerance")
             }
-            "--check" => check = true,
+            "--check" => parsed.check = true,
+            "--trace" => parsed.trace = Some(args.next().expect("--trace needs a path")),
+            "--journal" => parsed.journal = Some(args.next().expect("--journal needs a path")),
+            "--locate-divergence" => parsed.locate = true,
             other => panic!("unknown argument {other}"),
         }
     }
     assert!(
-        shards.contains(&1),
+        parsed.shards.contains(&1),
         "--shards must include 1 (the baseline)"
     );
-    assert!(reps >= 1, "--reps must be at least 1");
-    (shards, reps, tolerance, check)
+    assert!(parsed.reps >= 1, "--reps must be at least 1");
+    parsed
 }
 
 /// Median of the recorded repeat times.
@@ -162,9 +266,35 @@ fn bench_cells() -> Vec<SweepCell> {
     cells
 }
 
+/// Re-runs `cell` at `shards` through a fresh tracing registry and writes
+/// the requested exports.
+fn export_trace(cell: &SweepCell, shards: u32, trace: Option<&str>, journal: Option<&str>) {
+    let obs = ObsHandle::fresh();
+    run_cell(cell, shards, &obs);
+    if let Some(path) = trace {
+        std::fs::write(path, obs.chrome_trace()).expect("write chrome trace");
+        println!("wrote {path} (load in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = journal {
+        std::fs::write(path, obs.jsonl()).expect("write jsonl journal");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
-    let (shard_counts, reps, tolerance, check) = parse_args();
+    let args = parse_args();
+    let (shard_counts, reps, tolerance, check) =
+        (args.shards, args.reps, args.tolerance, args.check);
     let cells = bench_cells();
+    let max_shards = *shard_counts.iter().max().expect("nonempty shard list");
+
+    if args.locate {
+        let diverging = locate_divergence(&cells, max_shards);
+        if diverging > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let mut records: Vec<Record> = Vec::new();
     for cell in &cells {
@@ -178,7 +308,11 @@ fn main() {
         let mut baseline_report: Option<RunReport> = None;
         for _ in 0..reps {
             for (i, &shards) in shard_counts.iter().enumerate() {
-                let (report, wall, cell_events) = run_cell(cell, shards);
+                // A fresh untraced registry per execution: event deltas are
+                // scoped to this cell, immune to the global registry's other
+                // users (satellite fix for cross-run contamination).
+                let (report, wall, cell_events) =
+                    run_cell(cell, shards, &ObsHandle::fresh_untraced());
                 walls[i].push(wall);
                 if let Some(first) = events[i].first() {
                     assert_eq!(
@@ -315,6 +449,26 @@ fn main() {
         }
     }
 
+    // Instrumentation gate: a sharded cell with a zeroed three-pass
+    // breakdown means the classify/precompute/merge timers silently
+    // stopped reporting — fail `--check` rather than publish hollow data.
+    for r in &records {
+        if r.shards >= 2
+            && (r.events.classify_ns == 0 || r.events.precompute_ns == 0 || r.events.merge_ns == 0)
+        {
+            regressions.push(format!(
+                "cell {} threads={} shards={}: pass_breakdown has a zero component \
+                 (classify={} precompute={} merge={} ns) — sharded passes unreported",
+                r.workload,
+                r.threads,
+                r.shards,
+                r.events.classify_ns,
+                r.events.precompute_ns,
+                r.events.merge_ns
+            ));
+        }
+    }
+
     let mut json = String::from("{\n  \"benchmark\": \"sim\",\n");
     let _ = writeln!(
         json,
@@ -330,8 +484,8 @@ fn main() {
                 "    {{\"workload\": \"{}\", \"threads\": {}, \"period\": {}, \
                  \"shards\": {}, \"wall_ns\": {}, \"speedup\": {:.4}, \
                  \"merged_events\": {}, \"folded_events\": {}, \"surfaced_events\": {}, \
-                 \"ordered_events\": {}, \"classify_ns\": {}, \"precompute_ns\": {}, \
-                 \"merge_ns\": {}, \"identical\": true}}",
+                 \"ordered_events\": {}, \"pass_breakdown\": {{\"classify_ns\": {}, \
+                 \"precompute_ns\": {}, \"merge_ns\": {}}}, \"identical\": true}}",
                 r.workload,
                 r.threads,
                 r.period,
@@ -368,8 +522,17 @@ fn main() {
     file.write_all(json.as_bytes()).expect("write json");
     println!("\nwrote {path}");
 
+    if args.trace.is_some() || args.journal.is_some() {
+        export_trace(
+            &cells[0],
+            max_shards,
+            args.trace.as_deref(),
+            args.journal.as_deref(),
+        );
+    }
+
     if !regressions.is_empty() {
-        eprintln!("\nsharded execution slower than single-threaded:");
+        eprintln!("\nsharded execution regressions:");
         for regression in &regressions {
             eprintln!("  {regression}");
         }
@@ -377,6 +540,9 @@ fn main() {
             std::process::exit(1);
         }
     } else if check {
-        println!("check passed: no sharded row slower than single-threaded");
+        println!(
+            "check passed: no sharded row slower than single-threaded; \
+             all sharded cells report a nonzero pass breakdown"
+        );
     }
 }

@@ -14,8 +14,15 @@
 //! `BENCH_repair.json` (current directory); CI regenerates the file and
 //! compares per-cell prediction errors against the committed baseline via
 //! the `bench_compare` bin.
+//!
+//! With `--trace out.json` every cell's phase, shard-pass, and
+//! converge-iteration spans are collected in one tracing [`ObsHandle`] and
+//! exported as Perfetto-loadable Chrome trace-event JSON after the matrix
+//! completes. The default (untraced) path is byte-identical to before —
+//! spans on the global registry are no-ops.
 
 use cheetah_core::{CheetahConfig, CheetahProfiler};
+use cheetah_obs::ObsHandle;
 use cheetah_repair::{converge, ConvergeConfig, ConvergenceTrace, ValidationHarness};
 use cheetah_sim::{Machine, MachineConfig, NullObserver};
 use cheetah_workloads::{table2_matrix, SweepCell};
@@ -28,10 +35,14 @@ struct Row {
     detector_overhead: f64,
 }
 
-fn measure(cell: SweepCell, shards: u32) -> Row {
+fn measure(cell: SweepCell, shards: u32, obs: &ObsHandle) -> Row {
     let config = cell.app_config();
-    let machine = Machine::new(MachineConfig::with_cores(cell.cores).with_shards(shards));
-    let cheetah = CheetahConfig::scaled(cell.period);
+    let machine = Machine::new(
+        MachineConfig::with_cores(cell.cores)
+            .with_shards(shards)
+            .with_obs(obs.clone()),
+    );
+    let cheetah = CheetahConfig::scaled(cell.period).with_obs(obs.clone());
 
     // Detector overhead: profiled (with real trap/setup costs) vs. native
     // runtime of the broken build.
@@ -71,6 +82,7 @@ fn main() {
     // bit-identical for every value — only wall-clock changes — so the
     // default exercises the sharded path.
     let mut shards = 4u32;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -81,12 +93,18 @@ fn main() {
                     .parse()
                     .expect("shard count");
             }
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
             other => panic!("unknown argument {other}"),
         }
     }
+    let obs = if trace_path.is_some() {
+        ObsHandle::fresh()
+    } else {
+        ObsHandle::global()
+    };
     let rows: Vec<Row> = table2_matrix()
         .into_iter()
-        .map(|cell| measure(cell, shards))
+        .map(|cell| measure(cell, shards, &obs))
         .collect();
 
     println!("Table 2 matrix: fixpoint repair, predicted vs. measured per cell\n");
@@ -174,4 +192,9 @@ fn main() {
     let mut file = std::fs::File::create(path).expect("create BENCH_repair.json");
     file.write_all(json.as_bytes()).expect("write json");
     println!("\nwrote {path}");
+
+    if let Some(trace) = trace_path {
+        std::fs::write(&trace, obs.chrome_trace()).expect("write chrome trace");
+        println!("wrote {trace} (load in https://ui.perfetto.dev)");
+    }
 }

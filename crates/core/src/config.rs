@@ -92,6 +92,10 @@ pub struct CheetahConfig {
     /// [`AssessModel::PerObject`] selects the paper's §3.2 reference
     /// model.
     pub assess_model: AssessModel,
+    /// Telemetry registry the profiler reports into: sampler delivery
+    /// counts, detector ingest counters and table-size gauges. Defaults to
+    /// the process-wide global registry; transparent to config equality.
+    pub obs: cheetah_obs::ObsHandle,
 }
 
 impl CheetahConfig {
@@ -124,6 +128,12 @@ impl CheetahConfig {
     /// Same configuration with the given assessment credit model.
     pub fn with_assess_model(mut self, model: AssessModel) -> Self {
         self.assess_model = model;
+        self
+    }
+
+    /// Same configuration reporting telemetry into `obs`.
+    pub fn with_obs(mut self, obs: cheetah_obs::ObsHandle) -> Self {
+        self.obs = obs;
         self
     }
 }

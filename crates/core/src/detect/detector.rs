@@ -12,9 +12,17 @@ use crate::config::DetectorConfig;
 use crate::detect::line_state::{LineState, StagedSample};
 use crate::detect::lines::LineAccum;
 use cheetah_heap::{AddressSpace, Location, ShadowMap};
+use cheetah_obs::{Counter, Gauge, ObsHandle};
 use cheetah_pmu::Sample;
 use cheetah_sim::util::{FastMap, FastSet};
 use cheetah_sim::{AccessKind, CacheLineId, Cycles, ThreadId};
+
+/// Counter name for samples fed into [`Detector::ingest`].
+pub const OBS_SAMPLES_INGESTED: &str = "detect.samples_ingested";
+/// Gauge name for the object-accumulator table size.
+pub const OBS_OBJECT_TABLE: &str = "detect.object_table_entries";
+/// Gauge name for the per-line accumulator table size.
+pub const OBS_LINE_TABLE: &str = "detect.line_table_entries";
 
 /// Identity of a monitored data object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -199,6 +207,9 @@ pub struct Detector {
     /// storing every sample.
     serial_latencies: FastMap<Cycles, u64>,
     serial_samples: u64,
+    obs_ingested: Counter,
+    obs_objects: Gauge,
+    obs_lines: Gauge,
 }
 
 impl Detector {
@@ -209,6 +220,17 @@ impl Detector {
     /// Panics if the configuration is invalid (see
     /// [`DetectorConfig::validate`]).
     pub fn new(config: DetectorConfig) -> Self {
+        Detector::with_obs(config, &ObsHandle::global())
+    }
+
+    /// Creates a detector reporting ingest counts and table-size gauges
+    /// into `obs` instead of the global registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`DetectorConfig::validate`]).
+    pub fn with_obs(config: DetectorConfig, obs: &ObsHandle) -> Self {
         config.validate();
         let line_size = config.line_size;
         Detector {
@@ -222,6 +244,9 @@ impl Detector {
             unattributed_samples: 0,
             serial_latencies: FastMap::default(),
             serial_samples: 0,
+            obs_ingested: obs.counter(OBS_SAMPLES_INGESTED),
+            obs_objects: obs.gauge(OBS_OBJECT_TABLE),
+            obs_lines: obs.gauge(OBS_LINE_TABLE),
         }
     }
 
@@ -232,6 +257,13 @@ impl Detector {
 
     /// Feeds one sample, resolving object attribution against `space`.
     pub fn ingest(&mut self, space: &AddressSpace, sample: &Sample) {
+        self.obs_ingested.add(1);
+        self.ingest_inner(space, sample);
+        self.obs_objects.set(self.objects.len() as u64);
+        self.obs_lines.set(self.lines.len() as u64);
+    }
+
+    fn ingest_inner(&mut self, space: &AddressSpace, sample: &Sample) {
         self.total_samples += 1;
         let line = sample.addr.line(self.config.line_size);
         let Some(state) = self.shadow.get_mut_or_default(line) else {

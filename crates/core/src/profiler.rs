@@ -66,10 +66,10 @@ impl<'a> CheetahProfiler<'a> {
     pub fn new(config: CheetahConfig, space: &'a AddressSpace) -> Self {
         CheetahProfiler {
             space,
-            engine: SamplingEngine::new(config.sampler),
+            engine: SamplingEngine::with_obs(config.sampler, &config.obs),
             phases: PhaseTracker::new(),
             threads: ThreadRegistry::new(),
-            detector: Detector::new(config.detector),
+            detector: Detector::with_obs(config.detector, &config.obs),
             assess_model: config.assess_model,
             end_time: 0,
         }

@@ -32,6 +32,11 @@ use cheetah_sim::Cycles;
 use cheetah_workloads::WorkloadInstance;
 use std::fmt;
 
+/// Lane (Chrome-trace `tid`) used by the fixpoint loop's iteration spans,
+/// distinct from the execution engine's
+/// [`cheetah_sim::OBS_LANE_ENGINE`].
+pub const OBS_LANE_CONVERGE: u32 = 3;
+
 /// Bounds and thresholds of the fixpoint loop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConvergeConfig {
@@ -235,6 +240,13 @@ where
 {
     let machine = harness.machine();
     let line_size = machine.config().cache_line_size;
+    // Iteration spans land in the same registry the simulator's phase and
+    // merge spans report into, so one `--trace` export shows the whole
+    // profile -> fix -> re-profile cadence on its own lane.
+    let obs = machine.config().obs.clone();
+    if obs.tracing_enabled() {
+        obs.name_lane(OBS_LANE_CONVERGE, "converge");
+    }
 
     // Profiling runs are perturbation-free (see
     // [`ValidationHarness::non_perturbing_config`]), so one run per
@@ -289,6 +301,10 @@ where
         let co_residents = plan.co_residents;
         let cycles_before = profile.total_cycles;
         plans.push(plan);
+        let mut span = obs.span("converge.iteration", OBS_LANE_CONVERGE);
+        span.attr_u64("iteration", iterations.len() as u64 + 1);
+        span.attr_str("label", label.clone());
+        span.attr_f64("predicted", predicted);
         let next = profile_with(&plans)?;
         let cycles_after = next.total_cycles;
         let measured = if cycles_after == 0 {
@@ -296,6 +312,10 @@ where
         } else {
             cycles_before as f64 / cycles_after as f64
         };
+        span.attr_f64("measured", measured);
+        span.attr_u64("cycles_before", cycles_before);
+        span.attr_u64("cycles_after", cycles_after);
+        span.finish();
         iterations.push(IterationRecord {
             iteration: iterations.len() as u32 + 1,
             label,

@@ -362,6 +362,98 @@ impl Directory {
         self.lines.len() + (overlay_lines - shadowed) as usize
     }
 
+    /// Feeds the directory's *logical* contents into `hash`, for the
+    /// determinism divergence witness (see
+    /// [`MachineConfig::witness`](crate::MachineConfig)).
+    ///
+    /// "Logical" means the state the coherence protocol can observe, in a
+    /// canonical order independent of representation: per-line MESI states
+    /// (sorted by line id, per-line entries shadowing the extent overlay
+    /// exactly as [`Directory::seed_of`] resolves them), LLC residency
+    /// (the union of the per-line set and the extent ranges), per-core
+    /// prefetch cursors, and the aggregate statistics. Busy windows are
+    /// deliberately **excluded**: the classic loop leaves stale
+    /// `busy_until` stamps on lines whose contention has already resolved,
+    /// while the sharded write-back clears them — both representations
+    /// mean "no pending transaction reaches into the next phase", which is
+    /// the only thing busy windows are allowed to encode at a phase
+    /// boundary.
+    pub(crate) fn witness_digest(&self, hash: &mut cheetah_obs::Fnv64) {
+        let mut ids: Vec<u64> = self.lines.keys().map(|l| l.0).collect();
+        for &(start, end, _) in &self.overlay {
+            for id in start..end {
+                if !self.lines.contains_key(&CacheLineId(id)) {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        hash.write_u64(ids.len() as u64);
+        for id in ids {
+            let line = CacheLineId(id);
+            let state = match self.lines.get(&line) {
+                Some(entry) => entry.state,
+                None => self
+                    .overlay_state(line)
+                    .expect("line id was collected from an overlay range"),
+            };
+            hash.write_u64(id);
+            match state {
+                LineState::Exclusive(core) => {
+                    hash.write_u8(1);
+                    hash.write_u64(u64::from(core.0));
+                }
+                LineState::Modified(core) => {
+                    hash.write_u8(2);
+                    hash.write_u64(u64::from(core.0));
+                }
+                LineState::Shared(sharers) => {
+                    hash.write_u8(3);
+                    hash.write_u64(sharers.0);
+                }
+            }
+        }
+        let mut llc_ids: Vec<u64> = self.llc.iter().map(|l| l.0).collect();
+        for &(start, end) in &self.llc_ranges {
+            for id in start..end {
+                if !self.llc.contains(&CacheLineId(id)) {
+                    llc_ids.push(id);
+                }
+            }
+        }
+        llc_ids.sort_unstable();
+        llc_ids.dedup();
+        hash.write_u64(llc_ids.len() as u64);
+        for id in llc_ids {
+            hash.write_u64(id);
+        }
+        let mut cursors: Vec<(u32, u64)> = self
+            .last_line
+            .iter()
+            .map(|(core, line)| (core.0, line.0))
+            .collect();
+        cursors.sort_unstable();
+        hash.write_u64(cursors.len() as u64);
+        for (core, line) in cursors {
+            hash.write_u64(u64::from(core));
+            hash.write_u64(line);
+        }
+        for count in [
+            self.stats.l1_hits,
+            self.stats.llc_hits,
+            self.stats.memory,
+            self.stats.remote_clean,
+            self.stats.remote_dirty,
+            self.stats.upgrade_sole,
+            self.stats.upgrade_invalidate,
+            self.stats.prefetched,
+            self.stats.invalidations,
+            self.stats.wait_cycles,
+        ] {
+            hash.write_u64(count);
+        }
+    }
+
     /// Looks a line up in the extent overlay.
     fn overlay_state(&self, line: CacheLineId) -> Option<LineState> {
         let idx = self.overlay.partition_point(|&(_, end, _)| end <= line.0);

@@ -8,14 +8,19 @@
 
 use crate::coherence::{Directory, MAX_CORES};
 use crate::latency::LatencyModel;
+use crate::metrics::SimCounters;
 use crate::observer::{AccessRecord, ExecObserver};
 use crate::program::{AccessStream, Op, Phase, Program};
 use crate::report::{PhaseReport, RunReport, ThreadReport};
 use crate::types::{AccessKind, CoreId, Cycles, PhaseKind, ThreadId};
+use cheetah_obs::{Fnv64, ObsHandle};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
+
+/// Lane (Chrome-trace `tid`) used by the execution engine's spans.
+pub const OBS_LANE_ENGINE: u32 = 0;
 
 /// Configuration of the simulated machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +45,20 @@ pub struct MachineConfig {
     /// `(timestamp, worker, seq)` (see [`crate::shard`]). Reports are
     /// bit-identical for every value; only wall-clock time changes.
     pub shards: u32,
+    /// Telemetry registry the run reports into: execution counters
+    /// ([`crate::metrics`]), per-phase spans and, when [`witness`] is set,
+    /// determinism state hashes. Defaults to the process-wide global
+    /// registry (span tracing disabled); transparent to config equality.
+    ///
+    /// [`witness`]: MachineConfig::witness
+    pub obs: ObsHandle,
+    /// When `true`, every phase records an FNV-1a hash of the logical
+    /// machine state (directory + thread cursors + coherence stats) as a
+    /// `witness` attribute on its phase span — the determinism divergence
+    /// locator's raw material. Off by default: hashing enumerates the
+    /// whole directory each phase, and the hash is diagnostic, never part
+    /// of [`RunReport`].
+    pub witness: bool,
 }
 
 impl Default for MachineConfig {
@@ -50,6 +69,8 @@ impl Default for MachineConfig {
             latency: LatencyModel::default(),
             thread_spawn_cost: 3_000,
             shards: 1,
+            obs: ObsHandle::global(),
+            witness: false,
         }
     }
 }
@@ -67,6 +88,20 @@ impl MachineConfig {
     /// style): `0` = auto, `1` = classic serial loop, `>= 2` = sharded.
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Returns the configuration reporting into `obs` (builder style).
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Returns the configuration with per-phase state-hash witnesses
+    /// enabled (builder style). Pair with a tracing registry
+    /// ([`ObsHandle::fresh`]) so the hashes are actually recorded.
+    pub fn with_witness(mut self, witness: bool) -> Self {
+        self.witness = witness;
         self
     }
 
@@ -184,12 +219,17 @@ struct Execution<'a> {
     /// Resolved shard count; `>= 2` enables the sharded parallel-phase path.
     shards: u32,
     /// Accesses replayed individually by the classic loop (flushed into
-    /// [`crate::metrics`] once per run to keep atomics off the hot path).
+    /// the run's counters once per run to keep atomics off the hot path).
     classic_ops: u64,
+    /// The run's counter handles, resolved once from `config.obs`.
+    counters: SimCounters,
 }
 
 impl<'a> Execution<'a> {
     fn new(config: &'a MachineConfig, observer: &'a mut dyn ExecObserver) -> Self {
+        if config.obs.tracing_enabled() {
+            config.obs.name_lane(OBS_LANE_ENGINE, "engine");
+        }
         Execution {
             config,
             observer,
@@ -197,7 +237,44 @@ impl<'a> Execution<'a> {
             latency: config.latency.clone(),
             shards: config.resolved_shards(),
             classic_ops: 0,
+            counters: SimCounters::of(&config.obs),
         }
+    }
+
+    /// FNV-1a digest of the logical machine state at a phase boundary:
+    /// phase identity, the main thread's cursor, every worker cursor the
+    /// phase retired, and the directory's logical contents. Thread cursors
+    /// capture "report deltas" (the per-thread counters the phase will
+    /// publish into [`RunReport`]); the directory digest captures
+    /// everything the next phase's timing depends on. Identical across
+    /// shard counts by the sharded executor's bit-identity contract.
+    fn phase_witness(
+        &self,
+        index: u32,
+        kind: PhaseKind,
+        main: &ThreadCtx,
+        retired: &[ThreadReport],
+    ) -> u64 {
+        let mut hash = Fnv64::new();
+        hash.write_u64(u64::from(index));
+        hash.write_u8(match kind {
+            PhaseKind::Serial => 0,
+            PhaseKind::Parallel => 1,
+        });
+        hash.write_u64(main.clock);
+        hash.write_u64(main.instructions);
+        hash.write_u64(main.reads);
+        hash.write_u64(main.writes);
+        for report in retired {
+            hash.write_u64(u64::from(report.id.0));
+            hash.write_u64(report.start);
+            hash.write_u64(report.end);
+            hash.write_u64(report.instructions);
+            hash.write_u64(report.reads);
+            hash.write_u64(report.writes);
+        }
+        self.directory.witness_digest(&mut hash);
+        hash.finish()
     }
 
     fn run(mut self, program: Program) -> RunReport {
@@ -224,6 +301,17 @@ impl<'a> Execution<'a> {
             let index = index as u32;
             let kind = phase.kind();
             let phase_start = main.clock;
+            let retired_from = thread_reports.len();
+            let mut span = self.config.obs.span("phase", OBS_LANE_ENGINE);
+            span.attr_u64("index", u64::from(index));
+            span.attr_str(
+                "kind",
+                match kind {
+                    PhaseKind::Serial => "serial",
+                    PhaseKind::Parallel => "parallel",
+                },
+            );
+            span.attr_u64("start_cycles", phase_start);
             self.observer.on_phase_start(index, kind, phase_start);
             match phase {
                 Phase::Serial(spec) => {
@@ -318,6 +406,14 @@ impl<'a> Execution<'a> {
                 }
             }
             self.observer.on_phase_end(index, kind, main.clock);
+            span.attr_u64("end_cycles", main.clock);
+            if self.config.witness {
+                span.attr_u64(
+                    "witness",
+                    self.phase_witness(index, kind, &main, &thread_reports[retired_from..]),
+                );
+            }
+            span.finish();
         }
 
         let total = main.clock;
@@ -336,7 +432,7 @@ impl<'a> Execution<'a> {
             },
         );
 
-        crate::metrics::count_merged(self.classic_ops);
+        self.counters.count_merged(self.classic_ops);
         RunReport {
             program: program_name,
             total_cycles: total,

@@ -62,8 +62,9 @@ pub mod stats;
 pub mod types;
 pub mod util;
 
+pub use cheetah_obs::ObsHandle;
 pub use coherence::{Directory, SharerSet, MAX_CORES};
-pub use exec::{ConfigError, Machine, MachineConfig};
+pub use exec::{ConfigError, Machine, MachineConfig, OBS_LANE_ENGINE};
 pub use footprint::{ByteExtent, Footprint, FootprintBuilder};
 pub use latency::{AccessOutcome, LatencyModel};
 pub use layout::{LayoutError, LayoutMap, Remapping};

@@ -7,19 +7,30 @@
 //! and emits merged/folded/surfaced counts next to wall-clock, and the CI
 //! gate fails if a streaming workload starts replaying per-line again.
 //!
-//! The counters are process-global atomics, deliberately **outside**
-//! [`crate::RunReport`]: reports are bit-identical across shard counts,
-//! while these counts describe the execution *strategy* and legitimately
-//! differ between the classic loop and sharded runs.
+//! Since the `cheetah-obs` integration the counters live in an
+//! [`ObsRegistry`](cheetah_obs::ObsRegistry) — by default the process-wide
+//! global one, preserving the historical `snapshot()`/`reset()` behaviour,
+//! but a run that carries its own registry in
+//! [`MachineConfig::obs`](crate::MachineConfig) gets fully independent
+//! counts (read them with [`snapshot_of`]). Counters stay deliberately
+//! **outside** [`crate::RunReport`]: reports are bit-identical across
+//! shard counts, while these counts describe the execution *strategy* and
+//! legitimately differ between the classic loop and sharded runs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cheetah_obs::{Counter, ObsHandle};
 
-static MERGED: AtomicU64 = AtomicU64::new(0);
-static FOLDED: AtomicU64 = AtomicU64::new(0);
-static SURFACED: AtomicU64 = AtomicU64::new(0);
-static CLASSIFY_NS: AtomicU64 = AtomicU64::new(0);
-static PRECOMPUTE_NS: AtomicU64 = AtomicU64::new(0);
-static MERGE_NS: AtomicU64 = AtomicU64::new(0);
+/// Counter name for individually merge-ordered events.
+pub const MERGED_EVENTS: &str = "sim.merged_events";
+/// Counter name for batch-folded accesses.
+pub const FOLDED_EVENTS: &str = "sim.folded_events";
+/// Counter name for observer-surfaced accesses.
+pub const SURFACED_EVENTS: &str = "sim.surfaced_events";
+/// Counter name for sharded classify-pass wall nanoseconds.
+pub const CLASSIFY_NS: &str = "sim.classify_ns";
+/// Counter name for sharded precompute-pass wall nanoseconds.
+pub const PRECOMPUTE_NS: &str = "sim.precompute_ns";
+/// Counter name for sharded merge-pass wall nanoseconds.
+pub const MERGE_NS: &str = "sim.merge_ns";
 
 /// Counter snapshot; see [`snapshot`] for field meanings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,52 +72,88 @@ impl ExecMetrics {
     }
 }
 
-/// Reads the current counter values.
-pub fn snapshot() -> ExecMetrics {
+/// Reads the current counter values from `obs`'s registry.
+pub fn snapshot_of(obs: &ObsHandle) -> ExecMetrics {
     ExecMetrics {
-        merged_events: MERGED.load(Ordering::Relaxed),
-        folded_events: FOLDED.load(Ordering::Relaxed),
-        surfaced_events: SURFACED.load(Ordering::Relaxed),
-        classify_ns: CLASSIFY_NS.load(Ordering::Relaxed),
-        precompute_ns: PRECOMPUTE_NS.load(Ordering::Relaxed),
-        merge_ns: MERGE_NS.load(Ordering::Relaxed),
+        merged_events: obs.counter(MERGED_EVENTS).get(),
+        folded_events: obs.counter(FOLDED_EVENTS).get(),
+        surfaced_events: obs.counter(SURFACED_EVENTS).get(),
+        classify_ns: obs.counter(CLASSIFY_NS).get(),
+        precompute_ns: obs.counter(PRECOMPUTE_NS).get(),
+        merge_ns: obs.counter(MERGE_NS).get(),
     }
 }
 
-/// Resets all counters to zero.
+/// Reads the current counter values from the global registry.
+pub fn snapshot() -> ExecMetrics {
+    snapshot_of(&ObsHandle::global())
+}
+
+/// Resets the global registry's counters to zero.
 pub fn reset() {
-    MERGED.store(0, Ordering::Relaxed);
-    FOLDED.store(0, Ordering::Relaxed);
-    SURFACED.store(0, Ordering::Relaxed);
-    CLASSIFY_NS.store(0, Ordering::Relaxed);
-    PRECOMPUTE_NS.store(0, Ordering::Relaxed);
-    MERGE_NS.store(0, Ordering::Relaxed);
+    let obs = ObsHandle::global();
+    for name in [
+        MERGED_EVENTS,
+        FOLDED_EVENTS,
+        SURFACED_EVENTS,
+        CLASSIFY_NS,
+        PRECOMPUTE_NS,
+        MERGE_NS,
+    ] {
+        obs.counter(name).reset();
+    }
 }
 
-/// Adds one sharded phase's pass timings.
-#[inline]
-pub(crate) fn add_pass_timings(classify_ns: u64, precompute_ns: u64, merge_ns: u64) {
-    CLASSIFY_NS.fetch_add(classify_ns, Ordering::Relaxed);
-    PRECOMPUTE_NS.fetch_add(precompute_ns, Ordering::Relaxed);
-    MERGE_NS.fetch_add(merge_ns, Ordering::Relaxed);
+/// Pre-resolved counter handles for one run's registry: the execution
+/// paths look the handles up once per run/phase instead of taking the
+/// registry lock per event batch.
+#[derive(Debug, Clone)]
+pub(crate) struct SimCounters {
+    merged: Counter,
+    folded: Counter,
+    surfaced: Counter,
+    classify_ns: Counter,
+    precompute_ns: Counter,
+    merge_ns: Counter,
 }
 
-/// Adds `n` individually merge-ordered events.
-#[inline]
-pub(crate) fn count_merged(n: u64) {
-    MERGED.fetch_add(n, Ordering::Relaxed);
-}
+impl SimCounters {
+    pub(crate) fn of(obs: &ObsHandle) -> SimCounters {
+        SimCounters {
+            merged: obs.counter(MERGED_EVENTS),
+            folded: obs.counter(FOLDED_EVENTS),
+            surfaced: obs.counter(SURFACED_EVENTS),
+            classify_ns: obs.counter(CLASSIFY_NS),
+            precompute_ns: obs.counter(PRECOMPUTE_NS),
+            merge_ns: obs.counter(MERGE_NS),
+        }
+    }
 
-/// Adds `n` batch-folded accesses.
-#[inline]
-pub(crate) fn count_folded(n: u64) {
-    FOLDED.fetch_add(n, Ordering::Relaxed);
-}
+    /// Adds one sharded phase's pass timings.
+    #[inline]
+    pub(crate) fn add_pass_timings(&self, classify_ns: u64, precompute_ns: u64, merge_ns: u64) {
+        self.classify_ns.add(classify_ns);
+        self.precompute_ns.add(precompute_ns);
+        self.merge_ns.add(merge_ns);
+    }
 
-/// Adds `n` observer-surfaced accesses.
-#[inline]
-pub(crate) fn count_surfaced(n: u64) {
-    SURFACED.fetch_add(n, Ordering::Relaxed);
+    /// Adds `n` individually merge-ordered events.
+    #[inline]
+    pub(crate) fn count_merged(&self, n: u64) {
+        self.merged.add(n);
+    }
+
+    /// Adds `n` batch-folded accesses.
+    #[inline]
+    pub(crate) fn count_folded(&self, n: u64) {
+        self.folded.add(n);
+    }
+
+    /// Adds `n` observer-surfaced accesses.
+    #[inline]
+    pub(crate) fn count_surfaced(&self, n: u64) {
+        self.surfaced.add(n);
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +180,14 @@ mod tests {
             (d.merged_events, d.folded_events, d.surfaced_events),
             (6, 12, 4)
         );
+    }
+
+    #[test]
+    fn scoped_snapshot_is_independent_of_global() {
+        let scoped = ObsHandle::fresh();
+        SimCounters::of(&scoped).count_merged(17);
+        assert_eq!(snapshot_of(&scoped).merged_events, 17);
+        // A second fresh registry sees none of it.
+        assert_eq!(snapshot_of(&ObsHandle::fresh()), ExecMetrics::default());
     }
 }

@@ -96,11 +96,11 @@
 //! [`crate::metrics`] counters expose how much was merged vs folded.
 
 use crate::coherence::{prefetchable, transition, Directory, LineState};
-use crate::exec::{MachineConfig, ThreadCtx};
+use crate::exec::{MachineConfig, ThreadCtx, OBS_LANE_ENGINE};
 use crate::extent::{extents_from_touched, ClassTable, ExtClass, LineExtent, RangeList};
 use crate::footprint::Footprint;
 use crate::latency::{AccessOutcome, LatencyModel};
-use crate::metrics;
+use crate::metrics::SimCounters;
 use crate::observer::{AccessRecord, ExecObserver, SamplerFork};
 use crate::program::{AccessStream, Op, OpsStream};
 use crate::types::{AccessKind, Addr, CacheLineId, CoreId, Cycles, PhaseKind, ThreadId};
@@ -590,6 +590,8 @@ pub(crate) fn run_serial_sharded(
     main: &mut ThreadCtx,
     phase_index: u32,
 ) {
+    let mut span = config.obs.span("shard.serial", OBS_LANE_ENGINE);
+    span.attr_u64("phase", u64::from(phase_index));
     let line_size = config.cache_line_size;
     let latency = &config.latency;
     let cpi = latency.cycles_per_instruction;
@@ -671,9 +673,13 @@ pub(crate) fn run_serial_sharded(
     sim.write_back(directory);
     directory.set_last_line(core, last_line);
     main.clock = clock;
-    metrics::count_folded(folded);
-    metrics::count_merged(surfaced_count);
-    metrics::count_surfaced(surfaced_count);
+    let counters = SimCounters::of(&config.obs);
+    counters.count_folded(folded);
+    counters.count_merged(surfaced_count);
+    counters.count_surfaced(surfaced_count);
+    span.attr_u64("folded", folded);
+    span.attr_u64("surfaced", surfaced_count);
+    span.finish();
 }
 
 /// Runs one parallel phase sharded; drop-in replacement for the classic
@@ -691,6 +697,9 @@ pub(crate) fn run_parallel_sharded(
     let latency = config.latency.clone();
     let debug_timing = std::env::var_os("CHEETAH_SHARD_TIMING").is_some();
     let t0 = std::time::Instant::now();
+    let mut span_classify = config.obs.span("shard.classify", OBS_LANE_ENGINE);
+    span_classify.attr_u64("phase", u64::from(phase_index));
+    span_classify.attr_u64("workers", workers.len() as u64);
 
     // Sampling replicas, handed out after every member's on_thread_start
     // (the engine called those while spawning, before this function).
@@ -731,6 +740,10 @@ pub(crate) fn run_parallel_sharded(
         .collect();
     let table = ClassTable::build(&per_worker_extents);
     let t_class = t0.elapsed();
+    span_classify.finish();
+    let mut span_precompute = config.obs.span("shard.precompute", OBS_LANE_ENGINE);
+    span_precompute.attr_u64("phase", u64::from(phase_index));
+    span_precompute.attr_u64("shards", shards as u64);
 
     // Pass 1b: per-worker event precomputation, fanned out on host threads.
     let inputs: Vec<(OpFeed, SamplerFork, u32, CoreId, Option<CacheLineId>)> = {
@@ -765,8 +778,12 @@ pub(crate) fn run_parallel_sharded(
         )
     });
     let t_pre = t0.elapsed();
+    span_precompute.finish();
+    let mut span_merge = config.obs.span("shard.merge", OBS_LANE_ENGINE);
+    span_merge.attr_u64("phase", u64::from(phase_index));
 
     // Pass 2: deterministic merge on (timestamp, worker, seq).
+    let counters = SimCounters::of(&config.obs);
     let mut settle = Settle::new(&plans);
     let ends = merge(
         directory,
@@ -777,8 +794,11 @@ pub(crate) fn run_parallel_sharded(
         phase_index,
         &latency,
         line_size,
+        &counters,
+        &mut span_merge,
     );
     let t_merge = t0.elapsed();
+    span_merge.finish();
 
     // Write-back: private-line runs, LLC residency, prefetch trackers and
     // local statistics fold into the shared directory; worker totals into
@@ -794,8 +814,8 @@ pub(crate) fn run_parallel_sharded(
         ctx.writes = plan.writes;
         ctx.clock = ends[slot];
     }
-    metrics::count_folded(folded);
-    metrics::add_pass_timings(
+    counters.count_folded(folded);
+    counters.add_pass_timings(
         t_class.as_nanos() as u64,
         (t_pre - t_class).as_nanos() as u64,
         (t_merge - t_pre).as_nanos() as u64,
@@ -1174,6 +1194,8 @@ fn merge(
     phase_index: u32,
     latency: &LatencyModel,
     line_size: u64,
+    counters: &SimCounters,
+    span: &mut cheetah_obs::SpanGuard,
 ) -> Vec<Cycles> {
     let l1_cost = latency.l1_hit;
     let mut ends = vec![0; workers.len()];
@@ -1373,9 +1395,12 @@ fn merge(
             }
         }
     }
-    metrics::count_merged(merged_count);
-    metrics::count_folded(folded_count);
-    metrics::count_surfaced(surfaced_count);
+    counters.count_merged(merged_count);
+    counters.count_folded(folded_count);
+    counters.count_surfaced(surfaced_count);
+    span.attr_u64("merged", merged_count);
+    span.attr_u64("folded", folded_count);
+    span.attr_u64("surfaced", surfaced_count);
     ends
 }
 

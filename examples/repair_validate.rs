@@ -2,8 +2,13 @@
 //! workload with known significant false sharing.
 //!
 //! ```text
-//! cargo run --release --example repair_validate
+//! cargo run --release --example repair_validate [-- --trace out.json]
 //! ```
+//!
+//! With `--trace out.json`, every case's simulator-phase and
+//! converge-iteration spans are collected in one tracing
+//! `cheetah::obs::ObsHandle` and exported as Perfetto-loadable Chrome
+//! trace-event JSON.
 //!
 //! For each workload this prints the convergence trace of
 //! `cheetah_repair::converge`: one line per applied fix with the predicted
@@ -14,11 +19,25 @@
 //! profile, not the hand-written `fixed` builds.
 
 use cheetah::core::CheetahConfig;
+use cheetah::obs::ObsHandle;
 use cheetah::repair::{converge, ConvergeConfig, ValidationHarness};
 use cheetah::sim::{Machine, MachineConfig};
 use cheetah::workloads::{find, AppConfig};
 
 fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let obs = if trace_path.is_some() {
+        ObsHandle::fresh()
+    } else {
+        ObsHandle::global()
+    };
     let cases = [
         ("microbench", 8u32, 0.05, 256u64, 8u32),
         ("linear_regression", 8, 0.25, 128, 48),
@@ -46,8 +65,8 @@ fn main() {
             seed: 1,
         };
         let harness = ValidationHarness::calibrated(
-            Machine::new(MachineConfig::with_cores(cores)),
-            CheetahConfig::scaled(period),
+            Machine::new(MachineConfig::with_cores(cores).with_obs(obs.clone())),
+            CheetahConfig::scaled(period).with_obs(obs.clone()),
         );
         // Fix everything detectable; the default threshold would already
         // skip noise-level instances.
@@ -60,5 +79,9 @@ fn main() {
         )
         .expect("synthesized repair must apply");
         println!("{trace}");
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, obs.chrome_trace()).expect("write chrome trace");
+        println!("wrote {path} (load in https://ui.perfetto.dev)");
     }
 }

@@ -25,7 +25,10 @@
 //! * [`baselines`] — Predator-like and ownership-bitmap comparators,
 //! * [`repair`] — automated fix synthesis (pad / align / per-thread
 //!   split) and the predicted-vs-actual validation harness that closes
-//!   the loop on contribution 1.
+//!   the loop on contribution 1,
+//! * [`obs`] — zero-dependency tracing & metrics: scoped spans, per-run
+//!   counter registries, Chrome-trace / JSONL exporters, and the per-phase
+//!   state-hash witness behind the determinism divergence locator.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@
 pub use cheetah_baselines as baselines;
 pub use cheetah_core as core;
 pub use cheetah_heap as heap;
+pub use cheetah_obs as obs;
 pub use cheetah_pmu as pmu;
 pub use cheetah_repair as repair;
 pub use cheetah_runtime as runtime;
