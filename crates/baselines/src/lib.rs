@@ -12,7 +12,7 @@
 //!   instances Cheetah deliberately misses (Fig. 7) at a ~5-6x runtime
 //!   cost (§6.1), and offers no fix-impact prediction.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 

@@ -16,7 +16,7 @@
 //! paths (table update, directory access, sampling decision, detector
 //! ingest) and compact versions of the figure workloads.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use cheetah_core::{CheetahConfig, CheetahProfiler, Profile};

@@ -1,6 +1,7 @@
 //! Configuration of the detection and reporting pipeline.
 
 use crate::assess::AssessModel;
+use crate::detect::prefilter::LinePrefilter;
 use cheetah_pmu::SamplerConfig;
 
 /// Tunables of the [`crate::Detector`].
@@ -33,6 +34,12 @@ pub struct DetectorConfig {
     /// when an eviction shrinks a line's sharer count without freeing it,
     /// only the wait component above this baseline scales down.
     pub coherence_miss_latency: f64,
+    /// Statically-private lines the detector skips entirely (parallel-phase
+    /// samples only; serial samples still feed the latency baseline).
+    /// Computed ahead of execution by `cheetah-analyze`; empty by default,
+    /// which preserves the unfiltered behaviour. See
+    /// [`LinePrefilter`] for the safety contract.
+    pub prefilter: LinePrefilter,
 }
 
 impl Default for DetectorConfig {
@@ -45,6 +52,7 @@ impl Default for DetectorConfig {
             default_serial_latency: 12.0,
             cycles_per_instruction: 1.0,
             coherence_miss_latency: 150.0,
+            prefilter: LinePrefilter::none(),
         }
     }
 }
@@ -134,6 +142,13 @@ impl CheetahConfig {
     /// Same configuration reporting telemetry into `obs`.
     pub fn with_obs(mut self, obs: cheetah_obs::ObsHandle) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Same configuration with a static line pre-filter installed (from
+    /// `cheetah-analyze`'s statically-private verdicts).
+    pub fn with_prefilter(mut self, prefilter: LinePrefilter) -> Self {
+        self.detector.prefilter = prefilter;
         self
     }
 }

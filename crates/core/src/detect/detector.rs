@@ -23,6 +23,9 @@ pub const OBS_SAMPLES_INGESTED: &str = "detect.samples_ingested";
 pub const OBS_OBJECT_TABLE: &str = "detect.object_table_entries";
 /// Gauge name for the per-line accumulator table size.
 pub const OBS_LINE_TABLE: &str = "detect.line_table_entries";
+/// Counter name for parallel-phase samples skipped by the static line
+/// pre-filter ([`crate::LinePrefilter`]).
+pub const OBS_SAMPLES_PREFILTERED: &str = "detect.samples_prefiltered";
 
 /// Identity of a monitored data object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -207,7 +210,9 @@ pub struct Detector {
     /// storing every sample.
     serial_latencies: FastMap<Cycles, u64>,
     serial_samples: u64,
+    prefiltered_samples: u64,
     obs_ingested: Counter,
+    obs_prefiltered: Counter,
     obs_objects: Gauge,
     obs_lines: Gauge,
 }
@@ -244,7 +249,9 @@ impl Detector {
             unattributed_samples: 0,
             serial_latencies: FastMap::default(),
             serial_samples: 0,
+            prefiltered_samples: 0,
             obs_ingested: obs.counter(OBS_SAMPLES_INGESTED),
+            obs_prefiltered: obs.counter(OBS_SAMPLES_PREFILTERED),
             obs_objects: obs.gauge(OBS_OBJECT_TABLE),
             obs_lines: obs.gauge(OBS_LINE_TABLE),
         }
@@ -266,6 +273,19 @@ impl Detector {
     fn ingest_inner(&mut self, space: &AddressSpace, sample: &Sample) {
         self.total_samples += 1;
         let line = sample.addr.line(self.config.line_size);
+        // Static pre-filter: parallel-phase samples on lines the static
+        // analysis proved private are dropped before any shadow state is
+        // allocated — the line can never invalidate, so tracking it only
+        // grows the tables. Serial samples pass through: they feed the
+        // latency baseline regardless of the line's sharing class.
+        if sample.in_parallel_phase()
+            && !self.config.prefilter.is_empty()
+            && self.config.prefilter.contains(line)
+        {
+            self.prefiltered_samples += 1;
+            self.obs_prefiltered.add(1);
+            return;
+        }
         let Some(state) = self.shadow.get_mut_or_default(line) else {
             // Stack / kernel / library address: the driver filters these.
             self.filtered_samples += 1;
@@ -506,6 +526,12 @@ impl Detector {
     /// Serial-phase samples (baseline latency contributors).
     pub fn serial_samples(&self) -> u64 {
         self.serial_samples
+    }
+
+    /// Parallel-phase samples skipped by the static line pre-filter
+    /// ([`crate::LinePrefilter`]); zero when no filter is installed.
+    pub fn prefiltered_samples(&self) -> u64 {
+        self.prefiltered_samples
     }
 }
 

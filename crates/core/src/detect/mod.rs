@@ -5,11 +5,13 @@
 pub mod detector;
 pub mod line_state;
 pub mod lines;
+pub mod prefilter;
 pub mod table;
 pub mod words;
 
 pub use detector::{Detector, ObjectAccum, ObjectKey, ThreadOnObject};
 pub use line_state::{LineDetail, LineState};
 pub use lines::{LineAccum, LineResidency, LineSlice};
+pub use prefilter::LinePrefilter;
 pub use table::{TableEntry, TwoEntryTable, WriteOutcome};
 pub use words::{WordMap, WordStats, WordThreadStats};

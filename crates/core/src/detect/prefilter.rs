@@ -1,0 +1,99 @@
+//! Static line pre-filter: skipping samples on lines a static analysis
+//! proved uninteresting.
+//!
+//! `cheetah-analyze` classifies every cache line of a workload ahead of
+//! execution; lines that are *statically private* (one thread identity
+//! across every phase) can never produce invalidations, so the detector
+//! need not track them at all. A [`LinePrefilter`] carries that verdict
+//! into the detector as a sorted set of line-id ranges; parallel-phase
+//! samples landing inside it are dropped before any shadow state is
+//! allocated — the first step toward the bounded-memory tables of the
+//! roadmap's fleet-service item.
+//!
+//! Safety contract (what the static side must guarantee for profiles to
+//! stay bit-identical): a skipped line must be statically private *and*
+//! every byte of it must belong to objects with no sharing-candidate line
+//! anywhere — otherwise a reported object would lose part of its sampled
+//! traffic. `cheetah-analyze` computes exactly that set; the soundness
+//! property tests assert the resulting profiles match unfiltered runs.
+
+use cheetah_sim::CacheLineId;
+
+/// A sorted, disjoint set of cache-line-id ranges the detector may skip.
+///
+/// An empty filter (the [`Default`]) skips nothing, preserving the
+/// detector's historical behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinePrefilter {
+    /// Half-open `[start, end)` line-id ranges, sorted and disjoint.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl LinePrefilter {
+    /// An empty filter: nothing is skipped.
+    pub fn none() -> Self {
+        LinePrefilter::default()
+    }
+
+    /// Builds a filter from arbitrary half-open line-id ranges; they are
+    /// sorted, merged and empty ranges dropped.
+    pub fn from_ranges(mut ranges: Vec<(u64, u64)>) -> Self {
+        ranges.retain(|(start, end)| start < end);
+        ranges.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        for (start, end) in ranges {
+            match merged.last_mut() {
+                Some((_, last_end)) if start <= *last_end => *last_end = (*last_end).max(end),
+                _ => merged.push((start, end)),
+            }
+        }
+        LinePrefilter { ranges: merged }
+    }
+
+    /// Whether the filter skips nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of cache lines the filter covers.
+    pub fn line_count(&self) -> u64 {
+        self.ranges.iter().map(|(start, end)| end - start).sum()
+    }
+
+    /// Whether `line` lies inside the filter.
+    #[inline]
+    pub fn contains(&self, line: CacheLineId) -> bool {
+        if self.ranges.is_empty() {
+            return false;
+        }
+        let idx = self.ranges.partition_point(|&(_, end)| end <= line.0);
+        self.ranges
+            .get(idx)
+            .is_some_and(|&(start, _)| start <= line.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let filter = LinePrefilter::none();
+        assert!(filter.is_empty());
+        assert_eq!(filter.line_count(), 0);
+        assert!(!filter.contains(CacheLineId(0)));
+    }
+
+    #[test]
+    fn ranges_sorted_merged_and_queried() {
+        let filter = LinePrefilter::from_ranges(vec![(10, 12), (4, 6), (5, 8), (20, 20)]);
+        assert_eq!(filter.line_count(), 6); // [4,8) + [10,12)
+        for line in [4, 5, 7, 10, 11] {
+            assert!(filter.contains(CacheLineId(line)), "line {line}");
+        }
+        for line in [0, 3, 8, 9, 12, 20] {
+            assert!(!filter.contains(CacheLineId(line)), "line {line}");
+        }
+    }
+}

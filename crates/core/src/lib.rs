@@ -50,8 +50,8 @@ pub use classify::{
 };
 pub use config::{CheetahConfig, DetectorConfig};
 pub use detect::{
-    Detector, LineAccum, LineResidency, LineSlice, ObjectAccum, ObjectKey, ThreadOnObject,
-    TwoEntryTable, WriteOutcome,
+    Detector, LineAccum, LinePrefilter, LineResidency, LineSlice, ObjectAccum, ObjectKey,
+    ThreadOnObject, TwoEntryTable, WriteOutcome,
 };
 pub use profiler::{CheetahProfiler, Profile};
 pub use report::{format_prediction_table, format_word_profile, AssessedInstance, PredictionRow};

@@ -18,7 +18,7 @@
 //! stands in for the binary's symbol table. [`AddressSpace`] combines both
 //! for one-call address resolution.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod arena;

@@ -21,7 +21,7 @@
 //! Everything downstream (detection, assessment, reporting) consumes only
 //! [`Sample`] values and is agnostic to the source.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![cfg_attr(not(feature = "linux-pmu"), forbid(unsafe_code))]
 

@@ -14,7 +14,7 @@
 //! from simulator callbacks, and a native deployment would feed them from
 //! intercepted `pthread_create`/`pthread_join`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 

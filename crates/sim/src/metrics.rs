@@ -31,6 +31,13 @@ pub const CLASSIFY_NS: &str = "sim.classify_ns";
 pub const PRECOMPUTE_NS: &str = "sim.precompute_ns";
 /// Counter name for sharded merge-pass wall nanoseconds.
 pub const MERGE_NS: &str = "sim.merge_ns";
+/// Counter name for footprint contract violations: accesses a sharded
+/// phase classified outside every declared extent (or against the declared
+/// owner/write mode). Each one falls back to the fully-ordered directory
+/// path, so reports stay correct — but a non-zero count means some
+/// stream's [`Footprint::Bounded`](crate::Footprint) under-approximated
+/// its accesses and `cheetah-analyze --lint` will flag the workload.
+pub const FOOTPRINT_VIOLATIONS: &str = "sim.footprint_violations";
 
 /// Counter snapshot; see [`snapshot`] for field meanings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +63,9 @@ pub struct ExecMetrics {
     pub precompute_ns: u64,
     /// Wall-clock nanoseconds spent in sharded phases' deterministic merge.
     pub merge_ns: u64,
+    /// Accesses that violated their stream's declared footprint contract
+    /// during sharded classification (see [`FOOTPRINT_VIOLATIONS`]).
+    pub footprint_violations: u64,
 }
 
 impl ExecMetrics {
@@ -68,6 +78,7 @@ impl ExecMetrics {
             classify_ns: self.classify_ns - earlier.classify_ns,
             precompute_ns: self.precompute_ns - earlier.precompute_ns,
             merge_ns: self.merge_ns - earlier.merge_ns,
+            footprint_violations: self.footprint_violations - earlier.footprint_violations,
         }
     }
 }
@@ -81,6 +92,7 @@ pub fn snapshot_of(obs: &ObsHandle) -> ExecMetrics {
         classify_ns: obs.counter(CLASSIFY_NS).get(),
         precompute_ns: obs.counter(PRECOMPUTE_NS).get(),
         merge_ns: obs.counter(MERGE_NS).get(),
+        footprint_violations: obs.counter(FOOTPRINT_VIOLATIONS).get(),
     }
 }
 
@@ -99,6 +111,7 @@ pub fn reset() {
         CLASSIFY_NS,
         PRECOMPUTE_NS,
         MERGE_NS,
+        FOOTPRINT_VIOLATIONS,
     ] {
         obs.counter(name).reset();
     }
@@ -115,6 +128,7 @@ pub(crate) struct SimCounters {
     classify_ns: Counter,
     precompute_ns: Counter,
     merge_ns: Counter,
+    violations: Counter,
 }
 
 impl SimCounters {
@@ -126,6 +140,7 @@ impl SimCounters {
             classify_ns: obs.counter(CLASSIFY_NS),
             precompute_ns: obs.counter(PRECOMPUTE_NS),
             merge_ns: obs.counter(MERGE_NS),
+            violations: obs.counter(FOOTPRINT_VIOLATIONS),
         }
     }
 
@@ -153,6 +168,18 @@ impl SimCounters {
     #[inline]
     pub(crate) fn count_surfaced(&self, n: u64) {
         self.surfaced.add(n);
+    }
+
+    /// Adds `n` footprint contract violations.
+    #[inline]
+    pub(crate) fn count_violations(&self, n: u64) {
+        self.violations.add(n);
+    }
+
+    /// A clone of the violations counter handle, for the footprint
+    /// auditor's per-stream wrappers.
+    pub(crate) fn violations_handle(&self) -> Counter {
+        self.violations.clone()
     }
 }
 

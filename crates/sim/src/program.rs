@@ -203,6 +203,14 @@ impl ThreadSpec {
         &self.name
     }
 
+    /// The declared byte-range footprint of the thread's access stream —
+    /// the static summary ahead-of-execution analyses work from. For
+    /// layout-rewritten programs ([`Program::with_layout`]) the extents
+    /// come back already translated to post-repair addresses.
+    pub fn footprint(&self) -> Footprint {
+        self.body.footprint()
+    }
+
     pub(crate) fn into_parts(self) -> (String, Box<dyn AccessStream>) {
         (self.name, self.body)
     }

@@ -466,6 +466,11 @@ struct WorkerPlan {
     rs_first_touches: Vec<(CacheLineId, bool)>,
     /// Final last-touched line of the worker's core (prefetch tracker).
     last_line: Option<CacheLineId>,
+    /// Footprint contract violations: accesses whose declared class did
+    /// not admit them (uncovered line, foreign private line, or a write to
+    /// a read-shared line). Each fell back to the fully-ordered directory
+    /// path; aggregated into [`crate::metrics::FOOTPRINT_VIOLATIONS`].
+    violations: u64,
     /// Metrics: accesses folded into event leads during precompute.
     folded: u64,
 }
@@ -804,8 +809,10 @@ pub(crate) fn run_parallel_sharded(
     // local statistics fold into the shared directory; worker totals into
     // the thread contexts.
     let mut folded = 0u64;
+    let mut violations = 0u64;
     for (slot, plan) in plans.drain(..).enumerate() {
         folded += plan.folded;
+        violations += plan.violations;
         plan.sim.write_back(directory);
         directory.set_last_line(workers[slot].core, plan.last_line);
         let ctx = &mut workers[slot];
@@ -815,6 +822,9 @@ pub(crate) fn run_parallel_sharded(
         ctx.clock = ends[slot];
     }
     counters.count_folded(folded);
+    if violations > 0 {
+        counters.count_violations(violations);
+    }
     counters.add_pass_timings(
         t_class.as_nanos() as u64,
         (t_pre - t_class).as_nanos() as u64,
@@ -932,6 +942,7 @@ fn precompute_worker(
     let mut sim = PrivateSim::new(core);
     let cpi = latency.cycles_per_instruction;
     let mut folded = 0u64;
+    let mut violations = 0u64;
     // `last.0 + 1` of the previously touched line; u64::MAX when none.
     let mut next_sequential: u64 = last_line.map_or(u64::MAX, |l| l.0.wrapping_add(1));
     let mut final_line = last_line;
@@ -1012,26 +1023,42 @@ fn precompute_worker(
         }
 
         if !(cur_start <= line.0 && line.0 < cur_end) {
-            let idx = table.find(line).unwrap_or_else(|| {
-                panic!(
-                    "worker {me}: access to line {} outside every declared \
-                     footprint — a stream's Footprint::Bounded under-approximated \
-                     its accesses",
-                    line.0
-                )
-            });
-            let extent = extents[idx];
-            (cur_start, cur_end, cur_class) = (extent.start, extent.end, extent.class);
+            match table.find(line) {
+                Some(idx) => {
+                    let extent = extents[idx];
+                    (cur_start, cur_end, cur_class) = (extent.start, extent.end, extent.class);
+                }
+                None => {
+                    // Contract violation: the line lies outside every
+                    // declared footprint, so some stream's
+                    // Footprint::Bounded under-approximated its accesses.
+                    // Treat the line as write-shared — the fully-ordered
+                    // directory path, correct for any sharing pattern —
+                    // and count it so the lint can surface the workload
+                    // bug instead of the run dying here.
+                    (cur_start, cur_end, cur_class) = (line.0, line.0 + 1, ExtClass::WriteShared);
+                    violations += 1;
+                }
+            }
         }
-        match cur_class {
-            ExtClass::Private(owner) => {
-                assert_eq!(
-                    owner, me,
-                    "worker {me}: access to line {} classified private to worker \
-                     {owner} — a stream's Footprint::Bounded under-approximated \
-                     its accesses",
-                    line.0
-                );
+        // Per-access contract checks the extent cache cannot express: a
+        // line classified private to a *different* worker, or a write to a
+        // line every footprint declared read-only. Both mean some footprint
+        // under-declared this worker's traffic; demote the access to the
+        // write-shared path and count the violation.
+        let class = match cur_class {
+            ExtClass::Private(owner) if owner != me => {
+                violations += 1;
+                ExtClass::WriteShared
+            }
+            ExtClass::ReadShared if write => {
+                violations += 1;
+                ExtClass::WriteShared
+            }
+            class => class,
+        };
+        match class {
+            ExtClass::Private(_) => {
                 let (outcome, cost) = sim.access(directory, latency, core, line, write, sequential);
                 if surfaced {
                     flush_run!();
@@ -1052,12 +1079,6 @@ fn precompute_worker(
                 }
             }
             ExtClass::ReadShared => {
-                assert!(
-                    !write,
-                    "worker {me}: write to line {} classified read-shared — a \
-                     stream's Footprint::Bounded under-declared its writes",
-                    line.0
-                );
                 let touched = rs_touched.contains(line.0)
                     || (!rs_touched_spill.is_empty() && rs_touched_spill.contains(&line));
                 if !touched {
@@ -1140,6 +1161,7 @@ fn precompute_worker(
         sim,
         rs_first_touches,
         last_line: final_line,
+        violations,
         folded,
     }
 }

@@ -1,0 +1,139 @@
+//! The footprint contract's two enforcement layers:
+//!
+//! * the **sharded executor's violation fallback** — an access outside
+//!   every classified extent (or violating its extent's class) no longer
+//!   panics: it is demoted to the fully-ordered write-shared path and
+//!   counted in `sim.footprint_violations`, keeping the run deterministic
+//!   and complete;
+//! * the **audit mode** (`MachineConfig::with_footprint_audit`) — a
+//!   byte-granular check of every executed access against the declared
+//!   extents, counting into the same metric (and aborting in debug
+//!   builds).
+
+use cheetah_sim::observer::NullObserver;
+use cheetah_sim::{
+    AccessStream, Addr, ByteExtent, Footprint, LoopStream, Machine, MachineConfig, ObsHandle, Op,
+    ProgramBuilder, ThreadSpec,
+};
+
+/// A stream that under-declares: claims one word, touches more.
+struct Liar {
+    ops: Vec<Op>,
+    claimed: Vec<ByteExtent>,
+}
+
+impl AccessStream for Liar {
+    fn next_op(&mut self) -> Option<Op> {
+        self.ops.pop()
+    }
+    fn footprint(&self) -> Footprint {
+        Footprint::bounded(self.claimed.clone())
+    }
+}
+
+fn liar_program() -> cheetah_sim::Program {
+    ProgramBuilder::new("liar")
+        .parallel(vec![
+            ThreadSpec::new(
+                "liar",
+                Liar {
+                    // Writes one undeclared line and one foreign word.
+                    ops: vec![
+                        Op::Write(Addr(0x4000_0000)),
+                        Op::Write(Addr(0x4000_2000)),
+                        Op::Write(Addr(0x4000_0100)),
+                    ],
+                    claimed: vec![ByteExtent::word(Addr(0x4000_0000), true)],
+                },
+            ),
+            ThreadSpec::new(
+                "honest",
+                LoopStream::new(vec![Op::Write(Addr(0x4000_0100))], 8),
+            ),
+        ])
+        .build()
+}
+
+#[test]
+fn sharded_executor_counts_fallbacks_instead_of_panicking() {
+    let obs = ObsHandle::fresh_untraced();
+    let machine = Machine::new(
+        MachineConfig::default()
+            .with_shards(2)
+            .with_obs(obs.clone()),
+    );
+    let report = machine.run(liar_program(), &mut NullObserver);
+    assert!(report.total_cycles > 0, "the run must complete");
+    let violations = cheetah_sim::metrics::snapshot_of(&obs).footprint_violations;
+    assert!(
+        violations > 0,
+        "under-declared accesses must be counted, got {violations}"
+    );
+}
+
+#[test]
+fn classic_loop_ignores_footprints_without_audit() {
+    // The single-threaded loop never consults footprints; without audit
+    // mode the same lying program runs violation-free.
+    let obs = ObsHandle::fresh_untraced();
+    let machine = Machine::new(MachineConfig::default().with_obs(obs.clone()));
+    machine.run(liar_program(), &mut NullObserver);
+    assert_eq!(
+        cheetah_sim::metrics::snapshot_of(&obs).footprint_violations,
+        0
+    );
+}
+
+#[cfg(not(debug_assertions))]
+#[test]
+fn audit_counts_byte_granular_violations_in_release() {
+    let obs = ObsHandle::fresh_untraced();
+    let machine = Machine::new(
+        MachineConfig::default()
+            .with_footprint_audit(true)
+            .with_obs(obs.clone()),
+    );
+    machine.run(liar_program(), &mut NullObserver);
+    let violations = cheetah_sim::metrics::snapshot_of(&obs).footprint_violations;
+    assert_eq!(violations, 2, "exactly the two undeclared writes");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "footprint audit")]
+fn audit_aborts_in_debug_builds() {
+    let machine = Machine::new(
+        MachineConfig::default()
+            .with_footprint_audit(true)
+            .with_obs(ObsHandle::fresh_untraced()),
+    );
+    machine.run(liar_program(), &mut NullObserver);
+}
+
+#[test]
+fn audit_is_silent_on_honest_streams() {
+    let obs = ObsHandle::fresh_untraced();
+    let machine = Machine::new(
+        MachineConfig::default()
+            .with_footprint_audit(true)
+            .with_obs(obs.clone()),
+    );
+    let program = ProgramBuilder::new("honest")
+        .serial(ThreadSpec::new(
+            "init",
+            LoopStream::new(vec![Op::Write(Addr(0x4000_0000))], 4),
+        ))
+        .parallel(vec![
+            ThreadSpec::new(
+                "a",
+                LoopStream::new(vec![Op::Read(Addr(0x4000_0000)), Op::Work(2)], 16),
+            ),
+            ThreadSpec::new("b", LoopStream::new(vec![Op::Write(Addr(0x4000_0040))], 16)),
+        ])
+        .build();
+    machine.run(program, &mut NullObserver);
+    assert_eq!(
+        cheetah_sim::metrics::snapshot_of(&obs).footprint_violations,
+        0
+    );
+}

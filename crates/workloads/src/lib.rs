@@ -23,7 +23,7 @@
 //! assert!(broken.total_cycles > fixed.total_cycles);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
