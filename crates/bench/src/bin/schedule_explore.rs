@@ -1,0 +1,301 @@
+//! Schedule-space exploration sweep: profile workloads under the observed
+//! schedule plus seeded perturbations, unite the findings, flag the
+//! instances the observed schedule hides, and assess worst-case repair.
+//!
+//! For each workload the harness profiles the broken build once per
+//! schedule in [`cheetah_repair::schedule_set`] (observed + a shuffled and
+//! a contention-maximizing policy per seed), unites the significant
+//! false-sharing findings with [`cheetah_core::union_findings`], then runs
+//! the worst-case fixpoint repair ([`cheetah_repair::converge_worst_case`])
+//! and reports whether it converged to zero residue on *every* explored
+//! schedule.
+//!
+//! Emits a human table on stdout and a machine-readable per-seed findings
+//! artifact to `BENCH_schedule.json` (override with `--out`). With
+//! `--check` (the CI smoke gate) every (workload, schedule) profile runs
+//! twice and the run exits nonzero if any pair of runs diverges (the
+//! determinism witness: perturbed schedules must be pure functions of
+//! their seed), if a workload whose registry expectation is
+//! schedule-hidden false sharing yields no hidden finding, or if its
+//! worst-case repair fails to converge.
+//!
+//! Usage: `schedule_explore [--workloads a,b,c] [--seeds 1,2,3,4]
+//! [--threads N] [--scale F] [--period P] [--out FILE] [--check]`
+//! (`--schedule-seed` is accepted as an alias for `--seeds`)
+
+use cheetah_core::{
+    hidden_findings, union_findings, CheetahConfig, CheetahProfiler, ObjectOrigin, Profile,
+};
+use cheetah_repair::{converge_worst_case, schedule_set, ConvergeConfig, ValidationHarness};
+use cheetah_sim::{Machine, MachineConfig, SchedulePolicy};
+use cheetah_workloads::{find, App, AppConfig, Expectation};
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+const MIN_IMPROVEMENT: f64 = 1.005;
+
+struct Args {
+    workloads: Vec<&'static App>,
+    seeds: Vec<u64>,
+    threads: u32,
+    scale: f64,
+    period: u64,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        workloads: ["staggered_writers", "microbench", "linear_regression"]
+            .iter()
+            .map(|name| find(name).expect("registered workload"))
+            .collect(),
+        seeds: vec![1, 2, 3, 4],
+        threads: 4,
+        scale: 0.05,
+        period: 256,
+        out: "BENCH_schedule.json".to_string(),
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workloads" => {
+                let list = args.next().expect("--workloads needs a list");
+                parsed.workloads = list
+                    .split(',')
+                    .map(|name| {
+                        find(name.trim()).unwrap_or_else(|| panic!("unknown workload {name}"))
+                    })
+                    .collect();
+            }
+            "--seeds" | "--schedule-seed" => {
+                let list = args.next().expect("--seeds needs a list");
+                parsed.seeds = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("seed"))
+                    .collect();
+            }
+            "--threads" => {
+                parsed.threads = args
+                    .next()
+                    .expect("--threads needs N")
+                    .parse()
+                    .expect("threads")
+            }
+            "--scale" => {
+                parsed.scale = args
+                    .next()
+                    .expect("--scale needs a fraction")
+                    .parse()
+                    .expect("scale")
+            }
+            "--period" => {
+                parsed.period = args
+                    .next()
+                    .expect("--period needs P")
+                    .parse()
+                    .expect("period")
+            }
+            "--out" => parsed.out = args.next().expect("--out needs a path"),
+            "--check" => parsed.check = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!parsed.seeds.is_empty(), "need at least one seed");
+    parsed
+}
+
+fn harness(period: u64) -> ValidationHarness {
+    ValidationHarness::calibrated(
+        Machine::new(MachineConfig::with_cores(8)),
+        CheetahConfig::scaled(period),
+    )
+}
+
+/// One profiled run; the rendered report is the determinism witness.
+fn profile_under(
+    harness: &ValidationHarness,
+    app: &App,
+    config: &AppConfig,
+    policy: SchedulePolicy,
+) -> Profile {
+    let machine = Machine::new(harness.machine().config().clone().with_schedule(policy));
+    let instance = app.build(config);
+    let mut profiler = CheetahProfiler::new(harness.non_perturbing_config(), &instance.space);
+    machine.run(instance.program, &mut profiler);
+    profiler.finish()
+}
+
+fn main() {
+    let args = parse_args();
+    let schedules = schedule_set(&args.seeds);
+    let harness = harness(args.period);
+    let mut failures: Vec<String> = Vec::new();
+
+    println!(
+        "Schedule-space exploration: {} workload(s) x {} schedule(s) \
+         (observed + shuffle/contend per seed {:?})\n",
+        args.workloads.len(),
+        schedules.len(),
+        args.seeds
+    );
+    println!(
+        "{}",
+        cheetah_bench::row(&[
+            "workload".into(),
+            "schedule".into(),
+            "significant".into(),
+            "best".into(),
+        ])
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"schedule_explore\",\n");
+    let _ = writeln!(json, "  \"seeds\": {:?},", args.seeds);
+    let _ = writeln!(
+        json,
+        "  \"threads\": {}, \"scale\": {}, \"period\": {},",
+        args.threads, args.scale, args.period
+    );
+    json.push_str("  \"workloads\": [\n");
+    let mut workload_json: Vec<String> = Vec::new();
+
+    for app in &args.workloads {
+        let config = AppConfig {
+            threads: args.threads,
+            scale: args.scale,
+            fixed: false,
+            seed: 1,
+        };
+        let mut runs: Vec<(SchedulePolicy, Profile)> = Vec::new();
+        let mut schedule_json: Vec<String> = Vec::new();
+        for &policy in &schedules {
+            let profile = profile_under(&harness, app, &config, policy);
+            if args.check {
+                // Determinism witness: a second run must be bit-identical.
+                let again = profile_under(&harness, app, &config, policy);
+                if profile.render_report() != again.render_report()
+                    || profile.total_cycles != again.total_cycles
+                    || profile.total_samples != again.total_samples
+                {
+                    failures.push(format!(
+                        "{} under {policy}: two runs diverged \
+                         ({} vs {} cycles, {} vs {} samples)",
+                        app.name(),
+                        profile.total_cycles,
+                        again.total_cycles,
+                        profile.total_samples,
+                        again.total_samples
+                    ));
+                }
+            }
+            let significant = profile.significant_false_sharing(MIN_IMPROVEMENT);
+            let best = significant
+                .first()
+                .map_or(0.0, |assessed| assessed.improvement());
+            println!(
+                "{}",
+                cheetah_bench::row(&[
+                    app.name().into(),
+                    policy.to_string(),
+                    significant.len().to_string(),
+                    if significant.is_empty() {
+                        "-".into()
+                    } else {
+                        format!("{best:.2}x")
+                    },
+                ])
+            );
+            schedule_json.push(format!(
+                "        {{\"schedule\": \"{policy}\", \"significant\": {}, \
+                 \"best_improvement\": {best:.4}, \"total_cycles\": {}, \
+                 \"total_samples\": {}}}",
+                significant.len(),
+                profile.total_cycles,
+                profile.total_samples
+            ));
+            runs.push((policy, profile));
+        }
+
+        let union = union_findings(&runs, MIN_IMPROVEMENT);
+        let hidden = hidden_findings(&union);
+        println!(
+            "  -> union: {} finding(s), {} hidden from the observed schedule",
+            union.len(),
+            hidden.len()
+        );
+        if args.check && app.expectation() == Expectation::HiddenFalseSharing && hidden.is_empty() {
+            failures.push(format!(
+                "{}: expected a schedule-hidden finding, union found none",
+                app.name()
+            ));
+        }
+
+        let trace = converge_worst_case(
+            &harness,
+            app.name(),
+            || app.build(&config),
+            &ConvergeConfig::default(),
+            &schedules,
+        )
+        .expect("worst-case repair failed to apply");
+        print!("{trace}");
+        println!();
+        if args.check && !trace.converged {
+            failures.push(format!(
+                "{}: worst-case repair left residue on an explored schedule",
+                app.name()
+            ));
+        }
+
+        let finding_json: Vec<String> = union
+            .iter()
+            .map(|f| {
+                let label = match &f.object.origin {
+                    ObjectOrigin::Heap { callsite, .. } => callsite.to_string(),
+                    ObjectOrigin::Global { name } => name.clone(),
+                };
+                format!(
+                    "        {{\"label\": \"{label}\", \"worst_improvement\": {:.4}, \
+                     \"worst_schedule\": \"{}\", \"hidden\": {}, \"sightings\": {}}}",
+                    f.worst_improvement(),
+                    f.worst_schedule(),
+                    f.is_hidden(),
+                    f.sightings.len()
+                )
+            })
+            .collect();
+        workload_json.push(format!(
+            "    {{\"workload\": \"{}\", \"expectation\": \"{}\",\n      \"schedules\": [\n{}\n      ],\n      \
+             \"union_findings\": [\n{}\n      ],\n      \"hidden_findings\": {}, \
+             \"repair_converged\": {}, \"repair_iterations\": {}, \"repair_residual\": {}}}",
+            app.name(),
+            app.expectation(),
+            schedule_json.join(",\n"),
+            finding_json.join(",\n"),
+            hidden.len(),
+            trace.converged,
+            trace.iterations.len(),
+            trace.total_residual()
+        ));
+    }
+
+    json.push_str(&workload_json.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    let mut file = std::fs::File::create(&args.out).expect("create findings artifact");
+    file.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {}", args.out);
+
+    if !failures.is_empty() {
+        eprintln!("\nschedule exploration failures:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    } else if args.check {
+        println!(
+            "check passed: all schedules deterministic, hidden expectations met, \
+             worst-case repair converged"
+        );
+    }
+}

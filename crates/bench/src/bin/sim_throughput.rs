@@ -21,7 +21,9 @@
 //!
 //! Emits a human table on stdout and machine-readable records to
 //! `BENCH_sim.json` (current directory); each cell record carries the
-//! sharded passes' wall-clock split as a nested `pass_breakdown` object.
+//! sharded passes' wall-clock split as a nested `pass_breakdown` object
+//! and the schedule policy the cell ran under (always `"observed"` here —
+//! perturbed-schedule sweeps live in `schedule_explore`).
 //! With `--check`, exits nonzero if any thread-count row is slower sharded
 //! (shards >= 2) than single-threaded beyond the tolerance, or if any
 //! sharded cell reports a zeroed three-pass breakdown (a silently
@@ -482,7 +484,7 @@ fn main() {
         .map(|r| {
             format!(
                 "    {{\"workload\": \"{}\", \"threads\": {}, \"period\": {}, \
-                 \"shards\": {}, \"wall_ns\": {}, \"speedup\": {:.4}, \
+                 \"shards\": {}, \"schedule\": \"observed\", \"wall_ns\": {}, \"speedup\": {:.4}, \
                  \"merged_events\": {}, \"folded_events\": {}, \"surfaced_events\": {}, \
                  \"ordered_events\": {}, \"pass_breakdown\": {{\"classify_ns\": {}, \
                  \"precompute_ns\": {}, \"merge_ns\": {}}}, \"identical\": true}}",

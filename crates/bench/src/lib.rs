@@ -11,6 +11,7 @@
 //! | `ablation_table` | two-entry table vs. ownership bitmap (§2.3) |
 //! | `ablation_sampling` | sampling-period sweep: recall vs. overhead (§2.1, §5) |
 //! | `ablation_baseline` | Cheetah vs. Predator-like full instrumentation (§6.1) |
+//! | `schedule_explore` | schedule-space exploration: hidden-FS detection over perturbed interleavings |
 //!
 //! `cargo bench` additionally runs criterion micro-benchmarks of the hot
 //! paths (table update, directory access, sampling decision, detector

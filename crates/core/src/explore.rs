@@ -1,0 +1,258 @@
+//! Schedule-space exploration: uniting detector findings across perturbed
+//! interleavings.
+//!
+//! A single profiled run judges false sharing under *one* thread
+//! interleaving — the one the simulator happened to observe. Layout bugs
+//! whose contending writers run in anti-phase under that schedule (the
+//! `staggered_writers` registry app) are invisible to it, yet one
+//! scheduler hiccup in production would expose them. Schedule-space
+//! exploration re-profiles the same program under a set of seeded
+//! [`SchedulePolicy`] perturbations and takes the **union** of
+//! significant findings, attributing each to the schedules that exposed
+//! it:
+//!
+//! * a finding seen only under perturbed schedules is *schedule-hidden* —
+//!   predictive detection the observed run cannot deliver;
+//! * each finding's payoff is scored by its **worst case** over the
+//!   schedule set (the maximum predicted improvement), which is what
+//!   repair ranking should optimise: a fix is worth its payoff under the
+//!   interleaving where the bug bites hardest.
+//!
+//! The union is monotone in the schedule set by construction: adding a
+//! schedule can only add findings, add sightings, and raise worst-case
+//! payoffs — never remove or shrink anything. `cheetah-repair` builds its
+//! worst-case convergence loop on top of this, and the `schedule_explore`
+//! benchmark sweeps it across the registry.
+
+use crate::classify::{ObjectDescriptor, SharingInstance, SharingKind};
+use crate::detect::detector::ObjectKey;
+use crate::profiler::Profile;
+use cheetah_sim::SchedulePolicy;
+use std::collections::HashMap;
+
+/// One object's sharing verdict united across the explored schedules.
+#[derive(Debug, Clone)]
+pub struct UnionFinding {
+    /// Object identity within the detector (stable across schedules: the
+    /// allocation sequence is schedule-independent).
+    pub key: ObjectKey,
+    /// Resolved descriptor (callsite / symbol, bounds).
+    pub object: ObjectDescriptor,
+    /// False or true sharing (from the worst-case schedule's instance).
+    pub kind: SharingKind,
+    /// Every schedule that reported the object as significant false
+    /// sharing, with the improvement it predicted — exploration order.
+    pub sightings: Vec<(SchedulePolicy, f64)>,
+    /// The instance from the schedule with the highest predicted
+    /// improvement: the evidence repair synthesis should work from.
+    pub worst_instance: SharingInstance,
+    /// Whether the *observed* schedule reported it.
+    pub seen_in_observed: bool,
+}
+
+impl UnionFinding {
+    /// The worst-case payoff: the maximum predicted improvement over every
+    /// schedule that saw the finding.
+    pub fn worst_improvement(&self) -> f64 {
+        self.sightings
+            .iter()
+            .map(|&(_, improvement)| improvement)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The schedule under which the finding bites hardest.
+    pub fn worst_schedule(&self) -> SchedulePolicy {
+        self.sightings
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("a finding has at least one sighting")
+            .0
+    }
+
+    /// Whether only perturbed schedules exposed the finding — the
+    /// predictive case a single observed run misses.
+    pub fn is_hidden(&self) -> bool {
+        !self.seen_in_observed
+    }
+}
+
+/// Unites each run's significant false-sharing instances
+/// ([`Profile::significant_false_sharing`] at `min_improvement`) across
+/// the explored schedules, keyed by object identity.
+///
+/// Returns the findings ordered by worst-case improvement, best first
+/// (ties broken by object start for determinism). The result is monotone
+/// in `runs`: appending another `(policy, profile)` pair never removes a
+/// finding, a sighting, or payoff.
+pub fn union_findings(
+    runs: &[(SchedulePolicy, Profile)],
+    min_improvement: f64,
+) -> Vec<UnionFinding> {
+    let mut by_key: HashMap<ObjectKey, UnionFinding> = HashMap::new();
+    for (policy, profile) in runs {
+        for assessed in profile.significant_false_sharing(min_improvement) {
+            let instance = &assessed.instance;
+            let improvement = assessed.improvement();
+            let finding = by_key.entry(instance.key).or_insert_with(|| UnionFinding {
+                key: instance.key,
+                object: instance.object.clone(),
+                kind: instance.kind,
+                sightings: Vec::new(),
+                worst_instance: instance.clone(),
+                seen_in_observed: false,
+            });
+            if improvement > finding.worst_improvement() {
+                finding.worst_instance = instance.clone();
+                finding.kind = instance.kind;
+            }
+            finding.sightings.push((*policy, improvement));
+            finding.seen_in_observed |= policy.is_observed();
+        }
+    }
+    let mut findings: Vec<UnionFinding> = by_key.into_values().collect();
+    findings.sort_by(|a, b| {
+        b.worst_improvement()
+            .total_cmp(&a.worst_improvement())
+            .then_with(|| a.object.start.0.cmp(&b.object.start.0))
+    });
+    findings
+}
+
+/// The findings only perturbed schedules exposed.
+pub fn hidden_findings(findings: &[UnionFinding]) -> Vec<&UnionFinding> {
+    findings.iter().filter(|f| f.is_hidden()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assess::Assessment;
+    use crate::classify::ObjectOrigin;
+    use crate::report::AssessedInstance;
+    use cheetah_heap::CallStack;
+    use cheetah_sim::{Addr, ThreadId};
+
+    fn instance_at(start: u64, key: ObjectKey) -> SharingInstance {
+        SharingInstance {
+            key,
+            object: ObjectDescriptor {
+                origin: ObjectOrigin::Heap {
+                    callsite: CallStack::single("app.c", 1),
+                    allocated_by: ThreadId::MAIN,
+                },
+                start: Addr(start),
+                size: 64,
+            },
+            kind: SharingKind::FalseSharing,
+            reads: 100,
+            writes: 100,
+            invalidations: 50,
+            latency: 10_000,
+            per_thread: Vec::new(),
+            per_thread_phase: Vec::new(),
+            truly_shared_accesses: 0,
+            words: Vec::new(),
+            line_residency: Vec::new(),
+        }
+    }
+
+    fn profile_with(findings: Vec<(u64, ObjectKey, f64)>) -> Profile {
+        Profile {
+            total_cycles: 1_000,
+            aver_cycles_serial: 3.0,
+            total_samples: 100,
+            filtered_samples: 0,
+            fork_join: true,
+            phases: Vec::new(),
+            threads: Vec::new(),
+            instances: findings
+                .into_iter()
+                .map(|(start, key, improvement)| AssessedInstance {
+                    instance: instance_at(start, key),
+                    assessment: Assessment {
+                        model: crate::assess::AssessModel::default(),
+                        improvement,
+                        real_runtime: 1_000,
+                        predicted_runtime: 1_000.0 / improvement,
+                        total_threads: 2,
+                        total_thread_accesses: 200,
+                        total_thread_cycles: 10_000,
+                        per_thread: Vec::new(),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    const KEY_A: ObjectKey = ObjectKey::Global(0);
+    const KEY_B: ObjectKey = ObjectKey::Global(1);
+
+    #[test]
+    fn unions_by_object_and_tracks_worst_case() {
+        let runs = vec![
+            (
+                SchedulePolicy::Observed,
+                profile_with(vec![(0x1000, KEY_A, 1.5)]),
+            ),
+            (
+                SchedulePolicy::SeededShuffle { seed: 1 },
+                profile_with(vec![(0x1000, KEY_A, 2.5), (0x2000, KEY_B, 1.8)]),
+            ),
+        ];
+        let findings = union_findings(&runs, 1.1);
+        assert_eq!(findings.len(), 2);
+        // Sorted by worst-case improvement.
+        assert_eq!(findings[0].key, KEY_A);
+        assert_eq!(findings[0].worst_improvement(), 2.5);
+        assert_eq!(
+            findings[0].worst_schedule(),
+            SchedulePolicy::SeededShuffle { seed: 1 }
+        );
+        assert!(!findings[0].is_hidden());
+        // KEY_B was invisible to the observed schedule.
+        assert!(findings[1].is_hidden());
+        assert_eq!(hidden_findings(&findings).len(), 1);
+    }
+
+    #[test]
+    fn threshold_filters_sightings() {
+        let runs = vec![(
+            SchedulePolicy::Observed,
+            profile_with(vec![(0x1000, KEY_A, 1.01)]),
+        )];
+        assert!(union_findings(&runs, 1.1).is_empty());
+    }
+
+    #[test]
+    fn union_is_monotone_in_the_schedule_set() {
+        let pool: Vec<(SchedulePolicy, Profile)> = (0..6u64)
+            .map(|seed| {
+                let findings = if seed % 2 == 0 {
+                    vec![(0x1000, KEY_A, 1.2 + seed as f64 * 0.1)]
+                } else {
+                    vec![
+                        (0x1000, KEY_A, 1.3),
+                        (0x2000, KEY_B, 1.5 + seed as f64 * 0.05),
+                    ]
+                };
+                (
+                    SchedulePolicy::SeededShuffle { seed },
+                    profile_with(findings),
+                )
+            })
+            .collect();
+        for split in 0..pool.len() {
+            let smaller = union_findings(&pool[..split], 1.1);
+            let larger = union_findings(&pool[..=split], 1.1);
+            for finding in &smaller {
+                let grown = larger
+                    .iter()
+                    .find(|f| f.key == finding.key)
+                    .expect("findings never disappear as schedules are added");
+                assert!(grown.sightings.len() >= finding.sightings.len());
+                assert!(grown.worst_improvement() >= finding.worst_improvement());
+            }
+            assert!(larger.len() >= smaller.len());
+        }
+    }
+}

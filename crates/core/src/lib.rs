@@ -39,6 +39,7 @@ pub mod assess;
 pub mod classify;
 pub mod config;
 pub mod detect;
+pub mod explore;
 pub mod profiler;
 pub mod report;
 
@@ -53,5 +54,6 @@ pub use detect::{
     Detector, LineAccum, LinePrefilter, LineResidency, LineSlice, ObjectAccum, ObjectKey,
     ThreadOnObject, TwoEntryTable, WriteOutcome,
 };
+pub use explore::{hidden_findings, union_findings, UnionFinding};
 pub use profiler::{CheetahProfiler, Profile};
 pub use report::{format_prediction_table, format_word_profile, AssessedInstance, PredictionRow};

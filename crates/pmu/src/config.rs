@@ -41,6 +41,13 @@ pub struct SamplerConfig {
     /// `[period - period/jitter_div, period]`). IBS randomizes the interval
     /// to avoid lock-step aliasing with loop bodies; `0` disables jitter.
     pub jitter_div: u64,
+    /// Draw each interval uniformly from `[period/2, period/2 + period)`
+    /// instead of the narrow `jitter_div` window. The mean interval stays
+    /// `≈ period` (the sampling rate is unchanged) but the span now covers
+    /// a full period, so no loop body — whatever its length — can stay
+    /// phase-locked with the sampler. `jitter_div` is ignored when set.
+    /// Defaults to `false`, keeping every existing baseline bit-identical.
+    pub full_jitter: bool,
     /// Cycles charged to a thread for each delivered sample: the signal
     /// delivery plus Cheetah's handler work.
     pub trap_cost: Cycles,
@@ -57,6 +64,7 @@ impl SamplerConfig {
         SamplerConfig {
             period: DEFAULT_PERIOD,
             jitter_div: 8,
+            full_jitter: false,
             trap_cost: 2_600,
             setup_cost: 150_000,
         }
@@ -86,6 +94,7 @@ impl SamplerConfig {
         SamplerConfig {
             period,
             jitter_div: paper.jitter_div,
+            full_jitter: paper.full_jitter,
             trap_cost: scale(paper.trap_cost).max(1),
             setup_cost: scale(paper.setup_cost).max(1),
         }
@@ -138,6 +147,16 @@ mod tests {
         assert!((paper_ratio - scaled_ratio).abs() / paper_ratio < 0.05);
         assert!(scaled.setup_cost < paper.setup_cost);
         assert!(scaled.trap_cost >= 1);
+    }
+
+    #[test]
+    fn full_jitter_defaults_off_and_survives_scaling() {
+        // Off by default so every existing baseline stays bit-identical.
+        assert!(!SamplerConfig::paper_default().full_jitter);
+        assert!(!SamplerConfig::scaled_to_period(256).full_jitter);
+        let mut paper = SamplerConfig::paper_default();
+        paper.full_jitter = true;
+        paper.validate().unwrap();
     }
 
     #[test]

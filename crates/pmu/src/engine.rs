@@ -164,6 +164,11 @@ impl SamplingEngine {
         x ^= x >> 7;
         x ^= x << 17;
         *rng = x;
+        if config.full_jitter {
+            // Uniform over a full period, centred on it: mean ≈ period, but
+            // no loop body of any length can phase-lock with the sampler.
+            return (config.period / 2 + (x % config.period)).max(1);
+        }
         match config.period.checked_div(config.jitter_div) {
             None => config.period,
             Some(raw_span) => {
@@ -435,6 +440,89 @@ mod tests {
             (0.7..1.4).contains(&ratio),
             "positional bias: A={a_samples} B={b_samples}"
         );
+    }
+
+    /// A 12-instruction loop body with accesses at offsets 0 and 6; returns
+    /// how often each access was sampled plus the engine's totals.
+    fn sample_aligned_loop(config: SamplerConfig) -> (u64, u64, u64) {
+        let mut engine = SamplingEngine::new(config);
+        engine.begin_thread(ThreadId(1));
+        let (mut a_samples, mut b_samples) = (0u64, 0u64);
+        let mut instr = 0u64;
+        for _ in 0..10_000 {
+            if engine.observe(&record(ThreadId(1), instr)).0.is_some() {
+                a_samples += 1;
+            }
+            instr += 6; // access A retired + 5 compute
+            if engine.observe(&record(ThreadId(1), instr)).0.is_some() {
+                b_samples += 1;
+            }
+            instr += 6; // access B retired + 5 compute
+        }
+        let tags = engine.total_samples() + engine.total_dropped();
+        (a_samples, b_samples, tags)
+    }
+
+    #[test]
+    fn small_scaled_period_resonates_with_aligned_loop() {
+        // The failure mode the full-jitter option exists for: at period 12
+        // the default jitter span rounds down to one instruction, so every
+        // interval is exactly 12 — phase-locked with the 12-instruction
+        // loop body. Access A soaks up every sample; B is invisible.
+        let config = SamplerConfig::scaled_to_period(12);
+        let (a_samples, b_samples, _) = sample_aligned_loop(config);
+        assert!(
+            a_samples > 500,
+            "resonant sampler still samples: {a_samples}"
+        );
+        assert_eq!(
+            b_samples, 0,
+            "a phase-locked sampler never sees the second access"
+        );
+    }
+
+    #[test]
+    fn full_jitter_breaks_loop_resonance() {
+        // Same loop, same period, full-range jitter: intervals are uniform
+        // in [6, 18), so the sampler cannot stay phase-locked and both
+        // accesses are sampled at comparable rates — the unbiased-estimator
+        // property the assessment equations need, restored.
+        let mut config = SamplerConfig::scaled_to_period(12);
+        config.full_jitter = true;
+        let (a_samples, b_samples, tags) = sample_aligned_loop(config);
+        assert!(a_samples > 0 && b_samples > 0);
+        let ratio = a_samples as f64 / b_samples as f64;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "full jitter must sample both accesses: A={a_samples} B={b_samples}"
+        );
+        // The mean interval stays ≈ period, so the *tag rate* is preserved:
+        // 120K instructions at period 12 is ~10K tags (most land on the 10
+        // compute instructions per body and are dropped, as IBS would).
+        assert!(
+            (8_000..=12_500).contains(&tags),
+            "full jitter must not change the sampling rate: {tags}"
+        );
+    }
+
+    #[test]
+    fn replica_matches_engine_under_full_jitter() {
+        // Full jitter must preserve the sharded-execution contract: the
+        // forked replica reproduces the engine's decisions access by access.
+        let mut config = SamplerConfig::with_period(333);
+        config.full_jitter = true;
+        let mut engine = SamplingEngine::new(config);
+        engine.begin_thread(ThreadId(3));
+        let mut replica = engine.fork_thread(ThreadId(3));
+        let mut index = 0u64;
+        for step in 0..20_000u64 {
+            index += 1 + (step * 7) % 23;
+            let (sample, cost) = engine.observe(&record(ThreadId(3), index));
+            let judgement = replica.judge(index);
+            assert_eq!(judgement.sampled, sample.is_some(), "at index {index}");
+            assert_eq!(judgement.perturbation, cost, "at index {index}");
+        }
+        assert!(engine.total_samples() + engine.total_dropped() > 500);
     }
 
     #[test]

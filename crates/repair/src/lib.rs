@@ -26,6 +26,12 @@
 //!    repaired program, repeat until no significant instance remains (or a
 //!    bound is hit) — returning a per-iteration trace of predicted vs.
 //!    measured improvement and residual instances.
+//! 5. **Worst-case exploration** ([`worst_case`]): the same loop judged
+//!    over a *set* of perturbed schedules
+//!    ([`cheetah_sim::SchedulePolicy`]): findings are united across
+//!    interleavings, plans are ranked by worst-case payoff, and
+//!    convergence requires every explored schedule to come back clean —
+//!    catching instances the observed schedule hides.
 //!
 //! ## Example: validating the Fig. 1 microbenchmark
 //!
@@ -57,8 +63,10 @@ pub mod converge;
 pub mod plan;
 pub mod rewrite;
 pub mod validate;
+pub mod worst_case;
 
 pub use converge::{converge, ConvergeConfig, ConvergenceTrace, IterationRecord};
 pub use plan::{rank, synthesize, RepairPlan, RepairStrategy, ThreadCluster};
 pub use rewrite::{apply, apply_iterations, repair_program, RepairError};
 pub use validate::{InstanceValidation, ValidationHarness, ValidationOutcome};
+pub use worst_case::{converge_worst_case, schedule_set, WorstCaseIteration, WorstCaseTrace};

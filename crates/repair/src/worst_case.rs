@@ -1,0 +1,255 @@
+//! Worst-case repair over a schedule set: the fixpoint loop of
+//! [`converge`](crate::converge::converge), but judged against *every*
+//! explored interleaving instead of the one the simulator happened to
+//! observe.
+//!
+//! Each iteration profiles the current build once per schedule in the
+//! set (the observed schedule plus seeded perturbations —
+//! [`schedule_set`]), unites the significant findings with
+//! [`cheetah_core::union_findings`], and ranks synthesized plans by their
+//! **worst-case payoff**: the highest predicted improvement any schedule
+//! assigns the instance. A fix is worth what it saves under the
+//! interleaving where the bug bites hardest — which for schedule-hidden
+//! instances (the `staggered_writers` registry app) is never the observed
+//! one. The loop converges only when **no** explored schedule reports a
+//! significant instance, so a repair that merely pushes contention onto a
+//! different interleaving does not count as done.
+
+use crate::converge::{ConvergeConfig, OBS_LANE_CONVERGE};
+use crate::plan::{rank, synthesize, RepairPlan, RepairStrategy};
+use crate::rewrite::{apply_iterations, RepairError};
+use crate::validate::ValidationHarness;
+use cheetah_core::{union_findings, CheetahProfiler, Profile};
+use cheetah_sim::{Machine, SchedulePolicy};
+use cheetah_workloads::WorkloadInstance;
+use std::fmt;
+
+/// The standard exploration set: the observed schedule plus, per seed,
+/// one uniformly shuffled and one contention-maximizing perturbation.
+pub fn schedule_set(seeds: &[u64]) -> Vec<SchedulePolicy> {
+    std::iter::once(SchedulePolicy::Observed)
+        .chain(seeds.iter().flat_map(|&seed| {
+            [
+                SchedulePolicy::SeededShuffle { seed },
+                SchedulePolicy::ContentionMax { seed },
+            ]
+        }))
+        .collect()
+}
+
+/// One applied fix of the worst-case loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorstCaseIteration {
+    /// 1-based iteration number.
+    pub iteration: u32,
+    /// Label of the fixed instance (callsite / symbol).
+    pub label: String,
+    /// Strategy of the applied plan.
+    pub strategy: RepairStrategy,
+    /// The schedule under which the instance's payoff peaked — the
+    /// evidence the plan was synthesized from.
+    pub worst_schedule: SchedulePolicy,
+    /// The worst-case predicted improvement the fix was ranked by.
+    pub predicted: f64,
+    /// Whether the observed schedule missed the instance entirely — the
+    /// predictive case a single-run profiler cannot deliver.
+    pub hidden: bool,
+    /// Schedules (of those explored this iteration) that reported the
+    /// instance as significant.
+    pub sightings: usize,
+}
+
+/// The complete trace of one [`converge_worst_case`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorstCaseTrace {
+    /// Workload name.
+    pub workload: String,
+    /// The explored schedule set, in exploration order.
+    pub schedules: Vec<SchedulePolicy>,
+    /// Schedule-hidden findings in the *initial* exploration: significant
+    /// under some perturbed schedule, invisible to the observed one.
+    pub initial_hidden: usize,
+    /// Significant findings (union over schedules) in the initial
+    /// exploration.
+    pub initial_findings: usize,
+    /// Applied fixes, in order.
+    pub iterations: Vec<WorstCaseIteration>,
+    /// Significant instances each schedule still reports after the last
+    /// applied fix, in `schedules` order.
+    pub residual_per_schedule: Vec<usize>,
+    /// Whether every explored schedule came back clean.
+    pub converged: bool,
+}
+
+impl WorstCaseTrace {
+    /// Total significant residue across the schedule set.
+    pub fn total_residual(&self) -> usize {
+        self.residual_per_schedule.iter().sum()
+    }
+
+    /// Renders the trace as a small table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} schedule(s), {} finding(s) initially ({} hidden), {} fix(es), {} residual ({})",
+            self.workload,
+            self.schedules.len(),
+            self.initial_findings,
+            self.initial_hidden,
+            self.iterations.len(),
+            self.total_residual(),
+            if self.converged {
+                "converged on every schedule"
+            } else {
+                "bound hit"
+            }
+        );
+        for it in &self.iterations {
+            let _ = writeln!(
+                out,
+                "  #{} {} [{}] worst case {:.2}x under {}{} ({} of {} schedules)",
+                it.iteration,
+                it.label,
+                it.strategy,
+                it.predicted,
+                it.worst_schedule,
+                if it.hidden {
+                    ", hidden from observed"
+                } else {
+                    ""
+                },
+                it.sightings,
+                self.schedules.len(),
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for WorstCaseTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Runs the worst-case fixpoint repair loop for one workload over a
+/// schedule set (see [`schedule_set`]).
+///
+/// `build` must produce identically laid-out instances on every call;
+/// the loop profiles it once per schedule per iteration.
+///
+/// # Errors
+///
+/// [`RepairError`] if a synthesized plan cannot be applied.
+pub fn converge_worst_case<F>(
+    harness: &ValidationHarness,
+    workload: &str,
+    build: F,
+    config: &ConvergeConfig,
+    schedules: &[SchedulePolicy],
+) -> Result<WorstCaseTrace, RepairError>
+where
+    F: Fn() -> WorkloadInstance,
+{
+    assert!(!schedules.is_empty(), "explore at least one schedule");
+    let base = harness.machine().config().clone();
+    let line_size = base.cache_line_size;
+    let obs = base.obs.clone();
+    let cheetah = harness.non_perturbing_config();
+
+    // One machine per schedule, sharing the harness's configuration (and
+    // observability registry) in everything but the policy.
+    let machines: Vec<(SchedulePolicy, Machine)> = schedules
+        .iter()
+        .map(|&policy| (policy, Machine::new(base.clone().with_schedule(policy))))
+        .collect();
+
+    let explore = |plans: &[RepairPlan]| -> Result<Vec<(SchedulePolicy, Profile)>, RepairError> {
+        machines
+            .iter()
+            .map(|(policy, machine)| {
+                let (program, mut space) = build().into_parts();
+                let repaired = apply_iterations(program, plans, &mut space)?;
+                let mut span = obs.span("explore.schedule", OBS_LANE_CONVERGE);
+                span.attr_str("schedule", policy.to_string());
+                let mut profiler = CheetahProfiler::new(cheetah.clone(), &space);
+                machine.run(repaired, &mut profiler);
+                let profile = profiler.finish();
+                span.attr_u64(
+                    "significant",
+                    profile
+                        .significant_false_sharing(config.min_predicted_improvement)
+                        .len() as u64,
+                );
+                span.finish();
+                Ok((*policy, profile))
+            })
+            .collect()
+    };
+
+    let residuals = |runs: &[(SchedulePolicy, Profile)]| -> Vec<usize> {
+        runs.iter()
+            .map(|(_, profile)| {
+                profile
+                    .significant_false_sharing(config.min_predicted_improvement)
+                    .len()
+            })
+            .collect()
+    };
+
+    let mut plans: Vec<RepairPlan> = Vec::new();
+    let mut runs = explore(&plans)?;
+    let initial = union_findings(&runs, config.min_predicted_improvement);
+    let initial_findings = initial.len();
+    let initial_hidden = initial.iter().filter(|f| f.is_hidden()).count();
+
+    let mut iterations: Vec<WorstCaseIteration> = Vec::new();
+    let converged = loop {
+        let findings = union_findings(&runs, config.min_predicted_improvement);
+        // Rank synthesized plans by worst-case payoff over the set.
+        let mut candidates: Vec<(RepairPlan, f64)> = findings
+            .iter()
+            .filter_map(|finding| {
+                synthesize(&finding.worst_instance, line_size)
+                    .map(|plan| (plan, finding.worst_improvement()))
+            })
+            .collect();
+        rank(&mut candidates);
+
+        if candidates.is_empty() {
+            break findings.is_empty();
+        }
+        if iterations.len() as u32 >= config.max_iterations {
+            break false;
+        }
+
+        let (plan, predicted) = candidates.swap_remove(0);
+        let chosen = findings
+            .iter()
+            .find(|f| f.key == plan.key)
+            .expect("the plan came from a finding");
+        iterations.push(WorstCaseIteration {
+            iteration: iterations.len() as u32 + 1,
+            label: plan.label.clone(),
+            strategy: plan.strategy,
+            worst_schedule: chosen.worst_schedule(),
+            predicted,
+            hidden: chosen.is_hidden(),
+            sightings: chosen.sightings.len(),
+        });
+        plans.push(plan);
+        runs = explore(&plans)?;
+    };
+
+    Ok(WorstCaseTrace {
+        workload: workload.to_string(),
+        schedules: schedules.to_vec(),
+        initial_hidden,
+        initial_findings,
+        iterations,
+        residual_per_schedule: residuals(&runs),
+        converged,
+    })
+}

@@ -12,6 +12,7 @@ use crate::metrics::SimCounters;
 use crate::observer::{AccessRecord, ExecObserver};
 use crate::program::{AccessStream, Op, Phase, Program};
 use crate::report::{PhaseReport, RunReport, ThreadReport};
+use crate::schedule::SchedulePolicy;
 use crate::types::{AccessKind, CoreId, Cycles, PhaseKind, ThreadId};
 use cheetah_obs::{Fnv64, ObsHandle};
 use std::cmp::Reverse;
@@ -67,6 +68,16 @@ pub struct MachineConfig {
     /// builds, aborts with the thread name and offending address. Off by
     /// default: the check costs a binary search per access.
     pub audit_footprints: bool,
+    /// How parallel phases order the sharded merge's residue events.
+    /// [`SchedulePolicy::Observed`] (the default) replays the observed
+    /// timestamp order — bit-identical to the classic loop at every shard
+    /// count. A perturbed policy replays a different feasible
+    /// interleaving of the same per-worker event streams, deterministic
+    /// given the policy's seed (see [`crate::schedule`]). Perturbed
+    /// policies route parallel phases through the sharded executor even
+    /// at `shards = 1`; oversubscribed phases (more workers than cores)
+    /// fall back to the classic loop and ignore the policy.
+    pub schedule: SchedulePolicy,
 }
 
 impl Default for MachineConfig {
@@ -80,6 +91,7 @@ impl Default for MachineConfig {
             obs: ObsHandle::global(),
             witness: false,
             audit_footprints: false,
+            schedule: SchedulePolicy::Observed,
         }
     }
 }
@@ -119,6 +131,13 @@ impl MachineConfig {
     /// [`audit_footprints`](MachineConfig::audit_footprints).
     pub fn with_footprint_audit(mut self, audit: bool) -> Self {
         self.audit_footprints = audit;
+        self
+    }
+
+    /// Returns the configuration with the given merge schedule policy
+    /// (builder style); see [`schedule`](MachineConfig::schedule).
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
         self
     }
 
@@ -458,8 +477,11 @@ impl<'a> Execution<'a> {
                     // `(1 + slot) % num_cores`, so cores are distinct
                     // exactly when the phase has at most `num_cores`
                     // workers.
-                    let ends = if self.shards >= 2 && workers.len() as u32 <= self.config.num_cores
-                    {
+                    // A perturbed schedule policy also routes through the
+                    // sharded executor (the residue reordering lives in
+                    // its merge), even at `shards = 1`.
+                    let sharded_route = self.shards >= 2 || !self.config.schedule.is_observed();
+                    let ends = if sharded_route && workers.len() as u32 <= self.config.num_cores {
                         crate::shard::run_parallel_sharded(
                             self.config,
                             &mut self.directory,

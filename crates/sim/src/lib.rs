@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod observer;
 pub mod program;
 pub mod report;
+pub mod schedule;
 pub mod shard;
 pub mod stats;
 pub mod types;
@@ -77,5 +78,6 @@ pub use program::{
     AccessStream, IterStream, LoopStream, Op, OpsStream, Phase, Program, ProgramBuilder, ThreadSpec,
 };
 pub use report::{PhaseReport, RunReport, ThreadReport};
+pub use schedule::SchedulePolicy;
 pub use stats::CoherenceStats;
 pub use types::{AccessKind, Addr, CacheLineId, CoreId, Cycles, PhaseKind, ThreadId, WORD_BYTES};

@@ -38,6 +38,15 @@ pub const MERGE_NS: &str = "sim.merge_ns";
 /// stream's [`Footprint::Bounded`](crate::Footprint) under-approximated
 /// its accesses and `cheetah-analyze --lint` will flag the workload.
 pub const FOOTPRINT_VIOLATIONS: &str = "sim.footprint_violations";
+/// Counter name for schedule-policy selections: residue events ordered by
+/// a perturbed [`SchedulePolicy`](crate::SchedulePolicy) instead of the
+/// observed timestamp order. Zero for observed-schedule runs.
+pub const SCHED_SELECTIONS: &str = "sched.selections";
+/// Counter name for residue events a perturbed schedule actually
+/// *reordered*: the chosen worker's event was not the globally earliest
+/// ready event. `reordered / selections` measures how far a seed strays
+/// from the observed interleaving.
+pub const SCHED_REORDERED: &str = "sched.reordered_events";
 
 /// Counter snapshot; see [`snapshot`] for field meanings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +75,12 @@ pub struct ExecMetrics {
     /// Accesses that violated their stream's declared footprint contract
     /// during sharded classification (see [`FOOTPRINT_VIOLATIONS`]).
     pub footprint_violations: u64,
+    /// Residue events ordered by a perturbed schedule policy (see
+    /// [`SCHED_SELECTIONS`]).
+    pub sched_selections: u64,
+    /// Residue events a perturbed schedule moved off the observed order
+    /// (see [`SCHED_REORDERED`]).
+    pub sched_reordered: u64,
 }
 
 impl ExecMetrics {
@@ -79,6 +94,8 @@ impl ExecMetrics {
             precompute_ns: self.precompute_ns - earlier.precompute_ns,
             merge_ns: self.merge_ns - earlier.merge_ns,
             footprint_violations: self.footprint_violations - earlier.footprint_violations,
+            sched_selections: self.sched_selections - earlier.sched_selections,
+            sched_reordered: self.sched_reordered - earlier.sched_reordered,
         }
     }
 }
@@ -93,6 +110,8 @@ pub fn snapshot_of(obs: &ObsHandle) -> ExecMetrics {
         precompute_ns: obs.counter(PRECOMPUTE_NS).get(),
         merge_ns: obs.counter(MERGE_NS).get(),
         footprint_violations: obs.counter(FOOTPRINT_VIOLATIONS).get(),
+        sched_selections: obs.counter(SCHED_SELECTIONS).get(),
+        sched_reordered: obs.counter(SCHED_REORDERED).get(),
     }
 }
 
@@ -112,6 +131,8 @@ pub fn reset() {
         PRECOMPUTE_NS,
         MERGE_NS,
         FOOTPRINT_VIOLATIONS,
+        SCHED_SELECTIONS,
+        SCHED_REORDERED,
     ] {
         obs.counter(name).reset();
     }
@@ -129,6 +150,8 @@ pub(crate) struct SimCounters {
     precompute_ns: Counter,
     merge_ns: Counter,
     violations: Counter,
+    sched_selections: Counter,
+    sched_reordered: Counter,
 }
 
 impl SimCounters {
@@ -141,6 +164,8 @@ impl SimCounters {
             precompute_ns: obs.counter(PRECOMPUTE_NS),
             merge_ns: obs.counter(MERGE_NS),
             violations: obs.counter(FOOTPRINT_VIOLATIONS),
+            sched_selections: obs.counter(SCHED_SELECTIONS),
+            sched_reordered: obs.counter(SCHED_REORDERED),
         }
     }
 
@@ -174,6 +199,13 @@ impl SimCounters {
     #[inline]
     pub(crate) fn count_violations(&self, n: u64) {
         self.violations.add(n);
+    }
+
+    /// Adds one perturbed phase's schedule-policy decision counts.
+    #[inline]
+    pub(crate) fn count_schedule(&self, selections: u64, reordered: u64) {
+        self.sched_selections.add(selections);
+        self.sched_reordered.add(reordered);
     }
 
     /// A clone of the violations counter handle, for the footprint

@@ -103,6 +103,7 @@ use crate::latency::{AccessOutcome, LatencyModel};
 use crate::metrics::SimCounters;
 use crate::observer::{AccessRecord, ExecObserver, SamplerFork};
 use crate::program::{AccessStream, Op, OpsStream};
+use crate::schedule::{SchedulePolicy, ScheduleRng};
 use crate::types::{AccessKind, Addr, CacheLineId, CoreId, Cycles, PhaseKind, ThreadId};
 use crate::util::{FastMap, FastSet};
 use std::cmp::Reverse;
@@ -787,21 +788,37 @@ pub(crate) fn run_parallel_sharded(
     let mut span_merge = config.obs.span("shard.merge", OBS_LANE_ENGINE);
     span_merge.attr_u64("phase", u64::from(phase_index));
 
-    // Pass 2: deterministic merge on (timestamp, worker, seq).
+    // Pass 2: deterministic merge — in observed (timestamp) order, or in
+    // the perturbed order a schedule policy draws from the same plans.
     let counters = SimCounters::of(&config.obs);
     let mut settle = Settle::new(&plans);
-    let ends = merge(
-        directory,
-        observer,
-        workers,
-        &plans,
-        &mut settle,
-        phase_index,
-        &latency,
-        line_size,
-        &counters,
-        &mut span_merge,
-    );
+    let ends = match config.schedule {
+        SchedulePolicy::Observed => merge(
+            directory,
+            observer,
+            workers,
+            &plans,
+            &mut settle,
+            phase_index,
+            &latency,
+            line_size,
+            &counters,
+            &mut span_merge,
+        ),
+        policy => merge_perturbed(
+            directory,
+            observer,
+            workers,
+            &plans,
+            &mut settle,
+            phase_index,
+            &latency,
+            line_size,
+            &counters,
+            &mut span_merge,
+            policy,
+        ),
+    };
     let t_merge = t0.elapsed();
     span_merge.finish();
 
@@ -1423,6 +1440,260 @@ fn merge(
     span.attr_u64("merged", merged_count);
     span.attr_u64("folded", folded_count);
     span.attr_u64("surfaced", surfaced_count);
+    ends
+}
+
+/// Merges the precomputed event streams in a *perturbed* global order
+/// drawn by `policy` (never [`SchedulePolicy::Observed`] — the caller
+/// routes that to [`merge`]): at every step one live worker is selected
+/// and its next residue event is replayed in full, so per-worker program
+/// order is preserved by construction while the cross-worker interleaving
+/// explores a different feasible schedule.
+///
+/// Worker clocks still advance through each worker's own leads and
+/// latencies, but the *directory* sees events in selection order: a
+/// write-shared line whose observed schedule kept its writers apart is
+/// driven through the MESI ping-pong a different scheduler could have
+/// produced. Busy-window waits saturate (`busy_until − now` at the
+/// worker's own, possibly earlier, clock), so non-monotonic arrival times
+/// are safe. Selection is a pure function of the policy seed, the phase
+/// index and the per-worker plans — deterministic given `(seed, shards)`,
+/// and in fact identical at every shard count.
+#[allow(clippy::too_many_arguments)]
+fn merge_perturbed(
+    directory: &mut Directory,
+    observer: &mut dyn ExecObserver,
+    workers: &[ThreadCtx],
+    plans: &[WorkerPlan],
+    settle: &mut Settle,
+    phase_index: u32,
+    latency: &LatencyModel,
+    line_size: u64,
+    counters: &SimCounters,
+    span: &mut cheetah_obs::SpanGuard,
+    policy: SchedulePolicy,
+) -> Vec<Cycles> {
+    let (contend, seed) = match policy {
+        SchedulePolicy::SeededShuffle { seed } => (false, seed),
+        SchedulePolicy::ContentionMax { seed } => (true, seed),
+        SchedulePolicy::Observed => unreachable!("observed schedules use the ordered merge"),
+    };
+    let mut rng = ScheduleRng::for_phase(seed, phase_index);
+    let l1_cost = latency.l1_hit;
+    let mut ends = vec![0; workers.len()];
+    let (mut merged_count, mut folded_count, mut surfaced_count) = (0u64, 0u64, 0u64);
+    let (mut selections, mut reordered) = (0u64, 0u64);
+    // Last core to *merge* a write per line — the contention heuristic's
+    // view of who owns each line right now.
+    let mut last_writer: FastMap<CacheLineId, CoreId> = FastMap::default();
+    let mut merge_workers: Vec<MergeWorker<'_>> = workers
+        .iter()
+        .zip(plans)
+        .map(|(ctx, plan)| {
+            let mut events = plan.events.iter();
+            let pending = events.next();
+            MergeWorker {
+                id: ctx.id,
+                core: ctx.core,
+                clock: ctx.clock,
+                events,
+                pending,
+                run_cursor: 0,
+            }
+        })
+        .collect();
+    let mut live: Vec<usize> = (0..merge_workers.len()).collect();
+
+    while !live.is_empty() {
+        // Select the next worker. The contention heuristic prefers
+        // directory writes that land on a line a *different* core wrote
+        // last (each such merge is an invalidation); the shuffle — and
+        // the heuristic's fallback — draws uniformly among live workers.
+        let choice = if live.len() == 1 {
+            0
+        } else if contend {
+            let mut contending: Vec<usize> = Vec::new();
+            for (i, &slot) in live.iter().enumerate() {
+                let w = &merge_workers[slot];
+                if let Some(Ev {
+                    kind: EvKind::Dir { addr, kind, .. },
+                    ..
+                }) = w.pending
+                {
+                    if *kind == AccessKind::Write
+                        && last_writer
+                            .get(&addr.line(line_size))
+                            .is_some_and(|&owner| owner != w.core)
+                    {
+                        contending.push(i);
+                    }
+                }
+            }
+            if contending.is_empty() {
+                rng.pick(live.len())
+            } else {
+                contending[rng.pick(contending.len())]
+            }
+        } else {
+            rng.pick(live.len())
+        };
+        let slot = live[choice];
+        selections += 1;
+        let earliest = live
+            .iter()
+            .map(|&s| merge_workers[s].next_time())
+            .min()
+            .expect("live set is nonempty");
+        if merge_workers[slot].next_time() > earliest {
+            reordered += 1;
+        }
+
+        let w = &mut merge_workers[slot];
+        let ev = w.pending.take().expect("live worker has a pending event");
+        match &ev.kind {
+            EvKind::Exit => {
+                w.clock += ev.lead;
+                ends[slot] = w.clock;
+                observer.on_thread_exit(w.id, w.clock);
+                live.swap_remove(choice);
+                continue;
+            }
+            EvKind::Dir {
+                addr,
+                kind,
+                instrs_before,
+                sequential,
+                settles,
+                surfaced,
+                perturbation,
+            } => {
+                merged_count += 1;
+                w.clock += ev.lead;
+                let line = addr.line(line_size);
+                let result = directory.access_hinted(w.core, line, *kind, w.clock, *sequential);
+                let latency_cycles = result.latency();
+                if *surfaced {
+                    surfaced_count += 1;
+                }
+                let perturb = surface(
+                    observer,
+                    w,
+                    *addr,
+                    *kind,
+                    result.outcome,
+                    latency_cycles,
+                    *instrs_before,
+                    phase_index,
+                    *surfaced,
+                    *perturbation,
+                );
+                w.clock += latency_cycles + perturb;
+                if *settles {
+                    settle.merge_first_touch(directory, line, *sequential);
+                }
+                if contend && *kind == AccessKind::Write {
+                    last_writer.insert(line, w.core);
+                }
+            }
+            EvKind::SharedHit {
+                addr,
+                instrs_before,
+                perturbation,
+            } => {
+                merged_count += 1;
+                surfaced_count += 1;
+                w.clock += ev.lead;
+                let line = addr.line(line_size);
+                let wait = directory.busy_wait(line, w.clock);
+                directory.record_precomputed(AccessOutcome::L1Hit, wait);
+                let latency_cycles = wait + l1_cost;
+                let perturb = surface(
+                    observer,
+                    w,
+                    *addr,
+                    AccessKind::Read,
+                    AccessOutcome::L1Hit,
+                    latency_cycles,
+                    *instrs_before,
+                    phase_index,
+                    true,
+                    *perturbation,
+                );
+                w.clock += latency_cycles + perturb;
+            }
+            EvKind::HitRun {
+                reads,
+                min_line,
+                max_line,
+            } => {
+                // One selection replays the whole run (hit runs touch
+                // nothing another worker can contend on, so splitting
+                // them across selections would not change any outcome).
+                w.clock += ev.lead;
+                let mut cursor = 0;
+                while cursor < reads.len() {
+                    let start = w.clock + run_lead_at(reads, cursor);
+                    if settle.run_foldable(directory, *min_line, *max_line, start) {
+                        let n = (reads.len() - cursor) as u64;
+                        let prefix = if cursor == 0 {
+                            0
+                        } else {
+                            reads[cursor - 1].cum_lead
+                        };
+                        let total = reads[reads.len() - 1].cum_lead;
+                        w.clock += (total - prefix) + n * l1_cost;
+                        directory.record_hit_batch(n);
+                        folded_count += n;
+                        break;
+                    }
+                    merged_count += 1;
+                    w.clock = start;
+                    let wait = directory.busy_wait(reads[cursor].addr.line(line_size), w.clock);
+                    directory.record_precomputed(AccessOutcome::L1Hit, wait);
+                    w.clock += wait + l1_cost;
+                    cursor += 1;
+                }
+            }
+            EvKind::Private {
+                addr,
+                kind,
+                instrs_before,
+                outcome,
+                cost,
+                perturbation,
+            } => {
+                merged_count += 1;
+                surfaced_count += 1;
+                w.clock += ev.lead;
+                let perturb = surface(
+                    observer,
+                    w,
+                    *addr,
+                    *kind,
+                    *outcome,
+                    *cost,
+                    *instrs_before,
+                    phase_index,
+                    true,
+                    *perturbation,
+                );
+                w.clock += cost + perturb;
+            }
+        }
+        let w = &mut merge_workers[slot];
+        w.pending = Some(w.events.next().expect("Exit terminates the stream"));
+    }
+    counters.count_merged(merged_count);
+    counters.count_folded(folded_count);
+    counters.count_surfaced(surfaced_count);
+    counters.count_schedule(selections, reordered);
+    span.attr_str("policy", policy.to_string());
+    span.attr_u64("seed", seed);
+    span.attr_u64("merged", merged_count);
+    span.attr_u64("folded", folded_count);
+    span.attr_u64("surfaced", surfaced_count);
+    span.attr_u64("selections", selections);
+    span.attr_u64("reordered", reordered);
     ends
 }
 

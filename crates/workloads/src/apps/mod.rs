@@ -14,6 +14,7 @@ pub mod packed_triplet;
 pub mod parsec;
 pub mod phoenix;
 pub mod reader_writer;
+pub mod staggered_writers;
 pub mod streamcluster;
 pub mod streaming_histogram;
 pub mod struct_straddle;

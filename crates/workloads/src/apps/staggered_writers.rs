@@ -1,0 +1,152 @@
+//! Schedule-hidden false sharing: paired threads share a cache line but
+//! write it in *anti-phase* bursts.
+//!
+//! ```c
+//! long slots[threads];            // packed: pair (2k, 2k+1) on line k
+//! void threadFunc(int t) {
+//!     if (t % 2 == 0) { hot(t); cold(t); }   // hammer slot, then scratch
+//!     else            { cold(t); hot(t); }   // scratch first, then slot
+//! }
+//! ```
+//!
+//! Under the schedule the simulator happens to observe, each thread's hot
+//! burst overlaps only its partner's private-scratch burst, so every line
+//! has a single writer at any moment and the run shows almost no
+//! invalidations — the layout bug is invisible. A slightly different
+//! interleaving (a perturbed [`SchedulePolicy`]) overlaps the partners'
+//! hot bursts and the latent ping-pong appears at full strength. This is
+//! the registry's witness for schedule-space exploration: the broken
+//! build carries [`Expectation::HiddenFalseSharing`](crate::Expectation),
+//! detectable only under perturbed schedules.
+//!
+//! The `fixed` build gives every slot its own line, which no schedule can
+//! make contend.
+//!
+//! [`SchedulePolicy`]: cheetah_sim::SchedulePolicy
+
+use crate::apps::alloc_main;
+use crate::config::AppConfig;
+use crate::instance::WorkloadInstance;
+use crate::patterns::{OpTemplate, Segment, SegmentsStream};
+use cheetah_heap::AddressSpace;
+use cheetah_sim::{ProgramBuilder, ThreadSpec};
+
+/// Iterations per burst, before scaling.
+const BASE_INNER: u64 = 40_000;
+/// Per-thread scratch stride: a full line each, so the cold bursts never
+/// contend under any schedule.
+const SCRATCH_STRIDE: u64 = 64;
+
+/// Builds the staggered-writers workload.
+pub fn build(config: &AppConfig) -> WorkloadInstance {
+    let mut space = AddressSpace::new();
+    let threads = u64::from(config.threads);
+    let inner = config.iters(BASE_INNER);
+
+    // Broken: pair (2k, 2k+1) packs two 8-byte slots onto line k.
+    // Fixed: one line per slot.
+    let slots_size = if config.fixed {
+        threads * 64
+    } else {
+        threads.div_ceil(2) * 64
+    };
+    let slots = alloc_main(&mut space, slots_size, "staggered.c", 9);
+    let scratch = alloc_main(&mut space, threads * SCRATCH_STRIDE, "staggered.c", 10);
+
+    let workers = (0..threads)
+        .map(|t| {
+            let slot = if config.fixed {
+                slots.offset(t * 64)
+            } else {
+                slots.offset((t / 2) * 64 + (t % 2) * 8)
+            };
+            let private = scratch.offset(t * SCRATCH_STRIDE);
+            let burst = |addr| {
+                Segment::new(
+                    vec![
+                        OpTemplate::read_fixed(addr),
+                        OpTemplate::write_fixed(addr),
+                        OpTemplate::Work(4),
+                    ],
+                    inner,
+                )
+            };
+            // Even threads hammer their slot first; odd threads do private
+            // scratch work first. Equal burst costs keep the partners in
+            // anti-phase for the whole observed run.
+            let segments = if t % 2 == 0 {
+                vec![burst(slot), burst(private)]
+            } else {
+                vec![burst(private), burst(slot)]
+            };
+            ThreadSpec::new(format!("threadFunc-{t}"), SegmentsStream::new(segments))
+        })
+        .collect();
+
+    let program = ProgramBuilder::new("staggered_writers")
+        .parallel(workers)
+        .build();
+    WorkloadInstance::new(program, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_sim::{Machine, MachineConfig, NullObserver, SchedulePolicy};
+
+    fn run(threads: u32, fixed: bool, schedule: SchedulePolicy) -> cheetah_sim::RunReport {
+        let config = AppConfig {
+            threads,
+            scale: 0.05,
+            fixed,
+            seed: 1,
+        };
+        let machine = Machine::new(MachineConfig::with_cores(8).with_schedule(schedule));
+        machine.run(build(&config).program, &mut NullObserver)
+    }
+
+    #[test]
+    fn observed_schedule_hides_the_sharing() {
+        let report = run(4, false, SchedulePolicy::Observed);
+        // One ownership hand-off per line at the burst boundary, nothing
+        // sustained: far below any detection threshold.
+        assert!(
+            report.coherence.invalidations < 20,
+            "observed run must stay quiet: {}",
+            report.coherence.invalidations
+        );
+    }
+
+    #[test]
+    fn perturbed_schedules_expose_the_sharing() {
+        let observed = run(4, false, SchedulePolicy::Observed);
+        for policy in [
+            SchedulePolicy::SeededShuffle { seed: 1 },
+            SchedulePolicy::ContentionMax { seed: 1 },
+        ] {
+            let perturbed = run(4, false, policy);
+            assert!(
+                perturbed.coherence.invalidations > 100 * observed.coherence.invalidations.max(1),
+                "{policy} must expose the ping-pong: observed {} vs {}",
+                observed.coherence.invalidations,
+                perturbed.coherence.invalidations
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_build_quiet_under_every_schedule() {
+        for policy in [
+            SchedulePolicy::Observed,
+            SchedulePolicy::SeededShuffle { seed: 1 },
+            SchedulePolicy::ContentionMax { seed: 1 },
+        ] {
+            let report = run(4, true, policy);
+            assert!(
+                report.coherence.invalidations < 20,
+                "fixed build must not contend under {policy}: {}",
+                report.coherence.invalidations
+            );
+        }
+    }
+}

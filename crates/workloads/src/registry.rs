@@ -19,6 +19,13 @@ pub enum Expectation {
     MinorFalseSharing,
     /// No false sharing worth reporting.
     NoFalseSharing,
+    /// False sharing that the observed schedule hides: the broken layout
+    /// packs contending writers onto one line, but their bursts happen to
+    /// run in anti-phase, so a single observed run shows nothing. Only
+    /// schedule-space exploration (perturbed
+    /// [`SchedulePolicy`](cheetah_sim::SchedulePolicy) runs) detects it
+    /// (staggered_writers).
+    HiddenFalseSharing,
 }
 
 impl fmt::Display for Expectation {
@@ -27,6 +34,7 @@ impl fmt::Display for Expectation {
             Expectation::SignificantFalseSharing => f.write_str("significant false sharing"),
             Expectation::MinorFalseSharing => f.write_str("minor false sharing"),
             Expectation::NoFalseSharing => f.write_str("no false sharing"),
+            Expectation::HiddenFalseSharing => f.write_str("schedule-hidden false sharing"),
         }
     }
 }
@@ -219,6 +227,12 @@ pub const APPS: &[App] = &[
         expectation: Expectation::MinorFalseSharing,
         builder: apps::streaming_histogram::build,
     },
+    App {
+        name: "staggered_writers",
+        suite: "micro",
+        expectation: Expectation::HiddenFalseSharing,
+        builder: apps::staggered_writers::build,
+    },
 ];
 
 /// The 17 applications of the paper's Fig. 4 (excludes the
@@ -249,9 +263,9 @@ mod tests {
     #[test]
     fn seventeen_evaluated_apps() {
         assert_eq!(evaluated_apps().count(), 17);
-        // + microbench, the four cross-object micros and the
-        // streaming-classification micro.
-        assert_eq!(APPS.len(), 23);
+        // + microbench, the four cross-object micros, the
+        // streaming-classification micro and the schedule-hidden micro.
+        assert_eq!(APPS.len(), 24);
     }
 
     #[test]
