@@ -3,6 +3,7 @@
 //! ```text
 //! bench_compare <baseline.json> <fresh.json> [--tolerance-points 5]
 //! bench_compare --sim <baseline.json> <fresh.json> [--tolerance-points 10]
+//! bench_compare --robust <baseline.json> <fresh.json> [--tolerance-points 10]
 //! ```
 //!
 //! Default mode matches `BENCH_repair.json` cells between a committed
@@ -21,6 +22,14 @@
 //! so their tolerance is a fixed 5%-of-baseline slack for benign
 //! reclassifications; the wall-clock tolerance is `--tolerance-points`
 //! interpreted as percent.
+//!
+//! `--robust` mode gates `BENCH_robust.json`: per (workload, fault cell)
+//! the best reported improvement must not fall below the baseline's by
+//! more than the tolerance (percent, relative); the pressure cell's
+//! top-finding-survived flag and the degraded-repair convergence must
+//! not flip from true to false, and the degraded residual must not
+//! grow. Detection output is deterministic, so the tolerance only
+//! absorbs deliberate re-tuning, not run-to-run noise.
 //!
 //! The parser is deliberately minimal — the emitters write one record per
 //! line with scalar fields only — so the workspace stays free of a JSON
@@ -195,24 +204,168 @@ fn compare_sim(baseline_path: &str, fresh_path: &str, tolerance: f64) -> ExitCod
     }
 }
 
+/// One gated entry of a BENCH_robust.json file: a fault-preset cell, the
+/// pressure cell, or the degraded-repair outcome.
+#[derive(Debug, Clone, Copy)]
+struct RobustCell {
+    /// Best reported improvement (fault and pressure cells; 0 for the
+    /// degraded-repair entry, which gates on the fields below instead).
+    best_improvement: f64,
+    /// `top_finding_survived` (pressure) or `converged` (degraded
+    /// repair); always true for fault cells.
+    held: bool,
+    /// Residual significant instances (degraded repair; 0 elsewhere).
+    residual: u64,
+}
+
+/// Parses a BENCH_robust.json file into `(workload/cell -> entry)`.
+/// The emitter nests cells under their workload record, so the scan is
+/// stateful: a `"workload"` line names the group for the cell,
+/// `"pressure"` and `"degraded_repair"` lines that follow it.
+fn parse_robust(path: &str) -> Result<BTreeMap<String, RobustCell>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut cells = BTreeMap::new();
+    let mut workload = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(name) = field(line, "workload") {
+            workload = name.to_string();
+        } else if let Some(cell) = field(line, "cell") {
+            let best: f64 = field(line, "best_improvement")
+                .ok_or("cell without best_improvement")?
+                .parse()
+                .map_err(|e| format!("bad best_improvement in {path}: {e}"))?;
+            cells.insert(
+                format!("{workload}/{cell}"),
+                RobustCell {
+                    best_improvement: best,
+                    held: true,
+                    residual: 0,
+                },
+            );
+        } else if line.starts_with("\"pressure\"") {
+            let best: f64 = field(line, "best_improvement")
+                .ok_or("pressure without best_improvement")?
+                .parse()
+                .map_err(|e| format!("bad best_improvement in {path}: {e}"))?;
+            let survived = field(line, "top_finding_survived") == Some("true");
+            cells.insert(
+                format!("{workload}/pressure"),
+                RobustCell {
+                    best_improvement: best,
+                    held: survived,
+                    residual: 0,
+                },
+            );
+        } else if line.starts_with("\"degraded_repair\"") {
+            let converged = field(line, "converged") == Some("true");
+            let residual: u64 = field(line, "residual")
+                .ok_or("degraded_repair without residual")?
+                .trim_end_matches('}')
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad residual in {path}: {e}"))?;
+            cells.insert(
+                format!("{workload}/degraded"),
+                RobustCell {
+                    best_improvement: 0.0,
+                    held: converged,
+                    residual,
+                },
+            );
+        }
+    }
+    if cells.is_empty() {
+        return Err(format!("{path}: no robustness records found"));
+    }
+    Ok(cells)
+}
+
+/// The `--robust` gate; `tolerance` is the relative improvement slack.
+fn compare_robust(baseline_path: &str, fresh_path: &str, tolerance: f64) -> ExitCode {
+    let (baseline, fresh) = match (parse_robust(baseline_path), parse_robust(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failures = 0usize;
+    for (key, base) in &baseline {
+        match fresh.get(key) {
+            None => {
+                eprintln!("MISSING  {key}: cell present in baseline but not regenerated");
+                failures += 1;
+            }
+            Some(cell) => {
+                let floor = base.best_improvement * (1.0 - tolerance);
+                let improvement_bad = cell.best_improvement < floor;
+                let held_bad = base.held && !cell.held;
+                let residual_bad = cell.residual > base.residual;
+                let status = if improvement_bad || held_bad || residual_bad {
+                    failures += 1;
+                    "REGRESS"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{status:8} {key}: best {:.2}x -> {:.2}x (floor {floor:.2}x), \
+                     held {} -> {}, residual {} -> {}",
+                    base.best_improvement,
+                    cell.best_improvement,
+                    base.held,
+                    cell.held,
+                    base.residual,
+                    cell.residual,
+                );
+            }
+        }
+    }
+    for key in fresh.keys() {
+        if !baseline.contains_key(key) {
+            println!("NEW      {key}: not in baseline (sweep grew)");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_compare --robust: {failures} cell(s) lost improvement beyond {:.0}%, \
+             dropped a survival/convergence guarantee, grew residue, or went missing",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_compare --robust: all {} baseline cells within limits",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let sim_mode = args.first().is_some_and(|a| a == "--sim");
-    if sim_mode {
+    let robust_mode = args.first().is_some_and(|a| a == "--robust");
+    if sim_mode || robust_mode {
         args.remove(0);
     }
     let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
         (Some(b), Some(f)) => (b.clone(), f.clone()),
         _ => {
             eprintln!(
-                "usage: bench_compare [--sim] <baseline.json> <fresh.json> [--tolerance-points N]"
+                "usage: bench_compare [--sim | --robust] <baseline.json> <fresh.json> \
+                 [--tolerance-points N]"
             );
             return ExitCode::from(2);
         }
     };
     // Remaining arguments must parse exactly; a typo that silently fell
     // back to the default would loosen the CI gate without anyone noticing.
-    let mut tolerance_points = if sim_mode { 10.0f64 } else { 5.0f64 };
+    let mut tolerance_points = if sim_mode || robust_mode {
+        10.0f64
+    } else {
+        5.0f64
+    };
     let mut rest = args[2..].iter();
     while let Some(arg) = rest.next() {
         let value = match (arg.as_str(), arg.strip_prefix("--tolerance-points=")) {
@@ -231,6 +384,9 @@ fn main() -> ExitCode {
     let tolerance = tolerance_points / 100.0;
     if sim_mode {
         return compare_sim(&baseline_path, &fresh_path, tolerance);
+    }
+    if robust_mode {
+        return compare_robust(&baseline_path, &fresh_path, tolerance);
     }
 
     let (baseline, fresh) = match (parse(&baseline_path), parse(&fresh_path)) {

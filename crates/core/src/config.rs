@@ -2,7 +2,90 @@
 
 use crate::assess::AssessModel;
 use crate::detect::prefilter::LinePrefilter;
-use cheetah_pmu::SamplerConfig;
+use cheetah_pmu::{FaultPlan, SamplerConfig};
+use cheetah_sim::Cycles;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from validating a [`DetectorConfig`].
+///
+/// Returned by [`DetectorConfig::try_validate`] so that sweep harnesses
+/// iterating over many detector configurations can skip a bad cell
+/// gracefully; [`DetectorConfig::validate`] panics with the same message
+/// for callers that treat a bad config as a programming error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorConfigError {
+    /// `line_size` is not a power of two.
+    LineSizeNotPowerOfTwo,
+    /// `true_share_fraction` is outside `[0, 1]`.
+    FractionOutOfRange,
+    /// `default_serial_latency` is not positive.
+    NonPositiveSerialLatency,
+    /// `cycles_per_instruction` is negative.
+    NegativeCyclesPerInstruction,
+    /// `coherence_miss_latency` is negative.
+    NegativeCoherenceLatency,
+    /// A table capacity bound is zero — a detector that can track nothing
+    /// is a misconfiguration, not a degraded mode.
+    ZeroCapacity,
+}
+
+impl fmt::Display for DetectorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorConfigError::LineSizeNotPowerOfTwo => {
+                f.write_str("line size must be a power of two")
+            }
+            DetectorConfigError::FractionOutOfRange => {
+                f.write_str("true_share_fraction must be in [0, 1]")
+            }
+            DetectorConfigError::NonPositiveSerialLatency => {
+                f.write_str("default serial latency must be positive")
+            }
+            DetectorConfigError::NegativeCyclesPerInstruction => {
+                f.write_str("cycles per instruction must be non-negative")
+            }
+            DetectorConfigError::NegativeCoherenceLatency => {
+                f.write_str("coherence miss latency must be non-negative")
+            }
+            DetectorConfigError::ZeroCapacity => {
+                f.write_str("table capacity bounds must be nonzero")
+            }
+        }
+    }
+}
+
+impl Error for DetectorConfigError {}
+
+/// Plausibility bounds on incoming sample fields.
+///
+/// A real PMU ring buffer can hand the detector torn or garbage records
+/// (the fault injector reproduces this deliberately). Samples exceeding
+/// these limits are *quarantined* — counted and dropped before they touch
+/// any detector table — instead of allocating unbounded per-thread or
+/// per-phase state or skewing latency totals. The defaults are far above
+/// anything a genuine workload produces, so clean streams never trip them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestLimits {
+    /// Maximum plausible sampled latency in cycles. A single access taking
+    /// longer than this (~12 minutes at 1.5 GHz by default) is corruption,
+    /// not a slow miss.
+    pub max_latency: Cycles,
+    /// Maximum plausible thread id.
+    pub max_thread: u32,
+    /// Maximum plausible phase index.
+    pub max_phase: u32,
+}
+
+impl Default for IngestLimits {
+    fn default() -> Self {
+        IngestLimits {
+            max_latency: 1 << 40,
+            max_thread: 1 << 20,
+            max_phase: 1 << 20,
+        }
+    }
+}
 
 /// Tunables of the [`crate::Detector`].
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +123,19 @@ pub struct DetectorConfig {
     /// which preserves the unfiltered behaviour. See
     /// [`LinePrefilter`] for the safety contract.
     pub prefilter: LinePrefilter,
+    /// Maximum number of cache lines under detailed tracking at once.
+    /// `None` (the default) is unbounded — the paper's configuration, which
+    /// every baseline pins bit-identically. With a bound, admitting a line
+    /// beyond capacity evicts the coldest tracked line into a count-min
+    /// sketch (see [`crate::detect::sketch`]) so it can re-promote later.
+    pub line_capacity: Option<usize>,
+    /// Maximum number of objects in the attribution table. `None` (the
+    /// default) is unbounded; with a bound, admitting an object beyond
+    /// capacity evicts the resident with the least accumulated latency.
+    pub object_capacity: Option<usize>,
+    /// Plausibility bounds quarantining malformed samples before they touch
+    /// detector state.
+    pub limits: IngestLimits,
 }
 
 impl Default for DetectorConfig {
@@ -53,6 +149,9 @@ impl Default for DetectorConfig {
             cycles_per_instruction: 1.0,
             coherence_miss_latency: 150.0,
             prefilter: LinePrefilter::none(),
+            line_capacity: None,
+            object_capacity: None,
+            limits: IngestLimits::default(),
         }
     }
 }
@@ -62,29 +161,40 @@ impl DetectorConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `line_size` is not a power of two or the fraction is
-    /// outside `[0, 1]`.
+    /// Panics if [`DetectorConfig::try_validate`] fails — e.g. `line_size`
+    /// is not a power of two or the fraction is outside `[0, 1]`.
     pub fn validate(&self) {
-        assert!(
-            self.line_size.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.true_share_fraction),
-            "true_share_fraction must be in [0, 1]"
-        );
-        assert!(
-            self.default_serial_latency > 0.0,
-            "default serial latency must be positive"
-        );
-        assert!(
-            self.cycles_per_instruction >= 0.0,
-            "cycles per instruction must be non-negative"
-        );
-        assert!(
-            self.coherence_miss_latency >= 0.0,
-            "coherence miss latency must be non-negative"
-        );
+        if let Err(error) = self.try_validate() {
+            panic!("{error}");
+        }
+    }
+
+    /// Validates the configuration without panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DetectorConfigError`] found, checked in declaration
+    /// order.
+    pub fn try_validate(&self) -> Result<(), DetectorConfigError> {
+        if !self.line_size.is_power_of_two() {
+            return Err(DetectorConfigError::LineSizeNotPowerOfTwo);
+        }
+        if !(0.0..=1.0).contains(&self.true_share_fraction) {
+            return Err(DetectorConfigError::FractionOutOfRange);
+        }
+        if self.default_serial_latency <= 0.0 {
+            return Err(DetectorConfigError::NonPositiveSerialLatency);
+        }
+        if self.cycles_per_instruction < 0.0 {
+            return Err(DetectorConfigError::NegativeCyclesPerInstruction);
+        }
+        if self.coherence_miss_latency < 0.0 {
+            return Err(DetectorConfigError::NegativeCoherenceLatency);
+        }
+        if self.line_capacity == Some(0) || self.object_capacity == Some(0) {
+            return Err(DetectorConfigError::ZeroCapacity);
+        }
+        Ok(())
     }
 }
 
@@ -104,6 +214,12 @@ pub struct CheetahConfig {
     /// counts, detector ingest counters and table-size gauges. Defaults to
     /// the process-wide global registry; transparent to config equality.
     pub obs: cheetah_obs::ObsHandle,
+    /// Deterministic sample-stream fault plan for robustness testing: when
+    /// set, every sample passes through a seeded
+    /// [`cheetah_pmu::FaultInjector`] (drops, bursts, reordering,
+    /// duplication, corruption, truncation) before reaching the detector.
+    /// `None` (the default) delivers the stream untouched.
+    pub faults: Option<FaultPlan>,
 }
 
 impl CheetahConfig {
@@ -151,6 +267,26 @@ impl CheetahConfig {
         self.detector.prefilter = prefilter;
         self
     }
+
+    /// Same configuration with a seeded sample-stream fault plan installed.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Same configuration with the detailed-line table bounded to
+    /// `capacity` entries (cold lines evict into the count-min sketch).
+    pub fn with_line_capacity(mut self, capacity: usize) -> Self {
+        self.detector.line_capacity = Some(capacity);
+        self
+    }
+
+    /// Same configuration with the object table bounded to `capacity`
+    /// entries.
+    pub fn with_object_capacity(mut self, capacity: usize) -> Self {
+        self.detector.object_capacity = Some(capacity);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +320,59 @@ mod tests {
             ..DetectorConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn try_validate_reports_without_panicking() {
+        let bad = DetectorConfig {
+            line_size: 60,
+            ..DetectorConfig::default()
+        };
+        assert_eq!(
+            bad.try_validate().unwrap_err(),
+            DetectorConfigError::LineSizeNotPowerOfTwo
+        );
+        DetectorConfig::default().try_validate().unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_bounds_rejected() {
+        let bad = DetectorConfig {
+            line_capacity: Some(0),
+            ..DetectorConfig::default()
+        };
+        assert_eq!(
+            bad.try_validate().unwrap_err(),
+            DetectorConfigError::ZeroCapacity
+        );
+        DetectorConfig {
+            line_capacity: Some(1),
+            object_capacity: Some(1),
+            ..DetectorConfig::default()
+        }
+        .try_validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn defaults_leave_robustness_machinery_off() {
+        let config = CheetahConfig::default();
+        assert!(config.faults.is_none());
+        assert!(config.detector.line_capacity.is_none());
+        assert!(config.detector.object_capacity.is_none());
+        // Limits are far above anything a clean workload produces.
+        assert!(config.detector.limits.max_thread >= 1 << 20);
+    }
+
+    #[test]
+    fn builders_install_faults_and_capacities() {
+        let config = CheetahConfig::with_period(512)
+            .with_faults(FaultPlan::drops(200).with_seed(9))
+            .with_line_capacity(32)
+            .with_object_capacity(16);
+        assert_eq!(config.faults, Some(FaultPlan::drops(200).with_seed(9)));
+        assert_eq!(config.detector.line_capacity, Some(32));
+        assert_eq!(config.detector.object_capacity, Some(16));
+        config.detector.try_validate().unwrap();
     }
 }

@@ -9,8 +9,9 @@
 //! instead feed the `AverCycles_serial` estimate the assessment needs.
 
 use crate::config::DetectorConfig;
-use crate::detect::line_state::{LineState, StagedSample};
+use crate::detect::line_state::{LineDetail, LineState, StagedSample};
 use crate::detect::lines::LineAccum;
+use crate::detect::sketch::CountMinSketch;
 use cheetah_heap::{AddressSpace, Location, ShadowMap};
 use cheetah_obs::{Counter, Gauge, ObsHandle};
 use cheetah_pmu::Sample;
@@ -26,6 +27,107 @@ pub const OBS_LINE_TABLE: &str = "detect.line_table_entries";
 /// Counter name for parallel-phase samples skipped by the static line
 /// pre-filter ([`crate::LinePrefilter`]).
 pub const OBS_SAMPLES_PREFILTERED: &str = "detect.samples_prefiltered";
+/// Counter name for samples rejected by ingest validation
+/// ([`crate::config::IngestLimits`]).
+pub const OBS_SAMPLES_QUARANTINED: &str = "detect.samples_quarantined";
+/// Counter name for detailed lines evicted under the line-table bound.
+pub const OBS_LINES_EVICTED: &str = "detect.lines_evicted";
+/// Counter name for lines re-promoted to detailed tracking out of the
+/// eviction sketch.
+pub const OBS_LINES_REPROMOTED: &str = "detect.lines_repromoted";
+/// Counter name for detail admissions denied because the resident table
+/// was hotter than the challenger.
+pub const OBS_LINES_DENIED: &str = "detect.lines_denied";
+/// Counter name for objects evicted under the object-table bound.
+pub const OBS_OBJECTS_EVICTED: &str = "detect.objects_evicted";
+
+/// What [`Detector::ingest`] did with a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The sample passed validation (it may still have been filtered,
+    /// pre-filtered, or staged — those are accounting categories, not
+    /// rejections).
+    Accepted,
+    /// The sample failed a plausibility bound and touched no detector
+    /// state beyond the quarantine counters. Callers keeping their own
+    /// per-sample accounting (e.g. the profiler's per-thread totals)
+    /// should skip it too.
+    Quarantined,
+}
+
+/// Per-field tallies of quarantined samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuarantineCounts {
+    /// Samples whose latency exceeded `max_latency`.
+    pub bad_latency: u64,
+    /// Samples whose thread id exceeded `max_thread`.
+    pub bad_thread: u64,
+    /// Samples whose phase index exceeded `max_phase`.
+    pub bad_phase: u64,
+}
+
+impl QuarantineCounts {
+    /// Total quarantined samples. Fields are checked in declaration order
+    /// and a sample is counted against the first bound it breaks, so the
+    /// per-field tallies sum exactly to this.
+    pub fn total(&self) -> u64 {
+        self.bad_latency + self.bad_thread + self.bad_phase
+    }
+}
+
+/// Hygiene and bounded-memory statistics of one detector run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Samples rejected by validation, by field.
+    pub quarantined: QuarantineCounts,
+    /// Detailed lines evicted under the line-table bound.
+    pub line_evictions: u64,
+    /// Evicted lines re-promoted to detailed tracking via the sketch.
+    pub line_repromotions: u64,
+    /// Detail admissions denied because every resident line was hotter
+    /// than the challenger (the anti-thrash admission filter).
+    pub line_denials: u64,
+    /// Objects evicted under the object-table bound.
+    pub object_evictions: u64,
+    /// Lines currently under detailed tracking.
+    pub detailed_lines: u64,
+    /// Most lines ever under detailed tracking at once — the working-set
+    /// measure capacity experiments derive their bounds from.
+    pub peak_detailed_lines: u64,
+}
+
+/// Weight of one detected invalidation in admission-control scores,
+/// relative to one raw write. Contention is the signal the detector
+/// exists to find: a falsely-shared line producing invalidations must be
+/// able to out-bid a private line that is merely write-hot for the last
+/// detail slot, both when challenging (coarse-layer invalidations feed
+/// the challenger score) and when resident (invalidations recorded in
+/// detail feed the line's heat).
+const CONTENTION_WEIGHT: u64 = 16;
+
+/// Denials between heat-aging rounds. Every this-many denied admissions,
+/// all resident heats halve. Challenger scores (writes, sketch credit,
+/// coarse invalidations) are monotone while resident heat decays, so even
+/// a challenger contended exactly as hard as every resident overtakes
+/// them eventually — the admission filter dampens thrash, it cannot
+/// starve a persistent line.
+const AGING_PERIOD: u64 = 64;
+
+/// Bookkeeping of the bounded detailed-line table: which lines hold detail
+/// slots, how warm each has been, and the sketch remembering evictees.
+#[derive(Debug)]
+struct LineBound {
+    capacity: usize,
+    sketch: CountMinSketch,
+    /// Tracked lines in admission order (the eviction tie-break).
+    tracked: Vec<CacheLineId>,
+    /// Detailed samples per tracked line, halved at every eviction so
+    /// stale heat cannot squat on a slot forever.
+    heat: FastMap<CacheLineId, u64>,
+    evictions: u64,
+    repromotions: u64,
+    denials: u64,
+}
 
 /// Identity of a monitored data object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -97,14 +199,17 @@ impl ObjectAccum {
         invalidation: bool,
         line: CacheLineId,
     ) {
+        // Saturating throughout: like `LineState::record_write`, a counter
+        // on a pathological (or fault-injected) stream must pin at its
+        // ceiling, never wrap back toward zero and shrink a finding.
         match kind {
-            AccessKind::Read => self.reads += 1,
-            AccessKind::Write => self.writes += 1,
+            AccessKind::Read => self.reads = self.reads.saturating_add(1),
+            AccessKind::Write => self.writes = self.writes.saturating_add(1),
         }
         if invalidation {
-            self.invalidations += 1;
+            self.invalidations = self.invalidations.saturating_add(1);
         }
-        self.latency += latency;
+        self.latency = self.latency.saturating_add(latency);
         if !self.per_thread_phase.contains_key(&(thread, phase)) {
             self.thread_phase_order.push((thread, phase));
             if !self.thread_order.contains(&thread) {
@@ -112,8 +217,8 @@ impl ObjectAccum {
             }
         }
         let slice = self.per_thread_phase.entry((thread, phase)).or_default();
-        slice.accesses += 1;
-        slice.cycles += latency;
+        slice.accesses = slice.accesses.saturating_add(1);
+        slice.cycles = slice.cycles.saturating_add(latency);
         if self.lines.insert(line) {
             self.line_order.push(line);
         }
@@ -121,17 +226,17 @@ impl ObjectAccum {
 
     /// Total sampled accesses on the object.
     pub fn accesses(&self) -> u64 {
-        self.reads + self.writes
+        self.reads.saturating_add(self.writes)
     }
 
     /// Per-thread counters in first-touch order, summed over phases.
     pub fn threads(&self) -> impl Iterator<Item = (ThreadId, ThreadOnObject)> + '_ {
-        self.thread_order.iter().map(move |&thread| {
-            (
-                thread,
-                self.thread(thread).expect("ordered threads have slices"),
-            )
-        })
+        // filter_map rather than expect: the order list and the slice map
+        // are updated together, but a hardened iterator costs nothing and
+        // a desync must degrade to a missing row, not a panic.
+        self.thread_order
+            .iter()
+            .filter_map(move |&thread| self.thread(thread).map(|slice| (thread, slice)))
     }
 
     /// Counters of a single thread, summed over phases.
@@ -140,8 +245,8 @@ impl ObjectAccum {
         for ((t, _), slice) in self.thread_phases() {
             if t == thread {
                 let entry = total.get_or_insert_with(ThreadOnObject::default);
-                entry.accesses += slice.accesses;
-                entry.cycles += slice.cycles;
+                entry.accesses = entry.accesses.saturating_add(slice.accesses);
+                entry.cycles = entry.cycles.saturating_add(slice.cycles);
             }
         }
         total
@@ -211,8 +316,19 @@ pub struct Detector {
     serial_latencies: FastMap<Cycles, u64>,
     serial_samples: u64,
     prefiltered_samples: u64,
+    quarantine: QuarantineCounts,
+    /// Present when `config.line_capacity` bounds the detailed-line table.
+    bound: Option<LineBound>,
+    object_evictions: u64,
+    detailed_lines: u64,
+    peak_detailed_lines: u64,
     obs_ingested: Counter,
     obs_prefiltered: Counter,
+    obs_quarantined: Counter,
+    obs_lines_evicted: Counter,
+    obs_lines_repromoted: Counter,
+    obs_lines_denied: Counter,
+    obs_objects_evicted: Counter,
     obs_objects: Gauge,
     obs_lines: Gauge,
 }
@@ -238,6 +354,15 @@ impl Detector {
     pub fn with_obs(config: DetectorConfig, obs: &ObsHandle) -> Self {
         config.validate();
         let line_size = config.line_size;
+        let bound = config.line_capacity.map(|capacity| LineBound {
+            capacity,
+            sketch: CountMinSketch::with_capacity(capacity),
+            tracked: Vec::new(),
+            heat: FastMap::default(),
+            evictions: 0,
+            repromotions: 0,
+            denials: 0,
+        });
         Detector {
             config,
             shadow: ShadowMap::new(line_size),
@@ -250,8 +375,18 @@ impl Detector {
             serial_latencies: FastMap::default(),
             serial_samples: 0,
             prefiltered_samples: 0,
+            quarantine: QuarantineCounts::default(),
+            bound,
+            object_evictions: 0,
+            detailed_lines: 0,
+            peak_detailed_lines: 0,
             obs_ingested: obs.counter(OBS_SAMPLES_INGESTED),
             obs_prefiltered: obs.counter(OBS_SAMPLES_PREFILTERED),
+            obs_quarantined: obs.counter(OBS_SAMPLES_QUARANTINED),
+            obs_lines_evicted: obs.counter(OBS_LINES_EVICTED),
+            obs_lines_repromoted: obs.counter(OBS_LINES_REPROMOTED),
+            obs_lines_denied: obs.counter(OBS_LINES_DENIED),
+            obs_objects_evicted: obs.counter(OBS_OBJECTS_EVICTED),
             obs_objects: obs.gauge(OBS_OBJECT_TABLE),
             obs_lines: obs.gauge(OBS_LINE_TABLE),
         }
@@ -263,15 +398,44 @@ impl Detector {
     }
 
     /// Feeds one sample, resolving object attribution against `space`.
-    pub fn ingest(&mut self, space: &AddressSpace, sample: &Sample) {
+    ///
+    /// Returns [`IngestOutcome::Quarantined`] when the sample failed a
+    /// plausibility bound ([`crate::config::IngestLimits`]) and was counted
+    /// but otherwise ignored; callers with their own per-sample accounting
+    /// should skip such samples too.
+    pub fn ingest(&mut self, space: &AddressSpace, sample: &Sample) -> IngestOutcome {
         self.obs_ingested.add(1);
-        self.ingest_inner(space, sample);
+        let outcome = self.ingest_inner(space, sample);
         self.obs_objects.set(self.objects.len() as u64);
         self.obs_lines.set(self.lines.len() as u64);
+        outcome
     }
 
-    fn ingest_inner(&mut self, space: &AddressSpace, sample: &Sample) {
+    fn ingest_inner(&mut self, space: &AddressSpace, sample: &Sample) -> IngestOutcome {
         self.total_samples += 1;
+        // Hygiene gate: a malformed sample (torn PMU record, injected
+        // corruption) is counted into quarantine *before* it can allocate
+        // state, skew a latency histogram, or invent a thread. Bounds are
+        // checked in field order and the sample is charged to the first
+        // bound it breaks, so per-field tallies are exact. A corrupt
+        // address needs no bound of its own: the segment filter below
+        // already rejects addresses outside monitored memory.
+        let limits = self.config.limits;
+        if sample.latency > limits.max_latency {
+            self.quarantine.bad_latency += 1;
+            self.obs_quarantined.add(1);
+            return IngestOutcome::Quarantined;
+        }
+        if sample.thread.0 > limits.max_thread {
+            self.quarantine.bad_thread += 1;
+            self.obs_quarantined.add(1);
+            return IngestOutcome::Quarantined;
+        }
+        if sample.phase_index > limits.max_phase {
+            self.quarantine.bad_phase += 1;
+            self.obs_quarantined.add(1);
+            return IngestOutcome::Quarantined;
+        }
         let line = sample.addr.line(self.config.line_size);
         // Static pre-filter: parallel-phase samples on lines the static
         // analysis proved private are dropped before any shadow state is
@@ -284,58 +448,128 @@ impl Detector {
         {
             self.prefiltered_samples += 1;
             self.obs_prefiltered.add(1);
-            return;
+            return IngestOutcome::Accepted;
         }
-        let Some(state) = self.shadow.get_mut_or_default(line) else {
-            // Stack / kernel / library address: the driver filters these.
-            self.filtered_samples += 1;
-            return;
-        };
-        if sample.kind.is_write() {
-            state.record_write();
-        }
-        if !sample.in_parallel_phase() {
-            // Serial-phase samples only contribute the no-false-sharing
-            // latency baseline.
-            *self.serial_latencies.entry(sample.latency).or_insert(0) += 1;
-            self.serial_samples += 1;
-            return;
-        }
+        // Sketch memory: an evicted line's earlier writes live on in the
+        // count-min sketch, so its estimate counts toward the threshold
+        // and a line that heats back up re-promotes instead of re-serving
+        // the full pre-filter apprenticeship. Unbounded detectors have no
+        // sketch and `remembered` is always zero — bit-identical to the
+        // pre-bound behaviour.
+        let remembered = self
+            .bound
+            .as_ref()
+            .map_or(0, |bound| bound.sketch.estimate(line));
         let threshold = self.config.write_threshold;
         let line_size = self.config.line_size;
-        if state.detail.is_none() && state.writes <= threshold {
-            // Pre-filter: the line is still cold. Stage (not drop) the
-            // sample so that, if the line does go hot, the accounting is
-            // not short exactly the samples that made it hot — a loss the
-            // assessment would amplify by the sampling rate. Writes have
-            // priority: a full buffer evicts its oldest read rather than
-            // drop a threshold-tripping write (a read-mostly line can
-            // otherwise fill every slot before the writer shows up).
-            let staged = StagedSample {
-                thread: sample.thread,
-                addr: sample.addr,
-                kind: sample.kind,
-                latency: sample.latency,
-                phase: sample.phase_index,
+        let needs_admission;
+        {
+            let Some(state) = self.shadow.get_mut_or_default(line) else {
+                // Stack / kernel / library address: the driver filters these.
+                self.filtered_samples += 1;
+                return IngestOutcome::Accepted;
             };
-            if state.staged.len() < LineState::stage_capacity(threshold) {
-                state.staged.push(staged);
-            } else if sample.kind.is_write() {
-                if let Some(read) = state
-                    .staged
-                    .iter()
-                    .position(|held| held.kind == AccessKind::Read)
-                {
-                    state.staged.remove(read);
-                    state.staged.push(staged);
-                }
+            if sample.kind.is_write() {
+                state.record_write();
             }
-            return;
+            if !sample.in_parallel_phase() {
+                // Serial-phase samples only contribute the no-false-sharing
+                // latency baseline.
+                *self.serial_latencies.entry(sample.latency).or_insert(0) += 1;
+                self.serial_samples += 1;
+                return IngestOutcome::Accepted;
+            }
+            if state.detail.is_none() && state.writes.saturating_add(remembered) <= threshold {
+                // Pre-filter: the line is still cold. Stage (not drop) the
+                // sample so that, if the line does go hot, the accounting is
+                // not short exactly the samples that made it hot — a loss the
+                // assessment would amplify by the sampling rate. Writes have
+                // priority: a full buffer evicts its oldest read rather than
+                // drop a threshold-tripping write (a read-mostly line can
+                // otherwise fill every slot before the writer shows up).
+                Self::stage(
+                    state,
+                    StagedSample {
+                        thread: sample.thread,
+                        addr: sample.addr,
+                        kind: sample.kind,
+                        latency: sample.latency,
+                        phase: sample.phase_index,
+                    },
+                    threshold,
+                );
+                return IngestOutcome::Accepted;
+            }
+            needs_admission = state.detail.is_none();
         }
-        let staged = std::mem::take(&mut state.staged);
-        let Some(detail) = state.detail_if_hot(threshold, line_size) else {
-            return;
+        // The shadow borrow is released: admission may evict another
+        // line's shadow slot, which needs the map again.
+        if needs_admission && !self.admit_line(line) {
+            // Admission denied: every resident is hotter. Degrade to
+            // the coarse layer instead of losing the sample — a lazily
+            // boxed two-entry table keeps invalidation detection
+            // alive, and the object accumulator (whose memory is
+            // bounded separately) keeps the evidence the assessment
+            // needs. Only word-granularity detail is sacrificed.
+            let invalidation = match self.shadow.get_mut_or_default(line) {
+                Some(state) => {
+                    let table = state.coarse.get_or_insert_with(Box::default);
+                    let invalidation = match sample.kind {
+                        AccessKind::Read => {
+                            table.record_read(sample.thread);
+                            false
+                        }
+                        AccessKind::Write => {
+                            table.record_write(sample.thread)
+                                == crate::detect::table::WriteOutcome::Invalidation
+                        }
+                    };
+                    if invalidation {
+                        // Each coarse invalidation raises the line's
+                        // admission bid by CONTENTION_WEIGHT, so a
+                        // contended line climbs past write-hot private
+                        // residents instead of starving.
+                        state.coarse_invalidations = state.coarse_invalidations.saturating_add(1);
+                    }
+                    invalidation
+                }
+                None => false,
+            };
+            Self::record_object(
+                &mut self.objects,
+                &mut self.object_order,
+                &mut self.lines,
+                &mut self.unattributed_samples,
+                self.config.object_capacity,
+                &mut self.object_evictions,
+                &self.obs_objects_evicted,
+                space,
+                line,
+                &StagedSample {
+                    thread: sample.thread,
+                    addr: sample.addr,
+                    kind: sample.kind,
+                    latency: sample.latency,
+                    phase: sample.phase_index,
+                },
+                invalidation,
+            );
+            return IngestOutcome::Accepted;
+        }
+        let Some(state) = self.shadow.get_mut_or_default(line) else {
+            // Unreachable — the same line resolved above — but a resolver
+            // desync must degrade to a filtered sample, not a panic.
+            self.filtered_samples += 1;
+            return IngestOutcome::Accepted;
         };
+        let staged = std::mem::take(&mut state.staged);
+        // Allocate detail directly rather than via the threshold re-check:
+        // a sketch-re-promoted line is hot on remembered credit and may
+        // hold fewer post-eviction writes than the raw threshold asks.
+        let detail = &mut **state
+            .detail
+            .get_or_insert_with(|| Box::new(LineDetail::new(line_size)));
+        let invalidations_before = detail.invalidations;
         for held in &staged {
             Self::record_detail(
                 detail,
@@ -343,6 +577,9 @@ impl Detector {
                 &mut self.object_order,
                 &mut self.lines,
                 &mut self.unattributed_samples,
+                self.config.object_capacity,
+                &mut self.object_evictions,
+                &self.obs_objects_evicted,
                 space,
                 line,
                 line_size,
@@ -362,32 +599,174 @@ impl Detector {
             &mut self.object_order,
             &mut self.lines,
             &mut self.unattributed_samples,
+            self.config.object_capacity,
+            &mut self.object_evictions,
+            &self.obs_objects_evicted,
             space,
             line,
             line_size,
             &current,
         );
+        // Heat growth is contention-weighted: a resident line earns 1 per
+        // detailed sample plus CONTENTION_WEIGHT per invalidation it just
+        // produced, so a falsely-shared resident resists eviction by
+        // private lines that are merely write-hot. Unbounded detectors
+        // keep no heat map and skip this entirely.
+        let contention = detail.invalidations - invalidations_before;
+        if let Some(bound) = &mut self.bound {
+            if let Some(heat) = bound.heat.get_mut(&line) {
+                *heat = heat.saturating_add(1 + CONTENTION_WEIGHT * contention);
+            }
+        }
+        IngestOutcome::Accepted
+    }
+
+    /// Starts detailed tracking of `line`: under a capacity bound the
+    /// coldest tracked line is evicted first, and re-admission of a line
+    /// the sketch remembers counts as a re-promotion.
+    /// Parks a cold-line (or admission-denied) sample in the line's stage
+    /// buffer. Writes have priority: a full buffer evicts its oldest
+    /// staged read rather than drop a threshold-tripping write (a
+    /// read-mostly line could otherwise fill every slot before the writer
+    /// shows up).
+    fn stage(state: &mut LineState, staged: StagedSample, threshold: u32) {
+        if state.staged.len() < LineState::stage_capacity(threshold) {
+            state.staged.push(staged);
+        } else if staged.kind.is_write() {
+            if let Some(read) = state
+                .staged
+                .iter()
+                .position(|held| held.kind == AccessKind::Read)
+            {
+                state.staged.remove(read);
+                state.staged.push(staged);
+            }
+        }
+    }
+
+    /// Admits `line` into the detailed table, evicting the coldest
+    /// resident when the table is full — but only if the challenger's
+    /// score (pre-filter writes, remembered sketch credit, and
+    /// contention-weighted coarse-layer invalidations) beats that
+    /// resident's heat (TinyLFU-style admission control). Denial is
+    /// starvation-free: a denied line's score keeps growing with every
+    /// write — and by [`CONTENTION_WEIGHT`] per coarse invalidation —
+    /// while resident heat decays every [`AGING_PERIOD`] denials, so a
+    /// persistent line eventually wins a slot even from an incumbent
+    /// contended exactly as hard. Returns whether the line was admitted.
+    fn admit_line(&mut self, line: CacheLineId) -> bool {
+        if let Some(mut bound) = self.bound.take() {
+            let credit = u64::from(bound.sketch.estimate(line));
+            if bound.tracked.len() >= bound.capacity {
+                let challenger = credit
+                    + self.shadow.get(line).map_or(0, |state| {
+                        u64::from(state.writes)
+                            + CONTENTION_WEIGHT * u64::from(state.coarse_invalidations)
+                    });
+                let coldest = bound
+                    .tracked
+                    .iter()
+                    .map(|resident| bound.heat.get(resident).copied().unwrap_or(0))
+                    .min()
+                    .unwrap_or(0);
+                if challenger <= coldest {
+                    bound.denials += 1;
+                    self.obs_lines_denied.add(1);
+                    // Age resident heat on a denial cadence: decay is what
+                    // lets an equally-contended challenger eventually win
+                    // a slot from an equally-contended incumbent.
+                    if bound.denials % AGING_PERIOD == 0 {
+                        for heat in bound.heat.values_mut() {
+                            *heat /= 2;
+                        }
+                    }
+                    self.bound = Some(bound);
+                    return false;
+                }
+                self.evict_coldest(&mut bound);
+            }
+            if credit > 0 {
+                bound.repromotions += 1;
+                self.obs_lines_repromoted.add(1);
+            }
+            // Sketch credit seeds the heat: a re-promoted hot line must
+            // not re-enter as the coldest resident and thrash straight
+            // back out.
+            bound.tracked.push(line);
+            bound.heat.insert(line, 1 + credit);
+            self.bound = Some(bound);
+        }
+        self.detailed_lines += 1;
+        self.peak_detailed_lines = self.peak_detailed_lines.max(self.detailed_lines);
+        true
+    }
+
+    /// Evicts the minimum-heat tracked line (admission order breaks ties,
+    /// deterministically): its write count folds into the sketch and its
+    /// shadow slot resets to cold. The line's co-residency accumulator is
+    /// deliberately kept — it belongs to the coarse always-on layer the
+    /// assessment draws relief credits from, and dropping it with the
+    /// detail slot would zero a finding's payoff under churn. Remaining
+    /// heats are halved so long-stale heat cannot hold a slot against
+    /// current traffic.
+    fn evict_coldest(&mut self, bound: &mut LineBound) {
+        let mut victim_index = 0;
+        let mut victim_heat = u64::MAX;
+        for (index, candidate) in bound.tracked.iter().enumerate() {
+            let heat = bound.heat.get(candidate).copied().unwrap_or(0);
+            if heat < victim_heat {
+                victim_heat = heat;
+                victim_index = index;
+            }
+        }
+        let victim = bound.tracked.remove(victim_index);
+        bound.heat.remove(&victim);
+        if let Some(state) = self.shadow.get_mut_or_default(victim) {
+            // Fold contention alongside writes: a contended victim's
+            // invalidations (detail-detected plus any earlier coarse ones)
+            // inflate its sketch credit so it re-promotes cheaply and
+            // re-enters with heat instead of thrashing at the bottom.
+            let contention = state
+                .detail
+                .as_ref()
+                .map_or(0, |detail| detail.invalidations)
+                .saturating_add(u64::from(state.coarse_invalidations));
+            let fold = u64::from(state.writes)
+                .saturating_add(CONTENTION_WEIGHT * contention)
+                .min(u64::from(u32::MAX)) as u32;
+            bound.sketch.add(victim, fold);
+            *state = LineState::default();
+        }
+        self.detailed_lines = self.detailed_lines.saturating_sub(1);
+        bound.evictions += 1;
+        self.obs_lines_evicted.add(1);
+        for heat in bound.heat.values_mut() {
+            *heat /= 2;
+        }
     }
 
     /// Records one (possibly replayed) parallel-phase sample into the
     /// line's detail state and its object's accumulator.
     #[allow(clippy::too_many_arguments)]
     fn record_detail(
-        detail: &mut crate::detect::line_state::LineDetail,
+        detail: &mut LineDetail,
         objects: &mut FastMap<ObjectKey, ObjectAccum>,
         object_order: &mut Vec<ObjectKey>,
         lines: &mut FastMap<CacheLineId, LineAccum>,
         unattributed_samples: &mut u64,
+        object_capacity: Option<usize>,
+        object_evictions: &mut u64,
+        obs_objects_evicted: &Counter,
         space: &AddressSpace,
         line: CacheLineId,
         line_size: u64,
         sample: &StagedSample,
     ) {
         match sample.kind {
-            AccessKind::Read => detail.reads += 1,
-            AccessKind::Write => detail.writes += 1,
+            AccessKind::Read => detail.reads = detail.reads.saturating_add(1),
+            AccessKind::Write => detail.writes = detail.writes.saturating_add(1),
         }
-        detail.latency += sample.latency;
+        detail.latency = detail.latency.saturating_add(sample.latency);
         let word = sample.addr.word_in_line(line_size);
         detail.words.record(
             word,
@@ -407,8 +786,43 @@ impl Detector {
             }
         };
         if invalidation {
-            detail.invalidations += 1;
+            detail.invalidations = detail.invalidations.saturating_add(1);
         }
+        Self::record_object(
+            objects,
+            object_order,
+            lines,
+            unattributed_samples,
+            object_capacity,
+            object_evictions,
+            obs_objects_evicted,
+            space,
+            line,
+            sample,
+            invalidation,
+        );
+    }
+
+    /// Records one attributed sample into the object and line-co-residency
+    /// accumulators — the coarse, always-on layer beneath the line detail.
+    /// Under line-table pressure this is also fed directly by
+    /// admission-denied samples, so an object's totals (and with them the
+    /// assessment) stay honest even when its lines lose their detail
+    /// slots.
+    #[allow(clippy::too_many_arguments)]
+    fn record_object(
+        objects: &mut FastMap<ObjectKey, ObjectAccum>,
+        object_order: &mut Vec<ObjectKey>,
+        lines: &mut FastMap<CacheLineId, LineAccum>,
+        unattributed_samples: &mut u64,
+        object_capacity: Option<usize>,
+        object_evictions: &mut u64,
+        obs_objects_evicted: &Counter,
+        space: &AddressSpace,
+        line: CacheLineId,
+        sample: &StagedSample,
+        invalidation: bool,
+    ) {
         let key = match space.resolve(sample.addr) {
             Location::HeapObject(id) => ObjectKey::Heap(id),
             Location::Global(index) => ObjectKey::Global(index),
@@ -431,6 +845,35 @@ impl Detector {
                 invalidation,
                 line,
             );
+        // Object-table bound: admitting past capacity evicts the resident
+        // with the least accumulated latency — the one whose loss costs the
+        // ranking least — never the newcomer (one sample of history is no
+        // basis for judging it). First-touch order breaks ties, so the
+        // choice is deterministic.
+        if let Some(capacity) = object_capacity {
+            if objects.len() > capacity {
+                let mut victim: Option<(usize, Cycles)> = None;
+                for (index, candidate) in object_order.iter().enumerate() {
+                    if *candidate == key {
+                        continue;
+                    }
+                    let latency = objects.get(candidate).map_or(0, |accum| accum.latency);
+                    let colder = match victim {
+                        None => true,
+                        Some((_, best)) => latency < best,
+                    };
+                    if colder {
+                        victim = Some((index, latency));
+                    }
+                }
+                if let Some((index, _)) = victim {
+                    let evicted = object_order.remove(index);
+                    objects.remove(&evicted);
+                    *object_evictions += 1;
+                    obs_objects_evicted.add(1);
+                }
+            }
+        }
         // Co-residency: the same attributed sample, keyed by line — what
         // the line-level assessment credits when a repair frees the whole
         // line (see [`crate::detect::lines`]).
@@ -482,9 +925,13 @@ impl Detector {
             }
             seen += count;
         }
-        let lower = lower.expect("counts cover the median") as f64;
-        let upper = upper.expect("counts cover the median") as f64;
-        (lower + upper) / 2.0
+        // The histogram invariant (counts sum to serial_samples) makes both
+        // medians found by construction; if a desync ever broke it, fall
+        // back to the configured default rather than panic mid-profile.
+        match (lower, upper) {
+            (Some(lower), Some(upper)) => (lower as f64 + upper as f64) / 2.0,
+            _ => self.config.default_serial_latency,
+        }
     }
 
     /// Per-object accumulators in first-touch order.
@@ -532,6 +979,34 @@ impl Detector {
     /// ([`crate::LinePrefilter`]); zero when no filter is installed.
     pub fn prefiltered_samples(&self) -> u64 {
         self.prefiltered_samples
+    }
+
+    /// Samples rejected by the ingest plausibility bounds, by field.
+    pub fn quarantine_counts(&self) -> QuarantineCounts {
+        self.quarantine
+    }
+
+    /// Total quarantined samples.
+    pub fn quarantined_samples(&self) -> u64 {
+        self.quarantine.total()
+    }
+
+    /// Hygiene and bounded-memory statistics of the run so far. All zeros
+    /// (except the detailed-line counts) on a clean, unbounded run.
+    pub fn ingest_stats(&self) -> IngestStats {
+        let (line_evictions, line_repromotions, line_denials) =
+            self.bound.as_ref().map_or((0, 0, 0), |bound| {
+                (bound.evictions, bound.repromotions, bound.denials)
+            });
+        IngestStats {
+            quarantined: self.quarantine,
+            line_evictions,
+            line_repromotions,
+            line_denials,
+            object_evictions: self.object_evictions,
+            detailed_lines: self.detailed_lines,
+            peak_detailed_lines: self.peak_detailed_lines,
+        }
     }
 }
 
@@ -886,5 +1361,233 @@ mod tests {
         let accum = detector.objects().next().unwrap();
         assert_eq!(accum.lines().len(), 2);
         assert!(accum.invalidations >= 70);
+    }
+
+    #[test]
+    fn quarantine_counts_each_field_exactly_once() {
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        let limits = detector.config().limits;
+        let bad_latency = Sample {
+            latency: limits.max_latency + 1,
+            ..sample(1, base, AccessKind::Write, PhaseKind::Parallel)
+        };
+        let bad_thread = sample(
+            limits.max_thread + 1,
+            base,
+            AccessKind::Write,
+            PhaseKind::Parallel,
+        );
+        let bad_phase = Sample {
+            phase_index: limits.max_phase + 1,
+            ..sample(1, base, AccessKind::Write, PhaseKind::Parallel)
+        };
+        assert_eq!(
+            detector.ingest(&space, &bad_latency),
+            IngestOutcome::Quarantined
+        );
+        assert_eq!(
+            detector.ingest(&space, &bad_thread),
+            IngestOutcome::Quarantined
+        );
+        assert_eq!(
+            detector.ingest(&space, &bad_phase),
+            IngestOutcome::Quarantined
+        );
+        let counts = detector.quarantine_counts();
+        assert_eq!(
+            (counts.bad_latency, counts.bad_thread, counts.bad_phase),
+            (1, 1, 1)
+        );
+        assert_eq!(detector.quarantined_samples(), 3);
+        // Quarantined samples are counted into the total but touch no
+        // table: no staged state, no serial baseline, no objects.
+        assert_eq!(detector.total_samples(), 3);
+        assert_eq!(detector.serial_samples(), 0);
+        assert_eq!(detector.objects().count(), 0);
+        assert!(detector.shadow().get(base.line(64)).is_none());
+    }
+
+    #[test]
+    fn clean_samples_come_back_accepted() {
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        let outcome = detector.ingest(
+            &space,
+            &sample(1, base, AccessKind::Write, PhaseKind::Parallel),
+        );
+        assert_eq!(outcome, IngestOutcome::Accepted);
+        assert_eq!(detector.quarantined_samples(), 0);
+    }
+
+    #[test]
+    fn unbounded_detector_reports_zero_robustness_stats() {
+        let (space, base) = space_with_object(64);
+        let mut detector = Detector::new(DetectorConfig::default());
+        for _ in 0..50 {
+            detector.ingest(
+                &space,
+                &sample(1, base, AccessKind::Write, PhaseKind::Parallel),
+            );
+            detector.ingest(
+                &space,
+                &sample(2, base.offset(4), AccessKind::Write, PhaseKind::Parallel),
+            );
+        }
+        let stats = detector.ingest_stats();
+        assert_eq!(stats.quarantined.total(), 0);
+        assert_eq!(stats.line_evictions, 0);
+        assert_eq!(stats.line_repromotions, 0);
+        assert_eq!(stats.object_evictions, 0);
+        assert_eq!(stats.detailed_lines, 1);
+        assert_eq!(stats.peak_detailed_lines, 1);
+    }
+
+    /// Hammers `lines` distinct cache lines of one large object, `rounds`
+    /// two-thread write pairs each, interleaved line-by-line.
+    fn hammer_lines(
+        detector: &mut Detector,
+        space: &AddressSpace,
+        base: Addr,
+        lines: u64,
+        rounds: u64,
+    ) {
+        for _ in 0..rounds {
+            for line in 0..lines {
+                detector.ingest(
+                    space,
+                    &sample(
+                        1,
+                        base.offset(line * 64),
+                        AccessKind::Write,
+                        PhaseKind::Parallel,
+                    ),
+                );
+                detector.ingest(
+                    space,
+                    &sample(
+                        2,
+                        base.offset(line * 64 + 4),
+                        AccessKind::Write,
+                        PhaseKind::Parallel,
+                    ),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_line_table_respects_capacity_and_evicts() {
+        let (space, base) = space_with_object(8 * 64);
+        let config = DetectorConfig {
+            line_capacity: Some(4),
+            ..DetectorConfig::default()
+        };
+        let mut detector = Detector::new(config);
+        hammer_lines(&mut detector, &space, base, 8, 20);
+        let stats = detector.ingest_stats();
+        assert!(stats.detailed_lines <= 4, "capacity must hold");
+        assert!(stats.line_evictions > 0, "8 hot lines into 4 slots");
+        assert!(stats.peak_detailed_lines <= 4);
+        // Detail survives only on currently-tracked lines.
+        let detailed = (0..8u64)
+            .filter(|line| {
+                detector
+                    .shadow()
+                    .get(base.offset(line * 64).line(64))
+                    .is_some_and(|state| state.is_detailed())
+            })
+            .count() as u64;
+        assert_eq!(detailed, stats.detailed_lines);
+    }
+
+    #[test]
+    fn evicted_lines_repromote_through_the_sketch() {
+        let (space, base) = space_with_object(8 * 64);
+        let config = DetectorConfig {
+            line_capacity: Some(2),
+            ..DetectorConfig::default()
+        };
+        let mut detector = Detector::new(config);
+        // Round-robin over 8 lines with capacity 2: every line keeps being
+        // evicted and, thanks to the sketch remembering its writes, keeps
+        // re-promoting on its next sample instead of re-warming from zero.
+        hammer_lines(&mut detector, &space, base, 8, 10);
+        let stats = detector.ingest_stats();
+        assert!(stats.line_evictions > 0);
+        assert!(
+            stats.line_repromotions > 0,
+            "sketch memory must re-promote returning lines: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_at_working_set_is_bit_identical_to_unbounded() {
+        let run = |capacity: Option<usize>| {
+            let (space, base) = space_with_object(4 * 64);
+            let config = DetectorConfig {
+                line_capacity: capacity,
+                object_capacity: capacity.map(|_| 64),
+                ..DetectorConfig::default()
+            };
+            let mut detector = Detector::new(config);
+            hammer_lines(&mut detector, &space, base, 4, 25);
+            let objects: Vec<ObjectAccum> = detector.objects().cloned().collect();
+            (
+                detector.total_samples(),
+                detector.ingest_stats(),
+                format!("{objects:?}"),
+            )
+        };
+        let (unbounded_total, unbounded_stats, unbounded_objects) = run(None);
+        let (bounded_total, bounded_stats, bounded_objects) = run(Some(4));
+        assert_eq!(unbounded_total, bounded_total);
+        assert_eq!(bounded_stats.line_evictions, 0, "capacity covers the set");
+        assert_eq!(bounded_stats, unbounded_stats);
+        assert_eq!(unbounded_objects, bounded_objects);
+    }
+
+    #[test]
+    fn object_table_bound_keeps_the_hottest_objects() {
+        // Four separately-allocated objects, each on its own line; one gets
+        // 10x the traffic of the others. Capacity 2 must keep the hot one.
+        let mut space = AddressSpace::new();
+        let mut addrs = Vec::new();
+        for i in 0..4 {
+            addrs.push(
+                space
+                    .heap_mut()
+                    .alloc(ThreadId(0), 64, CallStack::single("app.c", i))
+                    .unwrap(),
+            );
+        }
+        let config = DetectorConfig {
+            object_capacity: Some(2),
+            ..DetectorConfig::default()
+        };
+        let mut detector = Detector::new(config);
+        for round in 0..40 {
+            for (index, &addr) in addrs.iter().enumerate() {
+                // Cold objects only get traffic in the first few rounds.
+                if index > 0 && round >= 4 {
+                    continue;
+                }
+                detector.ingest(
+                    &space,
+                    &sample(1, addr, AccessKind::Write, PhaseKind::Parallel),
+                );
+                detector.ingest(
+                    &space,
+                    &sample(2, addr.offset(4), AccessKind::Write, PhaseKind::Parallel),
+                );
+            }
+        }
+        assert!(detector.objects().count() <= 2);
+        assert!(detector.ingest_stats().object_evictions >= 2);
+        let survivors: Vec<ObjectKey> = detector.objects().map(|o| o.key).collect();
+        assert!(
+            survivors.contains(&ObjectKey::Heap(cheetah_heap::ObjectId(0))),
+            "the hottest object must survive: {survivors:?}"
+        );
     }
 }

@@ -75,6 +75,19 @@ pub struct LineState {
     pub staged: Vec<StagedSample>,
     /// Detailed state, present once `writes` exceeds the threshold.
     pub detail: Option<Box<LineDetail>>,
+    /// Degraded-mode invalidation table for a hot line that was *denied*
+    /// a detail slot by the bounded line table. Allocated lazily on the
+    /// first denial — unbounded detectors never pay for it — it keeps the
+    /// constant-space invalidation detection (§2.3) alive so the owning
+    /// object's finding keeps accumulating evidence; only the
+    /// word-granularity classification detail is sacrificed.
+    pub coarse: Option<Box<TwoEntryTable>>,
+    /// Invalidations the coarse table detected while the line was denied
+    /// a detail slot. Contention is the signal the detector exists to
+    /// find, so admission control weighs these far above raw writes — a
+    /// falsely-shared line must be able to out-bid a write-hot private
+    /// line for the last detail slot.
+    pub coarse_invalidations: u32,
 }
 
 impl LineState {

@@ -92,10 +92,12 @@ impl LineAccum {
             }
             Entry::Occupied(occupied) => occupied.into_mut(),
         };
-        slice.accesses += 1;
-        slice.cycles += latency;
+        // Saturating like every detector counter: adversarial latencies
+        // must pin at the ceiling, not wrap a hot slice back to cold.
+        slice.accesses = slice.accesses.saturating_add(1);
+        slice.cycles = slice.cycles.saturating_add(latency);
         if kind.is_write() {
-            slice.writes += 1;
+            slice.writes = slice.writes.saturating_add(1);
         }
     }
 
@@ -154,8 +156,8 @@ fn merge(
 ) {
     match into.iter_mut().find(|(key, _)| *key == slot) {
         Some((_, existing)) => {
-            existing.accesses += traffic.accesses;
-            existing.cycles += traffic.cycles;
+            existing.accesses = existing.accesses.saturating_add(traffic.accesses);
+            existing.cycles = existing.cycles.saturating_add(traffic.cycles);
         }
         None => into.push((slot, traffic)),
     }

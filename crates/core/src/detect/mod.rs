@@ -6,12 +6,16 @@ pub mod detector;
 pub mod line_state;
 pub mod lines;
 pub mod prefilter;
+pub mod sketch;
 pub mod table;
 pub mod words;
 
-pub use detector::{Detector, ObjectAccum, ObjectKey, ThreadOnObject};
+pub use detector::{
+    Detector, IngestOutcome, IngestStats, ObjectAccum, ObjectKey, QuarantineCounts, ThreadOnObject,
+};
 pub use line_state::{LineDetail, LineState};
 pub use lines::{LineAccum, LineResidency, LineSlice};
 pub use prefilter::LinePrefilter;
+pub use sketch::CountMinSketch;
 pub use table::{TableEntry, TwoEntryTable, WriteOutcome};
 pub use words::{WordMap, WordStats, WordThreadStats};

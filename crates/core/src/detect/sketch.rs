@@ -1,0 +1,194 @@
+//! A count-min sketch remembering the pre-filter credit of evicted lines.
+//!
+//! The bounded-memory detector (see [`crate::DetectorConfig::line_capacity`])
+//! cannot keep detailed state for every hot line of an over-capacity working
+//! set. When it evicts a line it folds the line's sampled write count into
+//! this sketch instead of discarding it: a few kilobytes of saturating
+//! counters that never forget, only over-estimate. If the evicted line heats
+//! up again, the sketch's estimate counts toward the write threshold, so the
+//! line *re-promotes* to detailed tracking immediately rather than
+//! re-serving the full pre-filter apprenticeship — the degradation is
+//! bounded staleness, never permanent blindness.
+//!
+//! Properties the detector relies on:
+//!
+//! * **No under-estimates.** `estimate(line)` ≥ the true total added for
+//!   `line` (standard count-min guarantee: every row's cell is incremented,
+//!   the minimum over rows is reported). A line can only re-promote *sooner*
+//!   than its true history warrants, never later.
+//! * **Deterministic.** Hashing is seeded with fixed constants; two
+//!   detectors fed the same eviction sequence hold identical sketches, which
+//!   the reproducibility guarantees of the robustness sweep depend on.
+//! * **Empty is free.** An unbounded detector never adds to a sketch, and an
+//!   empty sketch estimates zero for every line, so the bounded machinery is
+//!   bit-transparent until the first eviction.
+
+use cheetah_sim::CacheLineId;
+
+/// Number of hash rows. Four rows drive the over-estimate probability per
+/// query below `(additions / width)^4` — negligible at the sweep's scale.
+const DEPTH: usize = 4;
+
+/// Fixed per-row hash seeds (digits of pi; any distinct constants work —
+/// they only need to decorrelate the rows deterministically).
+const ROW_SEEDS: [u64; DEPTH] = [
+    0x243f_6a88_85a3_08d3,
+    0x1319_8a2e_0370_7344,
+    0xa409_3822_299f_31d0,
+    0x082e_fa98_ec4e_6c89,
+];
+
+/// A count-min sketch over cache-line identities with saturating counters.
+///
+/// ```
+/// use cheetah_core::detect::sketch::CountMinSketch;
+/// use cheetah_sim::CacheLineId;
+///
+/// let mut sketch = CountMinSketch::with_capacity(64);
+/// assert_eq!(sketch.estimate(CacheLineId(7)), 0);
+/// sketch.add(CacheLineId(7), 5);
+/// assert!(sketch.estimate(CacheLineId(7)) >= 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    /// Cells per row (a power of two, so indexing is a mask).
+    width: usize,
+    /// `DEPTH` rows of `width` saturating counters, stored row-major.
+    cells: Vec<u32>,
+    /// Number of `add` calls with a nonzero count.
+    additions: u64,
+}
+
+impl CountMinSketch {
+    /// A sketch sized for a detector tracking roughly `capacity` lines at
+    /// once: eight cells per expected resident, rounded up to a power of
+    /// two, so collisions stay rare until evictions far outnumber capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let width = capacity.max(8).saturating_mul(8).next_power_of_two();
+        CountMinSketch {
+            width,
+            cells: vec![0; width * DEPTH],
+            additions: 0,
+        }
+    }
+
+    /// Cell index of `line` in `row` (splitmix-style avalanche of the line
+    /// id XOR the row seed).
+    fn index(&self, row: usize, line: CacheLineId) -> usize {
+        let mut x = line.0 ^ ROW_SEEDS[row];
+        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 32;
+        row * self.width + (x as usize & (self.width - 1))
+    }
+
+    /// Folds `count` into the sketch for `line`. Counters saturate at
+    /// `u32::MAX` — a long-lived line pins at "very hot" instead of
+    /// wrapping back to cold.
+    pub fn add(&mut self, line: CacheLineId, count: u32) {
+        if count == 0 {
+            return;
+        }
+        self.additions += 1;
+        for row in 0..DEPTH {
+            let index = self.index(row, line);
+            self.cells[index] = self.cells[index].saturating_add(count);
+        }
+    }
+
+    /// Upper-bound estimate of the total added for `line`; exact zero when
+    /// nothing was ever added.
+    pub fn estimate(&self, line: CacheLineId) -> u32 {
+        if self.additions == 0 {
+            return 0;
+        }
+        (0..DEPTH)
+            .map(|row| self.cells[self.index(row, line)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Whether anything was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.additions == 0
+    }
+
+    /// Number of nonzero additions folded in so far.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_estimates_zero_everywhere() {
+        let sketch = CountMinSketch::with_capacity(32);
+        for i in 0..1000u64 {
+            assert_eq!(sketch.estimate(CacheLineId(i * 64)), 0);
+        }
+        assert!(sketch.is_empty());
+    }
+
+    #[test]
+    fn estimate_never_underestimates() {
+        let mut sketch = CountMinSketch::with_capacity(16);
+        // Far more distinct lines than the sizing hint: collisions may
+        // over-estimate, but no line may come back low.
+        let mut truth = Vec::new();
+        for i in 0..500u64 {
+            let line = CacheLineId(0x4000_0000 + i * 64);
+            let count = (i % 7 + 1) as u32;
+            sketch.add(line, count);
+            truth.push((line, count));
+        }
+        for (line, count) in truth {
+            assert!(
+                sketch.estimate(line) >= count,
+                "line {line:?} under-estimated"
+            );
+        }
+        assert_eq!(sketch.additions(), 500);
+    }
+
+    #[test]
+    fn repeated_adds_accumulate() {
+        let mut sketch = CountMinSketch::with_capacity(64);
+        let line = CacheLineId(0x40);
+        sketch.add(line, 3);
+        sketch.add(line, 4);
+        assert!(sketch.estimate(line) >= 7);
+    }
+
+    #[test]
+    fn zero_count_adds_are_ignored() {
+        let mut sketch = CountMinSketch::with_capacity(64);
+        sketch.add(CacheLineId(0x40), 0);
+        assert!(sketch.is_empty());
+        assert_eq!(sketch.estimate(CacheLineId(0x40)), 0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut sketch = CountMinSketch::with_capacity(8);
+        let line = CacheLineId(0x80);
+        sketch.add(line, u32::MAX);
+        sketch.add(line, u32::MAX);
+        assert_eq!(sketch.estimate(line), u32::MAX);
+    }
+
+    #[test]
+    fn identical_histories_build_identical_sketches() {
+        let build = || {
+            let mut sketch = CountMinSketch::with_capacity(32);
+            for i in 0..100u64 {
+                sketch.add(CacheLineId(i * 64), (i % 5) as u32 + 1);
+            }
+            sketch
+        };
+        assert_eq!(build(), build());
+    }
+}

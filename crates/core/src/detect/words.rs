@@ -48,11 +48,14 @@ impl WordStats {
                 self.threads.last_mut().expect("just pushed")
             }
         };
+        // Saturating: a pathological stream must pin a word's counters at
+        // their ceiling, never wrap them past zero (a wrapped `writes`
+        // could flip a truly-shared word back to "benign").
         match kind {
-            AccessKind::Read => entry.reads += 1,
-            AccessKind::Write => entry.writes += 1,
+            AccessKind::Read => entry.reads = entry.reads.saturating_add(1),
+            AccessKind::Write => entry.writes = entry.writes.saturating_add(1),
         }
-        entry.cycles += latency;
+        entry.cycles = entry.cycles.saturating_add(latency);
     }
 
     /// Per-thread counters, in first-touch order.

@@ -163,6 +163,8 @@ mod tests {
             total_samples: 100,
             filtered_samples: 0,
             fork_join: true,
+            ingest: crate::IngestStats::default(),
+            fault_counts: None,
             phases: Vec::new(),
             threads: Vec::new(),
             instances: findings

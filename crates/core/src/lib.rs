@@ -49,11 +49,15 @@ pub use assess::{
 pub use classify::{
     collect_instances, ObjectDescriptor, ObjectOrigin, SharingInstance, SharingKind, WordReport,
 };
-pub use config::{CheetahConfig, DetectorConfig};
+pub use config::{CheetahConfig, DetectorConfig, DetectorConfigError, IngestLimits};
 pub use detect::{
-    Detector, LineAccum, LinePrefilter, LineResidency, LineSlice, ObjectAccum, ObjectKey,
-    ThreadOnObject, TwoEntryTable, WriteOutcome,
+    CountMinSketch, Detector, IngestOutcome, IngestStats, LineAccum, LinePrefilter, LineResidency,
+    LineSlice, ObjectAccum, ObjectKey, QuarantineCounts, ThreadOnObject, TwoEntryTable,
+    WriteOutcome,
 };
+// Fault-injection vocabulary, re-exported so downstream harnesses can build
+// faulted configurations without depending on cheetah-pmu directly.
+pub use cheetah_pmu::{CorruptFields, FaultCounts, FaultPlan};
 pub use explore::{hidden_findings, union_findings, UnionFinding};
 pub use profiler::{CheetahProfiler, Profile};
 pub use report::{format_prediction_table, format_word_profile, AssessedInstance, PredictionRow};

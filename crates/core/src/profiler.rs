@@ -12,10 +12,10 @@
 use crate::assess::{assess_with_model, AssessContext, AssessModel};
 use crate::classify::collect_instances;
 use crate::config::CheetahConfig;
-use crate::detect::detector::Detector;
+use crate::detect::detector::{Detector, IngestOutcome, IngestStats};
 use crate::report::AssessedInstance;
 use cheetah_heap::AddressSpace;
-use cheetah_pmu::SamplingEngine;
+use cheetah_pmu::{FaultCounts, FaultInjector, Sample, SamplingEngine};
 use cheetah_runtime::{PhaseInterval, PhaseTracker, ThreadRegistry, ThreadStats};
 use cheetah_sim::{AccessRecord, Cycles, ExecObserver, SamplerFork, ThreadId};
 
@@ -53,6 +53,10 @@ pub struct CheetahProfiler<'a> {
     phases: PhaseTracker,
     threads: ThreadRegistry,
     detector: Detector,
+    /// Seeded sample-stream fault injector, when the configuration asks
+    /// for one ([`CheetahConfig::with_faults`]). `None` delivers samples
+    /// untouched — the default and every baseline's path.
+    faults: Option<FaultInjector>,
     assess_model: AssessModel,
     end_time: Cycles,
 }
@@ -62,22 +66,60 @@ impl<'a> CheetahProfiler<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `config` is invalid (zero sampling period, bad line size).
+    /// Panics if `config` is invalid (zero sampling period, bad line size,
+    /// out-of-range fault plan).
     pub fn new(config: CheetahConfig, space: &'a AddressSpace) -> Self {
+        let faults = config
+            .faults
+            .map(|plan| match FaultInjector::with_obs(plan, &config.obs) {
+                Ok(injector) => injector,
+                Err(error) => panic!("{error}"),
+            });
         CheetahProfiler {
             space,
             engine: SamplingEngine::with_obs(config.sampler, &config.obs),
             phases: PhaseTracker::new(),
             threads: ThreadRegistry::new(),
             detector: Detector::with_obs(config.detector, &config.obs),
+            faults,
             assess_model: config.assess_model,
             end_time: 0,
+        }
+    }
+
+    /// Delivers one (possibly fault-perturbed) sample: detector first —
+    /// a quarantined sample must not pollute the per-thread totals either.
+    fn deliver(
+        threads: &mut ThreadRegistry,
+        detector: &mut Detector,
+        space: &AddressSpace,
+        sample: Sample,
+    ) {
+        if detector.ingest(space, &sample) == IngestOutcome::Quarantined {
+            return;
+        }
+        threads.record_sample(sample.thread, sample.phase_index, sample.latency);
+    }
+
+    /// Drains any samples parked in the fault plan's reorder buffer so
+    /// none are silently lost when the run ends.
+    fn flush_faults(&mut self) {
+        if let Some(mut faults) = self.faults.take() {
+            let threads = &mut self.threads;
+            let detector = &mut self.detector;
+            let space = self.space;
+            faults.flush(&mut |sample| Self::deliver(threads, detector, space, sample));
+            self.faults = Some(faults);
         }
     }
 
     /// Finalises the profile: closes the phase timeline, classifies every
     /// susceptible object, and assesses each instance's fix impact.
     pub fn finish(mut self) -> Profile {
+        // Belt and braces: the reorder buffer is flushed at main-thread
+        // exit, but a harness that never ran the program must still not
+        // lose parked samples.
+        self.flush_faults();
         let phase_list: Vec<PhaseInterval> = self.phases.finish(self.end_time).to_vec();
         let aver_cycles_serial = self.detector.aver_cycles_serial();
         let instances = collect_instances(&self.detector, self.space);
@@ -110,6 +152,8 @@ impl<'a> CheetahProfiler<'a> {
             total_samples: self.engine.total_samples(),
             filtered_samples: self.detector.filtered_samples(),
             fork_join: self.phases.is_fork_join(),
+            ingest: self.detector.ingest_stats(),
+            fault_counts: self.faults.as_ref().map(|faults| *faults.counts()),
             phases: phase_list,
             threads: self.threads.iter().cloned().collect(),
             instances: assessed,
@@ -149,6 +193,9 @@ impl ExecObserver for CheetahProfiler<'_> {
     fn on_thread_exit(&mut self, thread: ThreadId, now: Cycles) {
         if thread.is_main() {
             self.end_time = now;
+            // The main thread's exit ends the run: drain the fault plan's
+            // reorder buffer so parked samples still reach the detector.
+            self.flush_faults();
         } else {
             self.phases.on_thread_exited(thread, now);
         }
@@ -164,6 +211,8 @@ impl ExecObserver for CheetahProfiler<'_> {
             // stalls. Reading it only on samples keeps the per-access hot
             // path untouched and undercounts each phase by at most one
             // sampling interval — noise next to the phase's total.
+            // Progress is recorded before fault injection: the counter read
+            // happens in the trap, upstream of any delivery-path fault.
             self.threads.record_progress(
                 record.thread,
                 self.phases.current_index(),
@@ -175,9 +224,18 @@ impl ExecObserver for CheetahProfiler<'_> {
             // assessment's phase intervals. The simulator's own numbering
             // can differ by one when a program opens with a parallel phase.
             sample.phase_index = self.phases.current_index();
-            self.threads
-                .record_sample(sample.thread, sample.phase_index, sample.latency);
-            self.detector.ingest(self.space, &sample);
+            match self.faults.take() {
+                None => Self::deliver(&mut self.threads, &mut self.detector, self.space, sample),
+                Some(mut faults) => {
+                    let threads = &mut self.threads;
+                    let detector = &mut self.detector;
+                    let space = self.space;
+                    faults.push(sample, &mut |delivered| {
+                        Self::deliver(threads, detector, space, delivered);
+                    });
+                    self.faults = Some(faults);
+                }
+            }
         }
         cost
     }
@@ -209,6 +267,12 @@ pub struct Profile {
     /// Whether the run matched the fork-join model (required for the
     /// application-level prediction to be meaningful, §3.3).
     pub fork_join: bool,
+    /// Hygiene and bounded-memory statistics: quarantined samples, line and
+    /// object evictions, re-promotions, peak detailed-line working set.
+    pub ingest: IngestStats,
+    /// Fault-injection tallies, when the run was configured with a
+    /// [`cheetah_pmu::FaultPlan`]; `None` on clean runs.
+    pub fault_counts: Option<FaultCounts>,
     /// Reconstructed phase timeline.
     pub phases: Vec<PhaseInterval>,
     /// Per-thread runtimes and sampled totals.
@@ -253,6 +317,44 @@ impl Profile {
                 " [not fork-join: application-level prediction unreliable]"
             }
         );
+        // Robustness lines appear only when something actually degraded, so
+        // clean unbounded runs render byte-identically to always.
+        if self.ingest.quarantined.total() > 0 {
+            let q = self.ingest.quarantined;
+            let _ = writeln!(
+                out,
+                "Quarantined {} malformed samples ({} latency, {} thread, {} phase)",
+                q.total(),
+                q.bad_latency,
+                q.bad_thread,
+                q.bad_phase
+            );
+        }
+        if self.ingest.line_evictions > 0 || self.ingest.object_evictions > 0 {
+            let _ = writeln!(
+                out,
+                "Memory bound: {} line evictions ({} re-promotions), {} object evictions, peak {} detailed lines",
+                self.ingest.line_evictions,
+                self.ingest.line_repromotions,
+                self.ingest.object_evictions,
+                self.ingest.peak_detailed_lines
+            );
+        }
+        if let Some(faults) = &self.fault_counts {
+            if faults.injected() > 0 {
+                let _ = writeln!(
+                    out,
+                    "Faults injected: {} ({} dropped, {} burst-dropped, {} reordered, {} duplicated, {} corrupted, {} truncated)",
+                    faults.injected(),
+                    faults.dropped,
+                    faults.burst_dropped,
+                    faults.reordered,
+                    faults.duplicated,
+                    faults.corrupted(),
+                    faults.truncated
+                );
+            }
+        }
         if self.instances.is_empty() {
             let _ = writeln!(out, "No significant sharing instances detected.");
         }
@@ -484,5 +586,86 @@ mod tests {
         // zero length that gets dropped.
         assert!(profile.phases.len() >= 2);
         assert_eq!(profile.phases[1].threads.len(), 2);
+    }
+
+    /// Profiles `fs_setup` under `config`, returning the report string and
+    /// the profile.
+    fn faulted_profile(config: CheetahConfig, shards: u32) -> Profile {
+        let (space, program) = fs_setup(60_000);
+        let machine = Machine::new(MachineConfig::with_cores(8).with_shards(shards));
+        let mut profiler = CheetahProfiler::new(config, &space);
+        machine.run(program, &mut profiler);
+        profiler.finish()
+    }
+
+    #[test]
+    fn null_fault_plan_is_bit_transparent() {
+        // Installing `FaultPlan::none()` must leave every observable output
+        // byte-identical to a profiler that has no injector at all.
+        let plain = faulted_profile(CheetahConfig::with_period(512), 1);
+        let nulled = faulted_profile(
+            CheetahConfig::with_period(512).with_faults(cheetah_pmu::FaultPlan::none()),
+            1,
+        );
+        assert_eq!(plain.render_report(), nulled.render_report());
+        assert_eq!(plain.total_samples, nulled.total_samples);
+        assert_eq!(nulled.fault_counts, Some(FaultCounts::default()));
+        assert_eq!(plain.fault_counts, None);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_per_seed() {
+        let plan = cheetah_pmu::FaultPlan::drops(200).with_seed(77);
+        let config = || CheetahConfig::with_period(512).with_faults(plan.clone());
+        let one = faulted_profile(config(), 1);
+        let two = faulted_profile(config(), 1);
+        assert_eq!(one.render_report(), two.render_report());
+        assert_eq!(one.fault_counts, two.fault_counts);
+        assert!(one.fault_counts.expect("injector installed").dropped > 0);
+    }
+
+    #[test]
+    fn faulted_run_is_shard_independent() {
+        // Fault decisions consume the seeded RNG over the merged sample
+        // stream, which is identical across shard counts — so the faulted
+        // profile must be too.
+        let plan = cheetah_pmu::FaultPlan::drops(150).with_seed(5);
+        let config = || CheetahConfig::with_period(512).with_faults(plan.clone());
+        let one = faulted_profile(config(), 1);
+        let four = faulted_profile(config(), 4);
+        assert_eq!(one.render_report(), four.render_report());
+        assert_eq!(one.fault_counts, four.fault_counts);
+    }
+
+    #[test]
+    fn drop_accounting_reconciles_with_the_clean_run() {
+        // Drops-only plan: every PMU sample either reaches the detector or
+        // is counted as dropped; nothing is invented or double-counted.
+        // `Profile::total_samples` is the PMU-side count (pre-injection),
+        // so the delivered count is read off the detector itself.
+        let run = |config: CheetahConfig| {
+            let (space, program) = fs_setup(60_000);
+            let machine = Machine::new(MachineConfig::with_cores(8));
+            let mut profiler = CheetahProfiler::new(config, &space);
+            machine.run(program, &mut profiler);
+            let delivered = profiler.detector().total_samples();
+            (delivered, profiler.finish())
+        };
+        let (clean_delivered, clean) = run(CheetahConfig::with_period(512));
+        let plan = cheetah_pmu::FaultPlan::drops(200).with_seed(3);
+        let (faulted_delivered, faulted) = run(CheetahConfig::with_period(512).with_faults(plan));
+        let counts = faulted.fault_counts.expect("injector installed");
+        assert!(counts.dropped > 0);
+        // The PMU observed the identical stream; the injector thinned it.
+        assert_eq!(faulted.total_samples, clean.total_samples);
+        assert_eq!(
+            faulted_delivered + counts.dropped,
+            clean_delivered,
+            "dropped + delivered must equal the clean sample count"
+        );
+        // A 20% drop rate still leaves the heavy false-sharing instance
+        // detectable — degradation, not collapse.
+        assert_eq!(faulted.false_sharing().len(), 1);
+        assert!(faulted.render_report().contains("Faults injected"));
     }
 }

@@ -1,0 +1,237 @@
+//! Adversarial-ingest properties of the hardened detector.
+//!
+//! The robustness contract (graceful degradation, not graceful collapse):
+//! arbitrary malformed samples — latencies, thread ids or phase indices
+//! blown past any plausible bound, addresses outside monitored memory —
+//! must never panic the detector, must be *counted* exactly into the
+//! quarantine tallies, and must leave the state built from the clean
+//! samples bit-identical to a run that never saw the garbage.
+
+use cheetah_core::{Detector, DetectorConfig, IngestOutcome, ObjectAccum};
+use cheetah_heap::{AddressSpace, CallStack};
+use cheetah_pmu::Sample;
+use cheetah_sim::{AccessKind, Addr, PhaseKind, ThreadId};
+use proptest::prelude::*;
+
+/// Which plausibility bound a malformed sample breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BadField {
+    Latency,
+    Thread,
+    Phase,
+}
+
+/// One event of an adversarial stream: a clean sampled access or a
+/// corrupted record.
+#[derive(Debug, Clone)]
+enum Event {
+    Clean {
+        thread: u32,
+        word: u64,
+        write: bool,
+        latency: u64,
+        serial: bool,
+    },
+    Bad {
+        field: BadField,
+        excess: u64,
+        word: u64,
+        write: bool,
+    },
+    /// An address outside every monitored segment — rejected by the
+    /// driver-filter path, not the quarantine.
+    Wild { addr: u64 },
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    // The vendored proptest has no `prop_oneof!`; encode the weighted
+    // union as a discriminant range mapped onto the variants:
+    // 0..6 => Clean, 6..9 => Bad (one per field), 9 => Wild.
+    let event = (
+        (0u64..10, 1u32..5),
+        (0u64..16, 1u64..500),
+        (proptest::bool::ANY, proptest::bool::ANY),
+    )
+        .prop_map(
+            |((choice, thread), (word, magnitude), (write, serial))| match choice {
+                0..=5 => Event::Clean {
+                    thread,
+                    word,
+                    write,
+                    latency: magnitude,
+                    serial,
+                },
+                6..=8 => Event::Bad {
+                    field: match choice {
+                        6 => BadField::Latency,
+                        7 => BadField::Thread,
+                        _ => BadField::Phase,
+                    },
+                    excess: magnitude,
+                    word,
+                    write,
+                },
+                _ => Event::Wild {
+                    addr: magnitude * 8,
+                },
+            },
+        );
+    prop::collection::vec(event, 1..300)
+}
+
+fn clean_sample(
+    base: Addr,
+    thread: u32,
+    word: u64,
+    write: bool,
+    latency: u64,
+    serial: bool,
+) -> Sample {
+    Sample {
+        thread: ThreadId(thread),
+        addr: base.offset(word * 4),
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        latency,
+        time: 0,
+        phase_index: 1,
+        phase_kind: if serial {
+            PhaseKind::Serial
+        } else {
+            PhaseKind::Parallel
+        },
+    }
+}
+
+/// Object table, ingestion counters and latency baseline, printable for
+/// bitwise comparison.
+fn fingerprint(detector: &Detector) -> String {
+    let objects: Vec<ObjectAccum> = detector.objects().cloned().collect();
+    format!(
+        "{objects:?} filtered={} unattributed={} serial={} aver={}",
+        detector.filtered_samples(),
+        detector.unattributed_samples(),
+        detector.serial_samples(),
+        detector.aver_cycles_serial(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn malformed_samples_never_panic_and_are_counted_exactly(events in arb_events()) {
+        let mut space = AddressSpace::new();
+        let base = space
+            .heap_mut()
+            .alloc(ThreadId(0), 64, CallStack::single("adv.c", 1))
+            .unwrap();
+        let config = DetectorConfig::default();
+        let limits = config.limits;
+        let mut adversarial = Detector::new(config.clone());
+        let mut reference = Detector::new(config);
+        let (mut bad_latency, mut bad_thread, mut bad_phase, mut wild) = (0u64, 0, 0, 0);
+        let mut clean = 0u64;
+        for event in &events {
+            match *event {
+                Event::Clean { thread, word, write, latency, serial } => {
+                    let sample = clean_sample(base, thread, word, write, latency, serial);
+                    prop_assert_eq!(
+                        adversarial.ingest(&space, &sample),
+                        IngestOutcome::Accepted
+                    );
+                    reference.ingest(&space, &sample);
+                    clean += 1;
+                }
+                Event::Bad { field, excess, word, write } => {
+                    let mut sample = clean_sample(base, 1, word, write, 100, false);
+                    match field {
+                        BadField::Latency => {
+                            sample.latency = limits.max_latency + excess;
+                            bad_latency += 1;
+                        }
+                        BadField::Thread => {
+                            sample.thread = ThreadId(limits.max_thread + excess as u32);
+                            bad_thread += 1;
+                        }
+                        BadField::Phase => {
+                            sample.phase_index = limits.max_phase + excess as u32;
+                            bad_phase += 1;
+                        }
+                    }
+                    prop_assert_eq!(
+                        adversarial.ingest(&space, &sample),
+                        IngestOutcome::Quarantined
+                    );
+                }
+                Event::Wild { addr } => {
+                    let sample = Sample {
+                        addr: Addr(addr),
+                        ..clean_sample(base, 1, 0, true, 100, false)
+                    };
+                    prop_assert_eq!(
+                        adversarial.ingest(&space, &sample),
+                        IngestOutcome::Accepted
+                    );
+                    reference.ingest(&space, &sample);
+                    wild += 1;
+                }
+            }
+        }
+        // Exact per-field quarantine accounting.
+        let counts = adversarial.quarantine_counts();
+        prop_assert_eq!(counts.bad_latency, bad_latency);
+        prop_assert_eq!(counts.bad_thread, bad_thread);
+        prop_assert_eq!(counts.bad_phase, bad_phase);
+        prop_assert_eq!(counts.total(), bad_latency + bad_thread + bad_phase);
+        prop_assert_eq!(
+            adversarial.total_samples(),
+            clean + wild + counts.total()
+        );
+        // The reference detector never saw the malformed records; every
+        // table the adversarial detector built from the clean records must
+        // match it bitwise.
+        prop_assert_eq!(adversarial.quarantined_samples(), counts.total());
+        prop_assert_eq!(reference.quarantined_samples(), 0);
+        prop_assert_eq!(fingerprint(&adversarial), fingerprint(&reference));
+    }
+
+    #[test]
+    fn bounded_tables_never_exceed_capacity_under_arbitrary_traffic(
+        events in arb_events(),
+        line_capacity in 1usize..6,
+        object_capacity in 1usize..4,
+    ) {
+        let mut space = AddressSpace::new();
+        // Several objects spread over several lines so capacities bite.
+        let mut bases = Vec::new();
+        for i in 0..6 {
+            bases.push(
+                space
+                    .heap_mut()
+                    .alloc(ThreadId(0), 64, CallStack::single("adv.c", i))
+                    .unwrap(),
+            );
+        }
+        let config = DetectorConfig {
+            line_capacity: Some(line_capacity),
+            object_capacity: Some(object_capacity),
+            ..DetectorConfig::default()
+        };
+        let mut detector = Detector::new(config);
+        for (index, event) in events.iter().enumerate() {
+            if let Event::Clean { thread, word, write, latency, serial } = *event {
+                let base = bases[index % bases.len()];
+                let sample = clean_sample(base, thread, word, write, latency, serial);
+                detector.ingest(&space, &sample);
+            }
+        }
+        let stats = detector.ingest_stats();
+        prop_assert!(stats.detailed_lines <= line_capacity as u64);
+        prop_assert!(detector.objects().count() <= object_capacity);
+        prop_assert!(stats.peak_detailed_lines <= line_capacity as u64);
+    }
+}

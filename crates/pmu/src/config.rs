@@ -14,12 +14,29 @@ pub enum ConfigError {
     /// The sampling period is zero — that would sample every instruction,
     /// which is instrumentation, not sampling.
     ZeroPeriod,
+    /// A [`crate::FaultPlan`] per-mille rate exceeds 1000.
+    FaultRateOutOfRange,
+    /// A [`crate::FaultPlan`] enables corruption without any eligible
+    /// field.
+    CorruptionWithoutFields,
+    /// A [`crate::FaultPlan`] burst is at least as long as its period, so
+    /// every sample would be dropped.
+    BurstSwallowsStream,
 }
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::ZeroPeriod => f.write_str("sampling period must be nonzero"),
+            ConfigError::FaultRateOutOfRange => {
+                f.write_str("fault rates are per-mille and must not exceed 1000")
+            }
+            ConfigError::CorruptionWithoutFields => {
+                f.write_str("corruption enabled but no sample field is eligible")
+            }
+            ConfigError::BurstSwallowsStream => {
+                f.write_str("drop burst at least as long as its period would drop every sample")
+            }
         }
     }
 }

@@ -19,7 +19,11 @@
 //!   from native hardware, for running the detector outside the simulator.
 //!
 //! Everything downstream (detection, assessment, reporting) consumes only
-//! [`Sample`] values and is agnostic to the source.
+//! [`Sample`] values and is agnostic to the source. A third piece,
+//! [`FaultPlan`] / [`FaultInjector`], wraps either source with
+//! deterministic, seeded stream faults (drops, bursts, reordering,
+//! duplication, field corruption, truncation) so the detector's
+//! graceful-degradation guarantees are testable properties.
 
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,6 +31,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod sample;
 pub mod sim_pmu;
 
@@ -35,5 +40,6 @@ pub mod perf;
 
 pub use config::{ConfigError, SamplerConfig, DEFAULT_PERIOD};
 pub use engine::{SamplerReplica, SamplingEngine};
+pub use faults::{CorruptFields, FaultCounts, FaultInjector, FaultPlan};
 pub use sample::Sample;
 pub use sim_pmu::SimPmu;

@@ -275,6 +275,21 @@ impl PerfSampler {
         delivered
     }
 
+    /// Drains pending records through a [`crate::FaultInjector`] before
+    /// they reach `sink` — the native half of the robustness harness, so
+    /// the `linux-pmu` path exercises exactly the fault plans the simulated
+    /// PMU does. Returns the count of records parsed from the ring (the
+    /// injector's own counters say how many survived). Call
+    /// [`crate::FaultInjector::flush`] once sampling is disabled to drain
+    /// any reorder buffer.
+    pub fn drain_faulted(
+        &mut self,
+        faults: &mut crate::FaultInjector,
+        mut sink: impl FnMut(Sample),
+    ) -> usize {
+        self.drain(|sample| faults.push(sample, &mut sink))
+    }
+
     fn record_ptr(&self, offset: usize) -> *const u8 {
         // SAFETY: callers pass offsets within the data area.
         unsafe { self.ring.add(self.data_offset + (offset % self.data_size)) }

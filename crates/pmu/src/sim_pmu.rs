@@ -2,6 +2,7 @@
 
 use crate::config::{ConfigError, SamplerConfig};
 use crate::engine::SamplingEngine;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::sample::Sample;
 use cheetah_sim::{AccessRecord, Cycles, ExecObserver, SamplerFork, ThreadId};
 
@@ -32,6 +33,7 @@ use cheetah_sim::{AccessRecord, Cycles, ExecObserver, SamplerFork, ThreadId};
 /// ```
 pub struct SimPmu<F> {
     engine: SamplingEngine,
+    faults: Option<FaultInjector>,
     sink: F,
 }
 
@@ -46,6 +48,27 @@ impl<F: FnMut(Sample)> SimPmu<F> {
     pub fn new(config: SamplerConfig, sink: F) -> Result<Self, ConfigError> {
         Ok(SimPmu {
             engine: SamplingEngine::try_new(config)?,
+            faults: None,
+            sink,
+        })
+    }
+
+    /// Creates a simulated PMU whose sample stream passes through a seeded
+    /// [`FaultPlan`] before reaching `sink` — the robustness-testing
+    /// configuration. The reorder buffer (if any) is drained when the main
+    /// thread exits.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if `config` or `plan` is invalid.
+    pub fn with_faults(
+        config: SamplerConfig,
+        plan: FaultPlan,
+        sink: F,
+    ) -> Result<Self, ConfigError> {
+        Ok(SimPmu {
+            engine: SamplingEngine::try_new(config)?,
+            faults: Some(FaultInjector::new(plan)?),
             sink,
         })
     }
@@ -54,12 +77,18 @@ impl<F: FnMut(Sample)> SimPmu<F> {
     pub fn engine(&self) -> &SamplingEngine {
         &self.engine
     }
+
+    /// The fault injector, when constructed via [`SimPmu::with_faults`].
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
 }
 
 impl<F> std::fmt::Debug for SimPmu<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimPmu")
             .field("engine", &self.engine)
+            .field("faults", &self.faults)
             .finish_non_exhaustive()
     }
 }
@@ -69,10 +98,23 @@ impl<F: FnMut(Sample)> ExecObserver for SimPmu<F> {
         self.engine.begin_thread(thread)
     }
 
+    fn on_thread_exit(&mut self, thread: ThreadId, _now: Cycles) {
+        // The main thread's exit ends the run: drain any samples parked in
+        // the fault plan's reorder buffer so none are silently lost.
+        if thread.is_main() {
+            if let Some(faults) = &mut self.faults {
+                faults.flush(&mut self.sink);
+            }
+        }
+    }
+
     fn on_access(&mut self, record: &AccessRecord) -> Cycles {
         let (sample, cost) = self.engine.observe(record);
         if let Some(sample) = sample {
-            (self.sink)(sample);
+            match &mut self.faults {
+                Some(faults) => faults.push(sample, &mut self.sink),
+                None => (self.sink)(sample),
+            }
         }
         cost
     }
@@ -133,6 +175,57 @@ mod tests {
         // sampling sparsely) but still bounded.
         assert!(overhead > 1.1, "1K-period sampling must be visible");
         assert!(overhead < 6.0, "overhead ratio {overhead}");
+    }
+
+    #[test]
+    fn faulted_pmu_drops_deterministically() {
+        use crate::faults::FaultPlan;
+        let machine = Machine::new(MachineConfig::with_cores(4));
+        let run = |plan: FaultPlan| {
+            let mut samples = Vec::new();
+            let mut pmu =
+                SimPmu::with_faults(SamplerConfig::with_period(1024), plan, |s| samples.push(s))
+                    .unwrap();
+            machine.run(workload(), &mut pmu);
+            let counts = *pmu.faults().unwrap().counts();
+            let tagged = pmu.engine().total_samples();
+            drop(pmu);
+            (samples, tagged, counts)
+        };
+        let (clean, tagged_clean, none_counts) = run(FaultPlan::none());
+        assert_eq!(clean.len() as u64, tagged_clean);
+        assert_eq!(none_counts.injected(), 0);
+        let (faulted, tagged, counts) = run(FaultPlan::drops(250).with_seed(4));
+        assert_eq!(tagged, tagged_clean, "sampling itself is unperturbed");
+        assert_eq!(faulted.len() as u64 + counts.dropped, tagged);
+        assert!(counts.dropped > 0);
+        let (again, _, counts_again) = run(FaultPlan::drops(250).with_seed(4));
+        assert_eq!(faulted, again, "faulted runs reproduce per (plan, seed)");
+        assert_eq!(counts, counts_again);
+    }
+
+    #[test]
+    fn faulted_pmu_flushes_reorder_buffer_at_main_exit() {
+        use crate::faults::FaultPlan;
+        let machine = Machine::new(MachineConfig::with_cores(4));
+        let mut samples = Vec::new();
+        let plan = FaultPlan {
+            reorder_window: 16,
+            ..FaultPlan::none()
+        };
+        let mut pmu =
+            SimPmu::with_faults(SamplerConfig::with_period(1024), plan, |s| samples.push(s))
+                .unwrap();
+        machine.run(workload(), &mut pmu);
+        let tagged = pmu.engine().total_samples();
+        let reordered = pmu.faults().unwrap().counts().reordered;
+        drop(pmu);
+        assert_eq!(
+            samples.len() as u64,
+            tagged,
+            "reordering must not lose samples once the run ends"
+        );
+        assert!(reordered > 0);
     }
 
     #[test]
